@@ -1,0 +1,42 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short vet bench experiments live crowd clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every offline figure at laptop scale (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/hta-bench -fig 2a
+	$(GO) run ./cmd/hta-bench -fig 2b
+	$(GO) run ./cmd/hta-bench -fig 2c
+	$(GO) run ./cmd/hta-bench -fig 3
+	$(GO) run ./cmd/hta-bench -fig obj
+	$(GO) run ./cmd/hta-bench -fig bg
+
+# The online study (Figures 5a-5c) with the paper's selection pipeline.
+live:
+	$(GO) run ./cmd/hta-live -sessions 20 -filtered -chart
+
+# The live deployment over real HTTP with simulated workers.
+crowd:
+	$(GO) run ./cmd/hta-crowd -workers 8
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,175 @@
+// Command hta-crowd runs a simulated crowd against the HTTP assignment
+// platform — the live deployment of Section V-C driven entirely over the
+// wire. By default it is self-contained: it starts an in-process
+// hta-server deployment (22 kinds of tasks, graded questions) and lets N
+// simulated workers run concurrent sessions against it; with -server it
+// drives an external platform instead (without graded answers, since the
+// ground truth lives with the server that generated it).
+//
+// Usage:
+//
+//	hta-crowd [-workers 8] [-minutes 15] [-seed 1]
+//	hta-crowd -server http://localhost:8080 -universe 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"text/tabwriter"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/bot"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/crowd"
+	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/question"
+	"github.com/htacs/ata/internal/workload"
+)
+
+func main() {
+	workers := flag.Int("workers", 8, "number of simulated workers")
+	minutes := flag.Float64("minutes", 15, "simulated session length in minutes")
+	seed := flag.Int64("seed", 1, "random seed")
+	serverURL := flag.String("server", "", "drive this external platform instead of a self-contained one")
+	universe := flag.Int("universe", 100, "keyword universe size (must match the server)")
+	flag.Parse()
+
+	var client *platform.Client
+	var oracle bot.Oracle
+	if *serverURL == "" {
+		url, bank, err := startDeployment(*seed, *universe)
+		if err != nil {
+			log.Fatalf("hta-crowd: %v", err)
+		}
+		fmt.Printf("self-contained platform at %s\n", url)
+		client = platform.NewClient(url, nil)
+		oracle = func(taskID, questionID string) (int, bool) {
+			for _, q := range bank.ForTask(taskID) {
+				if q.ID == questionID {
+					return q.Answer, true
+				}
+			}
+			return 0, false
+		}
+	} else {
+		client = platform.NewClient(*serverURL, nil)
+		fmt.Printf("driving external platform at %s (no graded answers)\n", *serverURL)
+	}
+
+	params := crowd.DefaultParams()
+	params.SessionMinutes = *minutes
+
+	rng := rand.New(rand.NewSource(*seed))
+	var wg sync.WaitGroup
+	results := make([]*bot.Result, *workers)
+	errs := make([]error, *workers)
+	for i := 0; i < *workers; i++ {
+		worker := newSimWorker(fmt.Sprintf("bot-%02d", i), rng, *universe)
+		botSeed := rng.Int63()
+		wg.Add(1)
+		go func(i int, w *crowd.SimWorker, s int64) {
+			defer wg.Done()
+			results[i], errs[i] = bot.Run(bot.Config{
+				Client:   client,
+				Worker:   w,
+				Universe: *universe,
+				Params:   params,
+				Oracle:   oracle,
+				Rand:     rand.New(rand.NewSource(s)),
+			})
+		}(i, worker, botSeed)
+	}
+	wg.Wait()
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "worker\tcompleted\tgraded\tcorrect\tminutes\tdropped\tα\tβ")
+	var totC, totG, totOK int
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Fprintf(tw, "bot-%02d\tERROR: %v\n", i, errs[i])
+			continue
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.1f\t%v\t%.2f\t%.2f\n",
+			res.WorkerID, res.Completed, res.Graded, res.Correct,
+			res.DurationMinutes, res.DroppedOut, res.FinalAlpha, res.FinalBeta)
+		totC += res.Completed
+		totG += res.Graded
+		totOK += res.Correct
+	}
+	tw.Flush()
+	fmt.Printf("\ncrowd total: %d tasks", totC)
+	if totG > 0 {
+		fmt.Printf(", quality %.1f%% (%d/%d graded answers)", 100*float64(totOK)/float64(totG), totOK, totG)
+	}
+	fmt.Println()
+
+	if stats, err := client.Stats(); err == nil {
+		fmt.Printf("platform: %d iterations, %d tasks left in pool", stats.Iteration, stats.PoolSize)
+		if stats.Graded > 0 {
+			fmt.Printf(", server-side quality %.1f%%", stats.QualityPercent)
+		}
+		fmt.Println()
+	}
+}
+
+// startDeployment boots an in-process platform with a graded corpus.
+func startDeployment(seed int64, universe int) (string, *question.Bank, error) {
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax:             15,
+		ExtraRandomTasks: 5,
+		Rand:             rand.New(rand.NewSource(seed)),
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{Seed: seed, Universe: universe})
+	if err != nil {
+		return "", nil, err
+	}
+	tasks := gen.Tasks(22, 40)
+	bank, err := question.Generate(tasks, 1.65, seed)
+	if err != nil {
+		return "", nil, err
+	}
+	if err := engine.AddTasks(tasks...); err != nil {
+		return "", nil, err
+	}
+	srv, err := platform.NewServer(platform.ServerConfig{
+		Engine: engine, Universe: universe, Questions: bank,
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go func() {
+		if err := http.Serve(ln, srv); err != nil {
+			log.Print(err)
+		}
+	}()
+	return "http://" + ln.Addr().String(), bank, nil
+}
+
+// newSimWorker draws a worker whose interests align with a task kind, as
+// the live platform's keyword-choice UI induces.
+func newSimWorker(id string, rng *rand.Rand, universe int) *crowd.SimWorker {
+	kw := bitset.New(universe)
+	for kw.Count() < 6 {
+		kw.Add(rng.Intn(universe))
+	}
+	return &crowd.SimWorker{
+		Worker:    &core.Worker{ID: id, Keywords: kw},
+		TrueAlpha: 0.25 + 0.5*rng.Float64(),
+		Skill:     0.92 + 0.16*rng.Float64(),
+		Speed:     0.85 + 0.3*rng.Float64(),
+	}
+}

@@ -1,0 +1,85 @@
+// Command hta-gen generates synthetic crowdsourcing workloads shaped like
+// the paper's data: AMT-style task groups (shared keyword metadata,
+// micro-task rewards) and synthetic workers (uniform keyword interests,
+// random motivation weights). Output is JSON lines, consumable by
+// hta-server and by workload.ReadTasks/ReadWorkers.
+//
+// Usage:
+//
+//	hta-gen -groups 200 -per-group 20 -tasks-out tasks.jsonl
+//	hta-gen -workers 200 -workers-out workers.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/htacs/ata/internal/workload"
+)
+
+func main() {
+	groups := flag.Int("groups", 200, "number of task groups")
+	perGroup := flag.Int("per-group", 20, "tasks per group")
+	workers := flag.Int("workers", 0, "number of synthetic workers to generate")
+	universe := flag.Int("universe", 100, "keyword universe size")
+	kwGroup := flag.Int("kw-per-group", 5, "keywords per task group")
+	kwWorker := flag.Int("kw-per-worker", 5, "keywords per worker")
+	zipf := flag.Float64("zipf", 1.2, "keyword popularity skew (Zipf s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	tasksOut := flag.String("tasks-out", "", "write tasks to this file ('-' for stdout)")
+	workersOut := flag.String("workers-out", "", "write workers to this file ('-' for stdout)")
+	flag.Parse()
+
+	gen, err := workload.NewGenerator(workload.Config{
+		Universe:          *universe,
+		KeywordsPerGroup:  *kwGroup,
+		KeywordsPerWorker: *kwWorker,
+		ZipfS:             *zipf,
+		Seed:              *seed,
+	})
+	if err != nil {
+		log.Fatalf("hta-gen: %v", err)
+	}
+	if *tasksOut == "" && *workersOut == "" {
+		log.Fatal("hta-gen: nothing to do; pass -tasks-out and/or -workers-out")
+	}
+	if *tasksOut != "" {
+		tasks := gen.Tasks(*groups, *perGroup)
+		if err := writeTo(*tasksOut, func(f *os.File) error {
+			return workload.WriteTasks(f, tasks)
+		}); err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d tasks (%d groups × %d) to %s\n",
+			len(tasks), *groups, *perGroup, *tasksOut)
+	}
+	if *workersOut != "" {
+		if *workers <= 0 {
+			log.Fatal("hta-gen: -workers must be positive with -workers-out")
+		}
+		ws := gen.Workers(*workers)
+		if err := writeTo(*workersOut, func(f *os.File) error {
+			return workload.WriteWorkers(f, ws)
+		}); err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d workers to %s\n", len(ws), *workersOut)
+	}
+}
+
+func writeTo(path string, write func(*os.File) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,108 @@
+// Command hta-report analyzes an archived online study: session archives
+// written by `hta-live -out sessions.jsonl` (or crowd.WriteSessions) are
+// re-aggregated into the Figure 5 totals, per-strategy curves and the
+// paper's significance tests — without re-running any simulation.
+//
+// Usage:
+//
+//	hta-report -in sessions.jsonl [-minutes 30] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"github.com/htacs/ata/internal/crowd"
+	"github.com/htacs/ata/internal/plot"
+)
+
+func main() {
+	in := flag.String("in", "", "session archive (JSON lines) to analyze")
+	minutes := flag.Float64("minutes", 30, "session length the study used, for the time grid")
+	chart := flag.Bool("chart", false, "render retention curves as an ASCII chart")
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("hta-report: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatalf("hta-report: %v", err)
+	}
+	study, err := crowd.ReadSessions(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("hta-report: %v", err)
+	}
+
+	strategies := make([]crowd.Strategy, 0, len(study.Sessions))
+	for _, s := range crowd.Strategies {
+		if len(study.Sessions[s]) > 0 {
+			strategies = append(strategies, s)
+		}
+	}
+	for s := range study.Sessions {
+		known := false
+		for _, k := range strategies {
+			if s == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			strategies = append(strategies, s)
+		}
+	}
+	if len(strategies) == 0 {
+		log.Fatal("hta-report: archive holds no sessions")
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "strategy\tsessions\tcompleted\tquality%\tmean-duration(min)\ttasks/session\tavg-reward($)")
+	for _, s := range strategies {
+		t := study.Total(s)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f\t%.1f\t%.3f\n",
+			s, t.Sessions, t.Completed, t.QualityPercent, t.MeanDuration, t.MeanPerSession, t.MeanTaskReward)
+	}
+	tw.Flush()
+
+	// Pairwise significance tests across all recorded strategies.
+	fmt.Println("\nsignificance tests:")
+	for i := 0; i < len(strategies); i++ {
+		for j := i + 1; j < len(strategies); j++ {
+			a, b := strategies[i], strategies[j]
+			if z, err := study.CompareQuality(a, b); err == nil {
+				fmt.Printf("  quality %s vs %s: Z = %+.2f (one-sided p = %.3f)\n", a, b, z.Z, z.POneSided)
+			}
+			if u, err := study.CompareThroughput(a, b); err == nil {
+				fmt.Printf("  throughput %s vs %s: U = %.0f (one-sided p = %.3f)\n", a, b, u.U, u.POneSided)
+			}
+			if u, err := study.CompareRetention(a, b); err == nil {
+				fmt.Printf("  retention %s vs %s: U = %.0f (one-sided p = %.3f)\n", a, b, u.U, u.POneSided)
+			}
+		}
+	}
+
+	if *chart {
+		grid := make([]float64, 0, int(*minutes))
+		for m := 1.0; m <= *minutes; m++ {
+			grid = append(grid, m)
+		}
+		series := make([]plot.Series, 0, len(strategies))
+		for _, s := range strategies {
+			ret := study.RetentionCurve(s, grid)
+			y := make([]float64, len(ret))
+			for i, p := range ret {
+				y[i] = 100 * p.Fraction
+			}
+			series = append(series, plot.Series{Name: string(s), Y: y})
+		}
+		fmt.Println()
+		if err := plot.Lines(os.Stdout, "retention (% sessions alive)", grid, series,
+			plot.Config{YMin: 0, YMax: 105}); err != nil {
+			log.Fatalf("hta-report: %v", err)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command hta-server runs the crowdsourcing assignment platform (the
+// workflow of Figure 4) as an HTTP service. Tasks can be preloaded from a
+// JSON-lines file produced by hta-gen, or uploaded at runtime via
+// POST /api/tasks. With -snapshot the full engine state (task pool,
+// in-flight assignments, learned α/β) is restored at startup and saved on
+// SIGINT/SIGTERM, so the experiment survives restarts.
+//
+// Usage:
+//
+//	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
+//	           [-xmax 15] [-extra 5] [-universe 100]
+//
+// Endpoints:
+//
+//	POST   /api/tasks                 {"tasks": [{"id","group","reward","keywords"}]}
+//	POST   /api/workers               {"id": "...", "keywords": [>=6 ints]}
+//	GET    /api/workers/{id}/tasks
+//	POST   /api/workers/{id}/complete {"task_id": "..."}
+//	DELETE /api/workers/{id}
+//	GET    /api/stats
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	tasksPath := flag.String("tasks", "", "optional JSON-lines task file to preload (see hta-gen)")
+	snapshotPath := flag.String("snapshot", "", "engine state file: restored at startup, written on SIGINT/SIGTERM")
+	xmax := flag.Int("xmax", 15, "per-worker capacity Xmax (paper live setting: 15)")
+	extra := flag.Int("extra", 5, "extra random tasks per display set (paper: 5)")
+	universe := flag.Int("universe", 100, "keyword universe size")
+	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for the solver and extras")
+	perWorker := flag.Int("reassign-per-worker", 10, "completions per worker that trigger a new iteration")
+	total := flag.Int("reassign-total", 25, "total completions that trigger a new iteration")
+	flag.Parse()
+
+	cfg := adaptive.Config{
+		Xmax:             *xmax,
+		ExtraRandomTasks: *extra,
+		Rand:             rand.New(rand.NewSource(*seed)),
+	}
+	engine, restored, err := buildEngine(cfg, *snapshotPath)
+	if err != nil {
+		log.Fatalf("hta-server: %v", err)
+	}
+	if restored {
+		fmt.Printf("restored engine state from %s (iteration %d, %d pooled tasks)\n",
+			*snapshotPath, engine.Iteration(), engine.PoolSize())
+	}
+	if *tasksPath != "" {
+		f, err := os.Open(*tasksPath)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		tasks, err := workload.ReadTasks(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("hta-server: reading %s: %v", *tasksPath, err)
+		}
+		if err := engine.AddTasks(tasks...); err != nil {
+			log.Fatalf("hta-server: loading tasks: %v", err)
+		}
+		fmt.Printf("loaded %d tasks from %s\n", len(tasks), *tasksPath)
+	}
+	srv, err := platform.NewServer(platform.ServerConfig{
+		Engine:            engine,
+		Universe:          *universe,
+		ReassignPerWorker: *perWorker,
+		ReassignTotal:     *total,
+	})
+	if err != nil {
+		log.Fatalf("hta-server: %v", err)
+	}
+
+	if *snapshotPath != "" {
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			if err := saveSnapshot(srv, *snapshotPath); err != nil {
+				log.Printf("hta-server: snapshot: %v", err)
+				os.Exit(1)
+			}
+			fmt.Printf("\nsaved engine state to %s\n", *snapshotPath)
+			os.Exit(0)
+		}()
+	}
+
+	fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", *addr, *xmax, *extra)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// buildEngine restores from the snapshot when it exists, otherwise starts
+// fresh.
+func buildEngine(cfg adaptive.Config, snapshotPath string) (*adaptive.Engine, bool, error) {
+	if snapshotPath == "" {
+		e, err := adaptive.NewEngine(cfg)
+		return e, false, err
+	}
+	f, err := os.Open(snapshotPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		e, err := adaptive.NewEngine(cfg)
+		return e, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	e, err := adaptive.Restore(f, cfg)
+	if err != nil {
+		return nil, false, fmt.Errorf("restoring %s: %w", snapshotPath, err)
+	}
+	return e, true, nil
+}
+
+// saveSnapshot writes atomically via a temp file, snapshotting through the
+// server so the engine is quiesced.
+func saveSnapshot(srv *platform.Server, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := srv.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}

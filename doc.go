@@ -1,0 +1,13 @@
+// Package ata reproduces "Task Relevance and Diversity as Worker
+// Motivation in Crowdsourcing" (Pilourdault, Amer-Yahia, Basu Roy, Lee —
+// ICDE 2018): the HTA problem, the HTA-APP (¼) and HTA-GRE (⅛)
+// approximation algorithms with their substrates, an adaptive assignment
+// engine, an HTTP crowdsourcing platform, a behavioural crowd simulator,
+// and a harness regenerating every figure of the paper's evaluation.
+//
+// The root package carries only documentation, the per-figure benchmarks
+// (bench_test.go) and cross-module integration tests; the implementation
+// lives under internal/ and the executables under cmd/. See README.md for
+// the map, DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package ata

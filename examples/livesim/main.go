@@ -1,0 +1,56 @@
+// Live-study miniature: a small-scale rerun of the paper's online
+// experiment (Figure 5). Three strategies assign micro-tasks to simulated
+// workers in timed sessions; the program prints the quality / throughput /
+// retention comparison and the same significance tests the paper reports.
+// For the full 20-sessions-per-strategy study, use cmd/hta-live.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"github.com/htacs/ata/internal/crowd"
+	"github.com/htacs/ata/internal/workload"
+)
+
+func main() {
+	// The paper's live tasks came from a CrowdFlower release with 22 kinds
+	// of micro-tasks; the generator mirrors that structure.
+	gen, err := workload.NewGenerator(workload.Config{Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corpus := gen.Tasks(22, 40)
+
+	params := crowd.DefaultParams()
+	params.SessionMinutes = 15 // shortened sessions for a quick demo
+	sim, err := crowd.NewSimulator(params, corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := sim.RunStudy(crowd.Strategies, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("strategy      sessions  completed  quality%  mean-minutes")
+	for _, s := range crowd.Strategies {
+		t := study.Total(s)
+		fmt.Printf("%-12s  %8d  %9d  %7.1f  %12.1f\n",
+			s, t.Sessions, t.Completed, t.QualityPercent, t.MeanDuration)
+	}
+
+	if z, err := study.CompareQuality(crowd.StrategyDiv, crowd.StrategyRel); err == nil {
+		fmt.Printf("\nquality DIV vs REL: two-proportions Z = %.2f (one-sided p = %.3f)\n",
+			z.Z, z.POneSided)
+	}
+	if u, err := study.CompareRetention(crowd.StrategyGRE, crowd.StrategyRel); err == nil {
+		fmt.Printf("retention GRE vs REL: Mann-Whitney U = %.0f (one-sided p = %.3f)\n",
+			u.U, u.POneSided)
+	}
+
+	fmt.Fprintln(os.Stdout, "\nshortened sessions mute the dropout differences; run cmd/hta-live for")
+	fmt.Fprintln(os.Stdout, "the paper's full 30-minute study, where the adaptive strategy trades a")
+	fmt.Fprintln(os.Stdout, "little of DIV's quality for the best throughput and retention (Fig. 5).")
+}

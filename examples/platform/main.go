@@ -1,0 +1,117 @@
+// Platform walkthrough: runs the Figure-4 assignment service on a local
+// port and drives it over real HTTP with two worker clients — register
+// with keywords, receive a task set, complete tasks, get re-assigned, and
+// read the platform stats with the learned (α, β) per worker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/workload"
+)
+
+func main() {
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax:             5,
+		ExtraRandomTasks: 2,
+		Rand:             rand.New(rand.NewSource(3)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := platform.NewServer(platform.ServerConfig{
+		Engine:            engine,
+		Universe:          100,
+		ReassignPerWorker: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv); err != nil {
+			log.Print(err)
+		}
+	}()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("assignment service at", base)
+
+	client := platform.NewClient(base, nil)
+
+	// The requester loads a workload.
+	gen, err := workload.NewGenerator(workload.Config{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := client.AddTasks(gen.Tasks(30, 4)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Two workers join with their keyword interests (≥ 6 required).
+	for _, reg := range []struct {
+		id string
+		kw []int
+	}{
+		{"ada", []int{0, 1, 2, 3, 4, 5}},
+		{"lin", []int{6, 7, 8, 9, 10, 11}},
+	} {
+		tasks, err := client.Register(reg.id, reg.kw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s registered, first set:", reg.id)
+		for _, t := range tasks {
+			fmt.Printf(" %s", t.ID)
+		}
+		fmt.Println()
+	}
+
+	// Each worker completes tasks; the service re-assigns adaptively.
+	for round := 0; round < 6; round++ {
+		for _, id := range []string{"ada", "lin"} {
+			tasks, err := client.Tasks(id)
+			if err != nil {
+				log.Fatal(err)
+			}
+			var next string
+			for _, t := range tasks {
+				if !t.Done {
+					next = t.ID
+					break
+				}
+			}
+			if next == "" {
+				continue
+			}
+			resp, err := client.Complete(id, next)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if resp.Reassigned {
+				fmt.Printf("round %d: %s completed %s -> new iteration (α=%.2f β=%.2f)\n",
+					round, id, next, resp.Alpha, resp.Beta)
+			}
+		}
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplatform after %d iterations, %d tasks still in pool:\n",
+		stats.Iteration, stats.PoolSize)
+	for _, w := range stats.Workers {
+		fmt.Printf("  %-4s completed %2d tasks, learned α=%.2f β=%.2f\n",
+			w.ID, w.Completed, w.Alpha, w.Beta)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/htacs/ata
+
+go 1.22

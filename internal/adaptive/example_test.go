@@ -1,0 +1,61 @@
+package adaptive_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+)
+
+// ExampleEngine runs the paper's adaptive loop for one worker: a cold-start
+// assignment, completions that feed the (α, β) estimator, and a second,
+// solver-driven iteration.
+func ExampleEngine() {
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax: 3,
+		Rand: rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const universe = 16
+	for i := 0; i < 12; i++ {
+		task := &core.Task{
+			ID:       fmt.Sprintf("t%02d", i),
+			Keywords: bitset.FromIndices(universe, i%8, 8+(i%4)),
+		}
+		if err := engine.AddTasks(task); err != nil {
+			log.Fatal(err)
+		}
+	}
+	state, err := engine.AddWorker(&core.Worker{
+		ID: "ada", Keywords: bitset.FromIndices(universe, 0, 8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sets, err := engine.NextIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration 1: %d tasks (cold start)\n", len(sets["ada"]))
+	for _, task := range sets["ada"] {
+		if err := engine.Complete("ada", task.ID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	sets, err = engine.NextIteration()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("iteration 2: %d tasks (HTA-GRE with learned weights)\n", len(sets["ada"]))
+	fmt.Printf("weights normalized: %v\n", state.Alpha()+state.Beta() > 0.99)
+	// Output:
+	// iteration 1: 3 tasks (cold start)
+	// iteration 2: 3 tasks (HTA-GRE with learned weights)
+	// weights normalized: true
+}

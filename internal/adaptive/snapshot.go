@@ -1,0 +1,174 @@
+package adaptive
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+)
+
+// Snapshot/Restore persist an engine's full state as JSON so a platform
+// (cmd/hta-server) can survive restarts mid-experiment without losing the
+// task pool, the per-worker (α, β) estimates or the in-flight assignments.
+// Configuration (Xmax, solver, distance) is not part of the snapshot — it
+// belongs to the process, and Restore takes a Config as usual.
+
+type taskSnap struct {
+	ID       string  `json:"id"`
+	Group    string  `json:"group,omitempty"`
+	Reward   float64 `json:"reward,omitempty"`
+	Universe int     `json:"universe"`
+	Keywords []int   `json:"keywords"`
+}
+
+type workerSnap struct {
+	ID        string     `json:"id"`
+	Universe  int        `json:"universe"`
+	Keywords  []int      `json:"keywords"`
+	Alpha     float64    `json:"alpha"`
+	Beta      float64    `json:"beta"`
+	Available bool       `json:"available"`
+	Started   bool       `json:"started"`
+	Total     int        `json:"total_completed"`
+	DivGains  []float64  `json:"div_gains,omitempty"`
+	RelGains  []float64  `json:"rel_gains,omitempty"`
+	Assigned  []taskSnap `json:"assigned,omitempty"`
+	Completed []string   `json:"completed,omitempty"` // IDs within Assigned
+}
+
+type engineSnap struct {
+	Version   int          `json:"version"`
+	Iteration int          `json:"iteration"`
+	Pool      []taskSnap   `json:"pool"`
+	Workers   []workerSnap `json:"workers"`
+}
+
+const snapshotVersion = 1
+
+func snapTask(t *core.Task) taskSnap {
+	return taskSnap{
+		ID: t.ID, Group: t.Group, Reward: t.Reward,
+		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices(),
+	}
+}
+
+func (ts taskSnap) task() (*core.Task, error) {
+	if ts.Universe < 1 {
+		return nil, fmt.Errorf("adaptive: snapshot task %q has universe %d", ts.ID, ts.Universe)
+	}
+	for _, k := range ts.Keywords {
+		if k < 0 || k >= ts.Universe {
+			return nil, fmt.Errorf("adaptive: snapshot task %q keyword %d out of range", ts.ID, k)
+		}
+	}
+	return &core.Task{
+		ID: ts.ID, Group: ts.Group, Reward: ts.Reward,
+		Keywords: bitset.FromIndices(ts.Universe, ts.Keywords...),
+	}, nil
+}
+
+// Snapshot writes the engine state as a single JSON document.
+func (e *Engine) Snapshot(w io.Writer) error {
+	snap := engineSnap{Version: snapshotVersion, Iteration: e.iteration}
+	for _, t := range e.pool {
+		snap.Pool = append(snap.Pool, snapTask(t))
+	}
+	for _, id := range e.order {
+		ws := e.workers[id]
+		wsnap := workerSnap{
+			ID:        ws.Worker.ID,
+			Universe:  ws.Worker.Keywords.Len(),
+			Keywords:  ws.Worker.Keywords.Indices(),
+			Alpha:     ws.Worker.Alpha,
+			Beta:      ws.Worker.Beta,
+			Available: ws.Available,
+			Started:   ws.started,
+			Total:     ws.TotalCompleted,
+			DivGains:  ws.divGains,
+			RelGains:  ws.relGains,
+		}
+		for _, t := range ws.Assigned {
+			wsnap.Assigned = append(wsnap.Assigned, snapTask(t))
+		}
+		for _, t := range ws.Completed {
+			wsnap.Completed = append(wsnap.Completed, t.ID)
+		}
+		snap.Workers = append(snap.Workers, wsnap)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("adaptive: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore rebuilds an engine from a snapshot, using the given runtime
+// configuration (solver, distance, Xmax, randomness).
+func Restore(r io.Reader, cfg Config) (*Engine, error) {
+	var snap engineSnap
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("adaptive: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("adaptive: unsupported snapshot version %d", snap.Version)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.iteration = snap.Iteration
+	for _, ts := range snap.Pool {
+		t, err := ts.task()
+		if err != nil {
+			return nil, err
+		}
+		if err := e.AddTasks(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, wsnap := range snap.Workers {
+		if wsnap.Universe < 1 {
+			return nil, fmt.Errorf("adaptive: snapshot worker %q has universe %d", wsnap.ID, wsnap.Universe)
+		}
+		for _, k := range wsnap.Keywords {
+			if k < 0 || k >= wsnap.Universe {
+				return nil, fmt.Errorf("adaptive: snapshot worker %q keyword %d out of range", wsnap.ID, k)
+			}
+		}
+		worker := &core.Worker{
+			ID:       wsnap.ID,
+			Keywords: bitset.FromIndices(wsnap.Universe, wsnap.Keywords...),
+		}
+		ws, err := e.AddWorker(worker)
+		if err != nil {
+			return nil, err
+		}
+		// AddWorker resets the weights to the prior; restore the estimates.
+		worker.Alpha, worker.Beta = wsnap.Alpha, wsnap.Beta
+		ws.Available = wsnap.Available
+		ws.started = wsnap.Started
+		ws.TotalCompleted = wsnap.Total
+		ws.divGains = wsnap.DivGains
+		ws.relGains = wsnap.RelGains
+		byID := make(map[string]*core.Task, len(wsnap.Assigned))
+		for _, ts := range wsnap.Assigned {
+			t, err := ts.task()
+			if err != nil {
+				return nil, err
+			}
+			ws.Assigned = append(ws.Assigned, t)
+			byID[t.ID] = t
+		}
+		for _, id := range wsnap.Completed {
+			t, ok := byID[id]
+			if !ok {
+				return nil, fmt.Errorf("adaptive: snapshot worker %q completed unknown task %q", wsnap.ID, id)
+			}
+			ws.Completed = append(ws.Completed, t)
+		}
+	}
+	return e, nil
+}

@@ -1,0 +1,235 @@
+// Package bot drives the HTTP assignment platform with simulated crowd
+// workers — the live deployment of Section V-C run end to end over the
+// wire: registration with keyword interests, task choice, graded answers,
+// boredom and dropout all happen against a real platform.Server instead of
+// an in-process engine.
+//
+// The behavioural model is the same as package crowd's (engagement/boredom,
+// switch overhead, per-worker flow hazard); only the transport differs.
+// Because the workers are simulated, correct answers come from an Oracle
+// the caller supplies (typically backed by the same question bank the
+// server grades against — a live deployment has humans instead); the
+// behavioural accuracy channel decides whether the bot uses or deviates
+// from the oracle, exactly as in the crowd simulator.
+package bot
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"time"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/crowd"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/platform"
+)
+
+// Oracle returns the ground-truth option for a question, if known.
+type Oracle func(taskID, questionID string) (option int, ok bool)
+
+// Config parameterizes one bot session.
+type Config struct {
+	// Client targets the platform.
+	Client *platform.Client
+	// Worker carries the latent traits (keywords, TrueAlpha, skill, speed).
+	Worker *crowd.SimWorker
+	// Universe is the keyword universe size used to rebuild task vectors
+	// from the wire format.
+	Universe int
+	// Params are the behavioural constants; zero value = crowd defaults.
+	Params crowd.Params
+	// Oracle answers graded questions; nil bots skip answering.
+	Oracle Oracle
+	// Rand drives the stochastic behaviour. Defaults to a fixed seed.
+	Rand *rand.Rand
+	// RealTimePerSimMinute throttles the bot to mimic wall-clock pacing;
+	// zero runs as fast as the server allows (simulated time still
+	// advances by the behavioural model).
+	RealTimePerSimMinute time.Duration
+}
+
+// Result summarizes one bot-driven session.
+type Result struct {
+	WorkerID        string
+	Completed       int
+	Graded          int
+	Correct         int
+	DurationMinutes float64 // simulated minutes
+	DroppedOut      bool
+	FinalAlpha      float64
+	FinalBeta       float64
+}
+
+// Run registers the worker and plays a full work session against the
+// platform.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Client == nil || cfg.Worker == nil {
+		return nil, errors.New("bot: nil client or worker")
+	}
+	if cfg.Universe < 1 {
+		return nil, fmt.Errorf("bot: universe = %d", cfg.Universe)
+	}
+	p := cfg.Params
+	if p.SessionMinutes == 0 {
+		p = crowd.DefaultParams()
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	dist := metric.Jaccard{}
+
+	display, err := cfg.Client.Register(cfg.Worker.Worker.ID, cfg.Worker.Worker.Keywords.Indices())
+	if err != nil {
+		return nil, fmt.Errorf("bot: registering: %w", err)
+	}
+
+	res := &Result{WorkerID: cfg.Worker.Worker.ID}
+	var elapsed, boredom float64
+	var history []*bitset.Set // keyword vectors of completed tasks, in order
+
+	for elapsed < p.SessionMinutes {
+		next := pickTask(cfg, rng, dist, display, history, p)
+		if next == nil {
+			fresh, err := cfg.Client.Tasks(cfg.Worker.Worker.ID)
+			if err != nil {
+				return nil, err
+			}
+			if allDone(fresh) {
+				break // platform has nothing left for us
+			}
+			display = fresh
+			continue
+		}
+		kw := bitset.FromIndices(cfg.Universe, next.Keywords...)
+
+		novelty := p.NoveltyThreshold
+		if n := len(history); n > 0 {
+			win := history[max(0, n-p.NoveltyWindow):]
+			var sum float64
+			for _, h := range win {
+				sum += dist.Distance(kw, h)
+			}
+			novelty = sum / float64(len(win))
+		}
+		seconds := cfg.Worker.Speed * (p.BaseTaskSeconds + p.DivOverheadSeconds*novelty)
+		seconds *= 0.85 + 0.3*rng.Float64()
+		elapsed += seconds / 60
+		if elapsed > p.SessionMinutes {
+			break
+		}
+		if cfg.RealTimePerSimMinute > 0 {
+			time.Sleep(time.Duration(float64(cfg.RealTimePerSimMinute) * seconds / 60))
+		}
+
+		boredom += p.BoredomRate * (p.NoveltyThreshold - novelty)
+		boredom = math.Max(0, math.Min(p.BoredomCap, boredom))
+		engagement := 1 / (1 + boredom)
+		rel := metric.Relevance(dist, kw, cfg.Worker.Worker.Keywords)
+		pCorrect := cfg.Worker.Skill * (p.BaseAccuracy + p.EngagementGain*engagement + p.RelevanceGain*rel)
+		pCorrect = math.Max(0.05, math.Min(0.98, pCorrect))
+
+		answers := answerQuestions(cfg, rng, next, pCorrect)
+		resp, err := cfg.Client.CompleteWithAnswers(cfg.Worker.Worker.ID, next.ID, answers)
+		if err != nil {
+			if strings.Contains(err.Error(), "not assigned") {
+				// A global iteration replaced our set mid-flight; refetch.
+				fresh, ferr := cfg.Client.Tasks(cfg.Worker.Worker.ID)
+				if ferr != nil {
+					return nil, ferr
+				}
+				display = fresh
+				continue
+			}
+			return nil, err
+		}
+		history = append(history, kw)
+		res.Completed++
+		res.Graded += resp.Graded
+		res.Correct += resp.Correct
+		res.FinalAlpha, res.FinalBeta = resp.Alpha, resp.Beta
+		display = resp.Tasks
+
+		ideal := 0.25 + 0.6*cfg.Worker.TrueAlpha
+		ramp := 1 + p.HazardRamp*math.Pow(elapsed/p.SessionMinutes, 2)
+		hazard := (p.HazardBase + p.HazardBoredom*math.Max(0, boredom-p.BoredomGrace) +
+			p.HazardFlow*math.Abs(novelty-ideal) + p.HazardMismatch*(1-rel)) * ramp
+		if rng.Float64() < hazard {
+			res.DroppedOut = true
+			break
+		}
+	}
+	if elapsed > p.SessionMinutes {
+		elapsed = p.SessionMinutes
+	}
+	res.DurationMinutes = elapsed
+	if err := cfg.Client.Leave(cfg.Worker.Worker.ID); err != nil {
+		return nil, fmt.Errorf("bot: leaving: %w", err)
+	}
+	return res, nil
+}
+
+// pickTask chooses the next not-done task by the worker's latent utility;
+// nil when nothing is pending in the current display.
+func pickTask(cfg Config, rng *rand.Rand, dist metric.Jaccard, display []platform.TaskView, history []*bitset.Set, p crowd.Params) *platform.TaskView {
+	var best *platform.TaskView
+	bestU := math.Inf(-1)
+	norm := float64(len(history))
+	for i := range display {
+		t := &display[i]
+		if t.Done {
+			continue
+		}
+		kw := bitset.FromIndices(cfg.Universe, t.Keywords...)
+		var marg float64
+		if norm > 0 {
+			for _, h := range history {
+				marg += dist.Distance(kw, h)
+			}
+			marg /= norm
+		}
+		rel := metric.Relevance(dist, kw, cfg.Worker.Worker.Keywords)
+		u := cfg.Worker.TrueAlpha*marg + (1-cfg.Worker.TrueAlpha)*rel + 0.15*rng.Float64()
+		if u > bestU {
+			bestU, best = u, t
+		}
+	}
+	return best
+}
+
+// answerQuestions produces the bot's answers: the oracle's option with
+// probability pCorrect, otherwise a uniformly wrong one.
+func answerQuestions(cfg Config, rng *rand.Rand, task *platform.TaskView, pCorrect float64) []platform.Answer {
+	if cfg.Oracle == nil || len(task.Questions) == 0 {
+		return nil
+	}
+	answers := make([]platform.Answer, 0, len(task.Questions))
+	for _, q := range task.Questions {
+		truth, ok := cfg.Oracle(task.ID, q.ID)
+		if !ok {
+			continue
+		}
+		option := truth
+		if rng.Float64() >= pCorrect {
+			// Deliberately wrong: uniform over the other options.
+			option = rng.Intn(len(q.Options) - 1)
+			if option >= truth {
+				option++
+			}
+		}
+		answers = append(answers, platform.Answer{QuestionID: q.ID, Option: option})
+	}
+	return answers
+}
+
+func allDone(display []platform.TaskView) bool {
+	for _, t := range display {
+		if !t.Done {
+			return false
+		}
+	}
+	return true
+}

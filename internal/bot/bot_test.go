@@ -1,0 +1,205 @@
+package bot
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/crowd"
+	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/question"
+	"github.com/htacs/ata/internal/workload"
+)
+
+const universe = 100
+
+// testDeployment spins up a graded platform over a 22-kind corpus.
+func testDeployment(t *testing.T) (*platform.Client, *question.Bank) {
+	t.Helper()
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax:             6,
+		ExtraRandomTasks: 2,
+		Rand:             rand.New(rand.NewSource(4)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(workload.Config{Seed: 4, Universe: universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := gen.Tasks(22, 12)
+	bank, err := question.Generate(tasks, 1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := platform.NewServer(platform.ServerConfig{
+		Engine: engine, Universe: universe, Questions: bank, ReassignPerWorker: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := platform.NewClient(ts.URL, ts.Client())
+	if err := client.AddTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	return client, bank
+}
+
+func simWorker(id string, seed int64) *crowd.SimWorker {
+	r := rand.New(rand.NewSource(seed))
+	kw := bitset.New(universe)
+	for kw.Count() < 6 {
+		kw.Add(r.Intn(universe))
+	}
+	return &crowd.SimWorker{
+		Worker:    &core.Worker{ID: id, Keywords: kw},
+		TrueAlpha: 0.25 + 0.5*r.Float64(),
+		Skill:     1,
+		Speed:     1,
+	}
+}
+
+func oracleFor(bank *question.Bank) Oracle {
+	return func(taskID, questionID string) (int, bool) {
+		for _, q := range bank.ForTask(taskID) {
+			if q.ID == questionID {
+				return q.Answer, true
+			}
+		}
+		return 0, false
+	}
+}
+
+func shortSession() crowd.Params {
+	p := crowd.DefaultParams()
+	p.SessionMinutes = 8
+	return p
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("nil client accepted")
+	}
+	client, _ := testDeployment(t)
+	if _, err := Run(Config{Client: client, Worker: simWorker("w", 1)}); err == nil {
+		t.Error("zero universe accepted")
+	}
+}
+
+func TestBotSessionEndToEnd(t *testing.T) {
+	client, bank := testDeployment(t)
+	res, err := Run(Config{
+		Client:   client,
+		Worker:   simWorker("bot-1", 7),
+		Universe: universe,
+		Params:   shortSession(),
+		Oracle:   oracleFor(bank),
+		Rand:     rand.New(rand.NewSource(7)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("bot completed nothing")
+	}
+	if res.Graded == 0 {
+		t.Fatal("bot answered no questions")
+	}
+	if res.Correct == 0 || res.Correct > res.Graded {
+		t.Fatalf("grading off: %d/%d", res.Correct, res.Graded)
+	}
+	if res.DurationMinutes <= 0 || res.DurationMinutes > shortSession().SessionMinutes {
+		t.Fatalf("duration = %g", res.DurationMinutes)
+	}
+	if res.FinalAlpha <= 0 || res.FinalBeta <= 0 {
+		t.Fatalf("no learned weights: α=%g β=%g", res.FinalAlpha, res.FinalBeta)
+	}
+	// The server saw the same grading totals.
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Graded != res.Graded || stats.Correct != res.Correct {
+		t.Fatalf("server counters (%d/%d) != bot (%d/%d)",
+			stats.Correct, stats.Graded, res.Correct, res.Graded)
+	}
+	// The bot left the platform at session end.
+	for _, w := range stats.Workers {
+		if w.ID == "bot-1" && w.Available {
+			t.Fatal("bot still marked available after leaving")
+		}
+	}
+}
+
+func TestBotWithoutOracleSkipsAnswers(t *testing.T) {
+	client, _ := testDeployment(t)
+	res, err := Run(Config{
+		Client:   client,
+		Worker:   simWorker("bot-2", 9),
+		Universe: universe,
+		Params:   shortSession(),
+		Rand:     rand.New(rand.NewSource(9)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graded != 0 {
+		t.Fatalf("oracle-less bot graded %d answers", res.Graded)
+	}
+	if res.Completed == 0 {
+		t.Fatal("bot completed nothing")
+	}
+}
+
+// TestConcurrentBots runs several bots in parallel against one platform —
+// the full multi-worker deployment over real HTTP.
+func TestConcurrentBots(t *testing.T) {
+	client, bank := testDeployment(t)
+	const bots = 4
+	var wg sync.WaitGroup
+	results := make([]*Result, bots)
+	errs := make([]error, bots)
+	for i := 0; i < bots; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = Run(Config{
+				Client:   client,
+				Worker:   simWorker(string(rune('a'+i))+"-bot", int64(20+i)),
+				Universe: universe,
+				Params:   shortSession(),
+				Oracle:   oracleFor(bank),
+				Rand:     rand.New(rand.NewSource(int64(30 + i))),
+			})
+		}(i)
+	}
+	wg.Wait()
+	totalCompleted := 0
+	for i := 0; i < bots; i++ {
+		if errs[i] != nil {
+			t.Fatalf("bot %d: %v", i, errs[i])
+		}
+		totalCompleted += results[i].Completed
+	}
+	if totalCompleted == 0 {
+		t.Fatal("no bot completed anything")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serverCompleted int
+	for _, w := range stats.Workers {
+		serverCompleted += w.Completed
+	}
+	if serverCompleted != totalCompleted {
+		t.Fatalf("server saw %d completions, bots report %d", serverCompleted, totalCompleted)
+	}
+}

@@ -1,0 +1,385 @@
+// Package core defines the data model of motivation-aware task assignment:
+// tasks, workers, HTA problem instances, the motivation objective of
+// Equation 3, and assignments with the paper's feasibility constraints
+// C1 (per-worker capacity Xmax) and C2 (disjointness).
+//
+// An Instance is immutable once built; solvers read it concurrently.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/metric"
+)
+
+// Task is a unit of crowd work described by a Boolean keyword vector
+// (Section II). Group links tasks crawled/generated from the same task
+// group; Reward is the micro-payment in dollars.
+type Task struct {
+	ID       string
+	Group    string
+	Reward   float64
+	Keywords *bitset.Set
+}
+
+// Worker is a crowd worker with expressed keyword interests and motivation
+// weights α (task diversity) and β (task relevance), α+β = 1 (Equation 3).
+type Worker struct {
+	ID       string
+	Keywords *bitset.Set
+	Alpha    float64
+	Beta     float64
+}
+
+// NormalizeWeights clamps Alpha and Beta to [0,1] and rescales them to sum
+// to 1. If both are zero it splits evenly, matching the neutral prior used
+// by the adaptive engine before any observation.
+func (w *Worker) NormalizeWeights() {
+	a := math.Max(0, w.Alpha)
+	b := math.Max(0, w.Beta)
+	if a+b == 0 {
+		w.Alpha, w.Beta = 0.5, 0.5
+		return
+	}
+	w.Alpha, w.Beta = a/(a+b), b/(a+b)
+}
+
+// Instance is one HTA problem: the tasks and workers available at an
+// iteration, the capacity Xmax, and the diversity distance.
+type Instance struct {
+	Tasks   []*Task
+	Workers []*Worker
+	Xmax    int
+	Dist    metric.Distance
+
+	rel   [][]float64            // rel[q][k] = rel(t_k, w_q), precomputed
+	divFn func(k, l int) float64 // nil → compute from keyword bitsets
+}
+
+// ErrNonMetric is wrapped into errors returned when a caller requests an
+// approximation guarantee but the configured distance is not a metric.
+var ErrNonMetric = errors.New("distance is not a metric; approximation factors do not hold")
+
+// NewInstance validates and builds an Instance, precomputing the
+// |W|×|T| relevance matrix (diversities stay on-demand: the |T|² matrix
+// would not fit for the paper's 10k-task experiments).
+func NewInstance(tasks []*Task, workers []*Worker, xmax int, dist metric.Distance) (*Instance, error) {
+	if xmax < 1 {
+		return nil, fmt.Errorf("core: Xmax = %d, must be >= 1", xmax)
+	}
+	if dist == nil {
+		return nil, errors.New("core: nil distance")
+	}
+	for i, t := range tasks {
+		if t == nil || t.Keywords == nil {
+			return nil, fmt.Errorf("core: task %d is nil or has nil keywords", i)
+		}
+	}
+	seen := make(map[string]bool, len(workers))
+	for i, w := range workers {
+		if w == nil || w.Keywords == nil {
+			return nil, fmt.Errorf("core: worker %d is nil or has nil keywords", i)
+		}
+		if w.ID != "" && seen[w.ID] {
+			return nil, fmt.Errorf("core: duplicate worker id %q", w.ID)
+		}
+		seen[w.ID] = true
+		if err := checkWeights(w); err != nil {
+			return nil, err
+		}
+	}
+	inst := &Instance{Tasks: tasks, Workers: workers, Xmax: xmax, Dist: dist}
+	inst.rel = make([][]float64, len(workers))
+	for q, w := range workers {
+		row := make([]float64, len(tasks))
+		for k, t := range tasks {
+			row[k] = metric.Relevance(dist, t.Keywords, w.Keywords)
+		}
+		inst.rel[q] = row
+	}
+	return inst, nil
+}
+
+// checkWeights validates a worker's motivation weights. The paper's model
+// fixes α+β = 1 (Equation 3), but its own worked example (Example 1 uses
+// α=0.6, β=0.3 for w2) relaxes that, and nothing in the algorithms needs
+// the equality — so we accept α, β ≥ 0 with α+β ∈ (0, 1].
+func checkWeights(w *Worker) error {
+	if w.Alpha < -1e-9 || w.Beta < -1e-9 || w.Alpha+w.Beta > 1+1e-6 || w.Alpha+w.Beta <= 0 {
+		return fmt.Errorf("core: worker %q has invalid weights α=%g β=%g (need α,β ≥ 0, 0 < α+β ≤ 1)",
+			w.ID, w.Alpha, w.Beta)
+	}
+	return nil
+}
+
+// NewCustomInstance builds an instance whose relevance and diversity come
+// from explicit oracles instead of keyword vectors: rel[q][k] gives
+// rel(t_k, w_q) and div(k, l) the pairwise diversity. It serves worked
+// examples from the paper (Table I prescribes relevances directly) and
+// platforms where these quantities are measured externally. div must be
+// symmetric with div(k,k) = 0; if metricDiv is false the instance reports a
+// non-metric distance and solvers lose their approximation guarantees.
+func NewCustomInstance(numTasks int, workers []*Worker, xmax int, rel [][]float64, div func(k, l int) float64, metricDiv bool) (*Instance, error) {
+	if xmax < 1 {
+		return nil, fmt.Errorf("core: Xmax = %d, must be >= 1", xmax)
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("core: numTasks = %d", numTasks)
+	}
+	if div == nil {
+		return nil, errors.New("core: nil diversity oracle")
+	}
+	if len(rel) != len(workers) {
+		return nil, fmt.Errorf("core: relevance table has %d rows for %d workers", len(rel), len(workers))
+	}
+	for q, w := range workers {
+		if w == nil {
+			return nil, fmt.Errorf("core: worker %d is nil", q)
+		}
+		if err := checkWeights(w); err != nil {
+			return nil, err
+		}
+		if len(rel[q]) != numTasks {
+			return nil, fmt.Errorf("core: relevance row %d has %d entries for %d tasks", q, len(rel[q]), numTasks)
+		}
+	}
+	tasks := make([]*Task, numTasks)
+	for k := range tasks {
+		tasks[k] = &Task{ID: fmt.Sprintf("t%d", k)}
+	}
+	relCopy := make([][]float64, len(rel))
+	for q := range rel {
+		relCopy[q] = append([]float64(nil), rel[q]...)
+	}
+	return &Instance{
+		Tasks:   tasks,
+		Workers: workers,
+		Xmax:    xmax,
+		Dist:    oracleDistance{metric: metricDiv},
+		rel:     relCopy,
+		divFn:   div,
+	}, nil
+}
+
+// oracleDistance stands in for Instance.Dist when diversity comes from an
+// explicit oracle; it only answers Metric() and Name().
+type oracleDistance struct{ metric bool }
+
+func (oracleDistance) Distance(a, b *bitset.Set) float64 {
+	panic("core: oracle-backed instance has no keyword distance")
+}
+func (d oracleDistance) Metric() bool { return d.metric }
+func (oracleDistance) Name() string   { return "oracle" }
+
+// WithUniformWeights returns a copy of the instance whose workers all carry
+// weights (alpha, beta), sharing the precomputed relevance matrix. It backs
+// the paper's non-adaptive baselines HTA-GRE-DIV (α=1, β=0) and
+// HTA-GRE-REL (α=0, β=1) from Section V-C.
+func (in *Instance) WithUniformWeights(alpha, beta float64) (*Instance, error) {
+	probe := &Worker{ID: "probe", Alpha: alpha, Beta: beta}
+	if err := checkWeights(probe); err != nil {
+		return nil, err
+	}
+	workers := make([]*Worker, len(in.Workers))
+	for q, w := range in.Workers {
+		clone := *w
+		clone.Alpha, clone.Beta = alpha, beta
+		workers[q] = &clone
+	}
+	out := *in
+	out.Workers = workers
+	return &out, nil
+}
+
+// Permuted returns a view of the instance whose task index i refers to the
+// receiver's task perm[i]; workers, weights and Xmax are shared. Solvers
+// use a random permutation to break ties: corpora contain many tasks with
+// identical keyword vectors (AMT task groups), and with a deterministic
+// index order the LSAP's tied profits pack same-group tasks into a single
+// worker's clique, collapsing its diversity.
+func (in *Instance) Permuted(perm []int) (*Instance, error) {
+	n := in.NumTasks()
+	if len(perm) != n {
+		return nil, fmt.Errorf("core: permutation of length %d for %d tasks", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("core: invalid permutation")
+		}
+		seen[p] = true
+	}
+	tasks := make([]*Task, n)
+	for i, p := range perm {
+		tasks[i] = in.Tasks[p]
+	}
+	rel := make([][]float64, len(in.rel))
+	for q, row := range in.rel {
+		newRow := make([]float64, n)
+		for i, p := range perm {
+			newRow[i] = row[p]
+		}
+		rel[q] = newRow
+	}
+	out := &Instance{
+		Tasks:   tasks,
+		Workers: in.Workers,
+		Xmax:    in.Xmax,
+		Dist:    in.Dist,
+		rel:     rel,
+	}
+	if in.divFn != nil {
+		inner := in.divFn
+		out.divFn = func(k, l int) float64 { return inner(perm[k], perm[l]) }
+	}
+	return out, nil
+}
+
+// NumTasks returns |T^i|.
+func (in *Instance) NumTasks() int { return len(in.Tasks) }
+
+// NumWorkers returns |W^i|.
+func (in *Instance) NumWorkers() int { return len(in.Workers) }
+
+// Diversity returns the pairwise task diversity d(t_k, t_l), computed on
+// demand from the keyword bitsets.
+func (in *Instance) Diversity(k, l int) float64 {
+	if k == l {
+		return 0
+	}
+	if in.divFn != nil {
+		return in.divFn(k, l)
+	}
+	return in.Dist.Distance(in.Tasks[k].Keywords, in.Tasks[l].Keywords)
+}
+
+// Relevance returns rel(t_k, w_q) from the precomputed matrix.
+func (in *Instance) Relevance(q, k int) float64 { return in.rel[q][k] }
+
+// RelevanceRow returns the precomputed relevance row of worker q. The
+// returned slice is shared; callers must not modify it.
+func (in *Instance) RelevanceRow(q int) []float64 { return in.rel[q] }
+
+// SetDiversity returns TD(T') = Σ_{k>l} d(t_k, t_l) over the given task
+// indices (Equation 1).
+func (in *Instance) SetDiversity(taskIdx []int) float64 {
+	var td float64
+	for i := 1; i < len(taskIdx); i++ {
+		for j := 0; j < i; j++ {
+			td += in.Diversity(taskIdx[i], taskIdx[j])
+		}
+	}
+	return td
+}
+
+// SetRelevance returns TR(T', w_q) = Σ_{t∈T'} rel(t, w_q) (Equation 2).
+func (in *Instance) SetRelevance(q int, taskIdx []int) float64 {
+	var tr float64
+	for _, k := range taskIdx {
+		tr += in.rel[q][k]
+	}
+	return tr
+}
+
+// Motiv returns the expected motivation of worker q for the task set
+// (Equation 3):
+//
+//	motiv(T', w) = 2·α_w·TD(T') + β_w·(|T'|−1)·TR(T', w)
+//
+// The factors 2 and (|T'|−1) normalize the quadratic and linear parts so
+// that neither dominates purely by the number of terms.
+func (in *Instance) Motiv(q int, taskIdx []int) float64 {
+	if len(taskIdx) == 0 {
+		return 0
+	}
+	w := in.Workers[q]
+	return 2*w.Alpha*in.SetDiversity(taskIdx) +
+		w.Beta*float64(len(taskIdx)-1)*in.SetRelevance(q, taskIdx)
+}
+
+// Assignment maps each worker index to the task indices assigned to it.
+// Sets[q] lists the tasks of worker q; tasks absent from every set are
+// unassigned (the problem allows |T| > |W|·Xmax).
+type Assignment struct {
+	Sets [][]int
+}
+
+// NewAssignment returns an Assignment with one empty set per worker.
+func NewAssignment(numWorkers int) *Assignment {
+	return &Assignment{Sets: make([][]int, numWorkers)}
+}
+
+// Validate checks the structural constraints of Problem 1 against the
+// instance: one set per worker, task indices in range, C1 (|T_w| ≤ Xmax)
+// and C2 (pairwise disjointness, each task at most once overall).
+func (a *Assignment) Validate(in *Instance) error {
+	if len(a.Sets) != in.NumWorkers() {
+		return fmt.Errorf("core: assignment has %d sets for %d workers", len(a.Sets), in.NumWorkers())
+	}
+	used := make(map[int]int, in.NumTasks()) // task -> worker
+	for q, set := range a.Sets {
+		if len(set) > in.Xmax {
+			return fmt.Errorf("core: C1 violated: worker %d has %d tasks > Xmax=%d", q, len(set), in.Xmax)
+		}
+		for _, k := range set {
+			if k < 0 || k >= in.NumTasks() {
+				return fmt.Errorf("core: task index %d out of range [0,%d)", k, in.NumTasks())
+			}
+			if prev, dup := used[k]; dup {
+				return fmt.Errorf("core: C2 violated: task %d assigned to workers %d and %d", k, prev, q)
+			}
+			used[k] = q
+		}
+	}
+	return nil
+}
+
+// Objective returns Σ_w motiv(T_w, w), the HTA objective (Problem 1).
+func (in *Instance) Objective(a *Assignment) float64 {
+	var total float64
+	for q, set := range a.Sets {
+		total += in.Motiv(q, set)
+	}
+	return total
+}
+
+// AssignedCount returns the total number of assigned tasks.
+func (a *Assignment) AssignedCount() int {
+	n := 0
+	for _, s := range a.Sets {
+		n += len(s)
+	}
+	return n
+}
+
+// Unassigned returns the indices of tasks not assigned to any worker,
+// in increasing order.
+func (a *Assignment) Unassigned(numTasks int) []int {
+	used := make([]bool, numTasks)
+	for _, s := range a.Sets {
+		for _, k := range s {
+			if k >= 0 && k < numTasks {
+				used[k] = true
+			}
+		}
+	}
+	var out []int
+	for k, u := range used {
+		if !u {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{Sets: make([][]int, len(a.Sets))}
+	for q, s := range a.Sets {
+		c.Sets[q] = append([]int(nil), s...)
+	}
+	return c
+}

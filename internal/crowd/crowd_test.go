@@ -1,0 +1,285 @@
+package crowd
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// liveCorpus mirrors the live experiment's structure: 22 kinds of tasks
+// (CrowdFlower), many tasks per kind.
+func liveCorpus(t testing.TB, seed int64) []*core.Task {
+	t.Helper()
+	g, err := workload.NewGenerator(workload.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.Tasks(22, 40)
+}
+
+func newSim(t testing.TB, params Params, corpus []*core.Task) *Simulator {
+	t.Helper()
+	sim, err := NewSimulator(params, corpus)
+	if err != nil {
+		t.Fatalf("NewSimulator: %v", err)
+	}
+	return sim
+}
+
+func TestParamsValidation(t *testing.T) {
+	corpus := liveCorpus(t, 1)
+	bad := []func(*Params){
+		func(p *Params) { p.SessionMinutes = 0 },
+		func(p *Params) { p.Xmax = 0 },
+		func(p *Params) { p.ReassignAfter = 0 },
+		func(p *Params) { p.BaseTaskSeconds = 0 },
+		func(p *Params) { p.NoveltyWindow = 0 },
+		func(p *Params) { p.PoolPerSession = 5 },
+		func(p *Params) { p.QuestionsPerTask = 0 },
+	}
+	for i, mutate := range bad {
+		p := DefaultParams()
+		mutate(&p)
+		if _, err := NewSimulator(p, corpus); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+	small := corpus[:10]
+	if _, err := NewSimulator(DefaultParams(), small); err == nil {
+		t.Error("corpus smaller than pool accepted")
+	}
+}
+
+func TestUnknownStrategy(t *testing.T) {
+	sim := newSim(t, DefaultParams(), liveCorpus(t, 2))
+	w := sim.NewWorker("w")
+	if _, err := sim.RunSession(Strategy("bogus"), w); err == nil ||
+		!strings.Contains(err.Error(), "unknown strategy") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNewWorkerShape(t *testing.T) {
+	sim := newSim(t, DefaultParams(), liveCorpus(t, 3))
+	for i := 0; i < 20; i++ {
+		w := sim.NewWorker("w")
+		if w.Worker.Keywords.Count() < 6 {
+			t.Fatalf("worker has %d keywords, platform requires >= 6", w.Worker.Keywords.Count())
+		}
+		if w.TrueAlpha < 0.25 || w.TrueAlpha > 0.75 {
+			t.Fatalf("TrueAlpha = %g outside population range", w.TrueAlpha)
+		}
+		if w.Skill <= 0 || w.Speed <= 0 {
+			t.Fatalf("non-positive skill/speed: %+v", w)
+		}
+	}
+}
+
+func TestSessionInvariants(t *testing.T) {
+	sim := newSim(t, DefaultParams(), liveCorpus(t, 4))
+	for _, strat := range []Strategy{StrategyGRE, StrategyDiv, StrategyRel, StrategyRandom} {
+		res, err := sim.RunSession(strat, sim.NewWorker("w-"+string(strat)))
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if res.DurationMinutes < 0 || res.DurationMinutes > sim.params.SessionMinutes+1e-9 {
+			t.Fatalf("%s: duration %g outside session budget", strat, res.DurationMinutes)
+		}
+		if res.Completed != len(res.Events) {
+			t.Fatalf("%s: Completed %d != %d events", strat, res.Completed, len(res.Events))
+		}
+		if res.Correct > res.Questions {
+			t.Fatalf("%s: more correct answers than questions", strat)
+		}
+		prevMinute := 0.0
+		seen := map[string]bool{}
+		for _, ev := range res.Events {
+			if ev.Minute < prevMinute {
+				t.Fatalf("%s: events out of order", strat)
+			}
+			prevMinute = ev.Minute
+			if seen[ev.TaskID] {
+				t.Fatalf("%s: task %s completed twice", strat, ev.TaskID)
+			}
+			seen[ev.TaskID] = true
+			if ev.Correct > ev.Questions || ev.Questions < 1 || ev.Questions > 2 {
+				t.Fatalf("%s: bad event %+v", strat, ev)
+			}
+		}
+	}
+}
+
+// shortParams shrinks sessions so study-level tests stay fast.
+func shortParams() Params {
+	p := DefaultParams()
+	p.SessionMinutes = 12
+	p.PoolPerSession = 300
+	return p
+}
+
+func TestRunStudyShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full study is slow")
+	}
+	corpus := liveCorpus(t, 42)
+	sim := newSim(t, DefaultParams(), corpus)
+	study, err := sim.RunStudy(Strategies, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gre, rel, div := study.Total(StrategyGRE), study.Total(StrategyRel), study.Total(StrategyDiv)
+
+	// Figure 5a: quality ordering DIV > GRE > REL, with REL clearly behind.
+	if !(div.QualityPercent > gre.QualityPercent && gre.QualityPercent > rel.QualityPercent) {
+		t.Errorf("quality ordering: div %.1f, gre %.1f, rel %.1f — want div > gre > rel",
+			div.QualityPercent, gre.QualityPercent, rel.QualityPercent)
+	}
+	if div.QualityPercent-rel.QualityPercent < 5 {
+		t.Errorf("div-rel quality gap %.1f too small", div.QualityPercent-rel.QualityPercent)
+	}
+
+	// Figure 5b: adaptive GRE completes the most tasks overall.
+	if !(gre.Completed > rel.Completed && gre.Completed > div.Completed) {
+		t.Errorf("throughput: gre %d, rel %d, div %d — want gre highest",
+			gre.Completed, rel.Completed, div.Completed)
+	}
+
+	// Figure 5c: GRE has the best retention (longest mean session), REL the
+	// worst.
+	if !(gre.MeanDuration > rel.MeanDuration) {
+		t.Errorf("retention: gre %.1f min not above rel %.1f min", gre.MeanDuration, rel.MeanDuration)
+	}
+	if !(div.MeanDuration > rel.MeanDuration) {
+		t.Errorf("retention: div %.1f min not above rel %.1f min", div.MeanDuration, rel.MeanDuration)
+	}
+
+	// The boredom mechanism must actually fire for REL and stay quiet for DIV.
+	var relBoredom, divBoredom float64
+	for _, s := range study.Sessions[StrategyRel] {
+		relBoredom += s.MeanBoredom
+	}
+	for _, s := range study.Sessions[StrategyDiv] {
+		divBoredom += s.MeanBoredom
+	}
+	if relBoredom <= divBoredom {
+		t.Errorf("boredom: rel %.2f not above div %.2f", relBoredom, divBoredom)
+	}
+}
+
+func TestEarningsTracking(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 71))
+	study, err := sim.RunStudy([]Strategy{StrategyGRE}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := study.Total(StrategyGRE)
+	if tot.Completed == 0 {
+		t.Fatal("no completions")
+	}
+	// Task rewards are generated in the paper's micro-task range
+	// ($0.01–$0.12), so the mean must land inside it.
+	if tot.MeanTaskReward < 0.01 || tot.MeanTaskReward > 0.13 {
+		t.Fatalf("mean task reward $%.3f outside micro-task range", tot.MeanTaskReward)
+	}
+	if tot.MeanEarnings <= 0 {
+		t.Fatalf("mean session earnings $%.3f", tot.MeanEarnings)
+	}
+	var sum float64
+	for _, sess := range study.Sessions[StrategyGRE] {
+		if sess.Earnings < 0 {
+			t.Fatal("negative session earnings")
+		}
+		sum += sess.Earnings
+	}
+	if got := sum / float64(tot.Sessions); got != tot.MeanEarnings {
+		t.Fatalf("MeanEarnings %g != recomputed %g", tot.MeanEarnings, got)
+	}
+}
+
+func TestStudyCurvesConsistent(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 7))
+	study, err := sim.RunStudy([]Strategy{StrategyGRE}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := []float64{3, 6, 9, 12}
+	th := study.ThroughputCurve(StrategyGRE, grid)
+	for i := 1; i < len(th); i++ {
+		if th[i] < th[i-1] {
+			t.Fatalf("throughput curve not monotone: %v", th)
+		}
+	}
+	total := study.Total(StrategyGRE)
+	if th[len(th)-1] != total.Completed {
+		t.Fatalf("curve end %d != total completed %d", th[len(th)-1], total.Completed)
+	}
+	q := study.QualityCurve(StrategyGRE, grid)
+	for _, v := range q {
+		if v < 0 || v > 100 {
+			t.Fatalf("quality %% out of range: %v", q)
+		}
+	}
+	ret := study.RetentionCurve(StrategyGRE, grid)
+	for i := 1; i < len(ret); i++ {
+		if ret[i].Fraction > ret[i-1].Fraction {
+			t.Fatalf("retention curve not monotone: %v", ret)
+		}
+	}
+}
+
+func TestCompareTests(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 8))
+	study, err := sim.RunStudy([]Strategy{StrategyGRE, StrategyRel}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := study.CompareQuality(StrategyGRE, StrategyRel); err != nil {
+		t.Errorf("CompareQuality: %v", err)
+	}
+	if _, err := study.CompareThroughput(StrategyGRE, StrategyRel); err != nil {
+		t.Errorf("CompareThroughput: %v", err)
+	}
+	if _, err := study.CompareRetention(StrategyGRE, StrategyRel); err != nil {
+		t.Errorf("CompareRetention: %v", err)
+	}
+}
+
+func TestRunStudyValidatesCount(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 9))
+	if _, err := sim.RunStudy(Strategies, 0); err == nil {
+		t.Fatal("sessionsPer = 0 accepted")
+	}
+}
+
+func TestAdaptiveAlphaIsLearned(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 10))
+	res, err := sim.RunSession(StrategyGRE, sim.NewWorker("w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed > 5 && res.FinalAlpha == 0.5 {
+		t.Error("adaptive session never updated α from the prior")
+	}
+	if res.FinalAlpha < 0 || res.FinalAlpha > 1 {
+		t.Errorf("FinalAlpha = %g", res.FinalAlpha)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	corpus := liveCorpus(t, 11)
+	p := shortParams()
+	run := func() *SessionResult {
+		sim := newSim(t, p, corpus)
+		res, err := sim.RunSession(StrategyGRE, sim.NewWorker("w"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Completed != b.Completed || a.Correct != b.Correct || a.DurationMinutes != b.DurationMinutes {
+		t.Fatalf("same seed, different sessions: %+v vs %+v", a, b)
+	}
+}

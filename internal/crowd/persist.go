@@ -1,0 +1,58 @@
+package crowd
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteSessions streams a study's sessions as JSON lines (one session per
+// line, strategy included), the archival format consumed by cmd/hta-report
+// and by external analysis tooling.
+func (r *StudyResult) WriteSessions(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, strat := range Strategies {
+		for _, sess := range r.Sessions[strat] {
+			if err := enc.Encode(sess); err != nil {
+				return fmt.Errorf("crowd: encoding session %s/%s: %w", strat, sess.WorkerID, err)
+			}
+		}
+	}
+	// Strategies outside the canonical three (e.g. random baseline runs)
+	// are appended afterwards.
+	for strat, sessions := range r.Sessions {
+		if strat == StrategyGRE || strat == StrategyRel || strat == StrategyDiv {
+			continue
+		}
+		for _, sess := range sessions {
+			if err := enc.Encode(sess); err != nil {
+				return fmt.Errorf("crowd: encoding session %s/%s: %w", strat, sess.WorkerID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadSessions parses a session archive back into a StudyResult.
+func ReadSessions(r io.Reader) (*StudyResult, error) {
+	dec := json.NewDecoder(r)
+	out := &StudyResult{Sessions: make(map[Strategy][]*SessionResult)}
+	n := 0
+	for {
+		var sess SessionResult
+		if err := dec.Decode(&sess); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("crowd: decoding session %d: %w", n, err)
+		}
+		if sess.Strategy == "" {
+			return nil, fmt.Errorf("crowd: session %d has no strategy", n)
+		}
+		if sess.Correct > sess.Questions || sess.Completed != len(sess.Events) {
+			return nil, fmt.Errorf("crowd: session %d is inconsistent", n)
+		}
+		copied := sess
+		out.Sessions[sess.Strategy] = append(out.Sessions[sess.Strategy], &copied)
+		n++
+	}
+}

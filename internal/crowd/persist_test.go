@@ -1,0 +1,63 @@
+package crowd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSessionRoundTrip(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 61))
+	study, err := sim.RunStudy([]Strategy{StrategyGRE, StrategyDiv}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteSessions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSessions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyGRE, StrategyDiv} {
+		orig, restored := study.Sessions[strat], back.Sessions[strat]
+		if len(restored) != len(orig) {
+			t.Fatalf("%s: %d sessions restored, want %d", strat, len(restored), len(orig))
+		}
+		for i := range orig {
+			a, b := orig[i], restored[i]
+			if a.WorkerID != b.WorkerID || a.Completed != b.Completed ||
+				a.Correct != b.Correct || a.DurationMinutes != b.DurationMinutes {
+				t.Fatalf("%s session %d differs after round trip", strat, i)
+			}
+			if len(a.Events) != len(b.Events) {
+				t.Fatalf("%s session %d lost events", strat, i)
+			}
+		}
+		// Aggregates agree too.
+		ta, tb := study.Total(strat), back.Total(strat)
+		if ta != tb {
+			t.Fatalf("%s totals differ: %+v vs %+v", strat, ta, tb)
+		}
+	}
+}
+
+func TestReadSessionsRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"truncated":    `{"Strategy":"hta-gre"`,
+		"no strategy":  `{"WorkerID":"w"}`,
+		"inconsistent": `{"Strategy":"hta-gre","Completed":3,"Events":[]}`,
+		"bad counts":   `{"Strategy":"hta-gre","Questions":1,"Correct":2}`,
+	}
+	for name, payload := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ReadSessions(strings.NewReader(payload)); err == nil {
+				t.Fatal("garbage accepted")
+			}
+		})
+	}
+	if study, err := ReadSessions(strings.NewReader("")); err != nil || len(study.Sessions) != 0 {
+		t.Fatalf("empty archive: %v", err)
+	}
+}

@@ -1,0 +1,183 @@
+package crowd
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file reproduces the *selection pipeline* of the paper's online
+// experiment (Section V-C), not just its sessions. The paper:
+//
+//   - recruited only workers with ≥ 100 approved HITs and an approval rate
+//     above 80 %;
+//   - published 160 HITs, then filtered 12 where workers did not observe
+//     the allotted 30 minutes ("some stayed several hours") and 53 where
+//     workers did not complete at least one iteration;
+//   - to make strategies comparable, selected the 20 work sessions with
+//     the highest number of completed tasks in each strategy.
+//
+// RunFilteredStudy models all three stages over the simulated crowd.
+
+// Qualification is the AMT-style recruitment filter.
+type Qualification struct {
+	// MinApprovedHITs is the minimum prior approved work (paper: 100).
+	MinApprovedHITs int
+	// MinApprovalRate is the minimum historical approval rate (paper: 0.80).
+	MinApprovalRate float64
+}
+
+// DefaultQualification matches the paper's recruitment requirements.
+func DefaultQualification() Qualification {
+	return Qualification{MinApprovedHITs: 100, MinApprovalRate: 0.80}
+}
+
+// Candidate is a recruited worker with an AMT-style track record.
+type Candidate struct {
+	*SimWorker
+	ApprovedHITs int
+	ApprovalRate float64
+}
+
+// Qualifies reports whether the candidate passes the filter.
+func (c *Candidate) Qualifies(q Qualification) bool {
+	return c.ApprovedHITs >= q.MinApprovedHITs && c.ApprovalRate >= q.MinApprovalRate
+}
+
+// NewCandidate draws a worker with a synthetic track record. Roughly a
+// quarter of the population fails the paper's requirements.
+func (s *Simulator) NewCandidate(id string) *Candidate {
+	w := s.NewWorker(id)
+	c := &Candidate{SimWorker: w}
+	if s.rng.Float64() < 0.15 {
+		c.ApprovedHITs = s.rng.Intn(100) // too little history
+	} else {
+		c.ApprovedHITs = 100 + s.rng.Intn(5000)
+	}
+	if s.rng.Float64() < 0.12 {
+		c.ApprovalRate = 0.5 + 0.3*s.rng.Float64() // below the bar
+	} else {
+		c.ApprovalRate = 0.80 + 0.2*s.rng.Float64()
+	}
+	return c
+}
+
+// StudyConfig drives RunFilteredStudy.
+type StudyConfig struct {
+	// SessionsTarget is the number of valid sessions to keep per strategy
+	// (paper: 20).
+	SessionsTarget int
+	// Qualification filters recruits before they enter a session.
+	Qualification Qualification
+	// OvertimeRate is the probability that a worker ignores the HIT time
+	// limit (the paper filtered 12 of 160 such HITs ≈ 0.075).
+	OvertimeRate float64
+	// MaxAttempts bounds recruiting per strategy, like a HIT budget.
+	// Defaults to 4× SessionsTarget.
+	MaxAttempts int
+}
+
+// DefaultStudyConfig mirrors the paper's numbers.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		SessionsTarget: 20,
+		Qualification:  DefaultQualification(),
+		OvertimeRate:   0.075,
+	}
+}
+
+// FilterCounts records what the pipeline discarded, per strategy.
+type FilterCounts struct {
+	Recruited   int // candidates drawn
+	Unqualified int // failed the AMT qualification
+	Overtime    int // did not observe the allotted time
+	Incomplete  int // did not complete at least one iteration
+	Valid       int // sessions entering the top-N selection
+	Selected    int // sessions kept (≤ SessionsTarget)
+}
+
+// FilteredStudy is the outcome of the full pipeline.
+type FilteredStudy struct {
+	*StudyResult
+	Filters map[Strategy]FilterCounts
+}
+
+// RunFilteredStudy runs the recruitment → session → filtering → selection
+// pipeline for each strategy. A session is "overtime" when the simulated
+// worker ignores the time limit (it is run with triple the session budget
+// and then discarded, as the paper discarded such HITs); it is
+// "incomplete" when the worker quit before finishing one assignment
+// iteration. Valid sessions are ranked by completed tasks and the top
+// SessionsTarget are kept.
+func (s *Simulator) RunFilteredStudy(strategies []Strategy, cfg StudyConfig) (*FilteredStudy, error) {
+	if cfg.SessionsTarget < 1 {
+		return nil, errors.New("crowd: SessionsTarget must be >= 1")
+	}
+	if cfg.OvertimeRate < 0 || cfg.OvertimeRate >= 1 {
+		return nil, fmt.Errorf("crowd: OvertimeRate = %g outside [0,1)", cfg.OvertimeRate)
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 4 * cfg.SessionsTarget
+	}
+	out := &FilteredStudy{
+		StudyResult: &StudyResult{Sessions: make(map[Strategy][]*SessionResult)},
+		Filters:     make(map[Strategy]FilterCounts),
+	}
+	for _, strat := range strategies {
+		var counts FilterCounts
+		var valid []*SessionResult
+		for attempt := 0; attempt < cfg.MaxAttempts && counts.Valid < cfg.MaxAttempts; attempt++ {
+			if len(valid) >= cfg.SessionsTarget*2 {
+				break // enough material for the top-N cut
+			}
+			counts.Recruited++
+			cand := s.NewCandidate(fmt.Sprintf("%s-c%03d", strat, attempt))
+			if !cand.Qualifies(cfg.Qualification) {
+				counts.Unqualified++
+				continue
+			}
+			overtime := s.rng.Float64() < cfg.OvertimeRate
+			res, err := s.runPossiblyOvertime(strat, cand.SimWorker, overtime)
+			if err != nil {
+				return nil, err
+			}
+			if overtime {
+				counts.Overtime++
+				continue
+			}
+			// "Did not complete at least one iteration": quit before
+			// finishing the first assigned batch.
+			if res.DroppedOut && res.Completed < s.params.ReassignAfter {
+				counts.Incomplete++
+				continue
+			}
+			counts.Valid++
+			valid = append(valid, res)
+		}
+		// Comparable strategies: keep the SessionsTarget sessions with the
+		// most completed tasks.
+		sort.SliceStable(valid, func(i, j int) bool {
+			return valid[i].Completed > valid[j].Completed
+		})
+		if len(valid) > cfg.SessionsTarget {
+			valid = valid[:cfg.SessionsTarget]
+		}
+		counts.Selected = len(valid)
+		out.Sessions[strat] = valid
+		out.Filters[strat] = counts
+	}
+	return out, nil
+}
+
+// runPossiblyOvertime runs one session; when overtime is set the worker
+// ignores the time limit (tripled budget), modelling the HITs the paper
+// had to discard.
+func (s *Simulator) runPossiblyOvertime(strat Strategy, w *SimWorker, overtime bool) (*SessionResult, error) {
+	if !overtime {
+		return s.RunSession(strat, w)
+	}
+	saved := s.params.SessionMinutes
+	s.params.SessionMinutes = saved * 3
+	defer func() { s.params.SessionMinutes = saved }()
+	return s.RunSession(strat, w)
+}

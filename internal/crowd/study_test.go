@@ -1,0 +1,130 @@
+package crowd
+
+import (
+	"testing"
+)
+
+func TestQualification(t *testing.T) {
+	q := DefaultQualification()
+	cases := []struct {
+		hits int
+		rate float64
+		want bool
+	}{
+		{100, 0.80, true},
+		{5000, 0.99, true},
+		{99, 0.99, false},
+		{500, 0.79, false},
+		{0, 0, false},
+	}
+	for _, c := range cases {
+		cand := &Candidate{ApprovedHITs: c.hits, ApprovalRate: c.rate}
+		if got := cand.Qualifies(q); got != c.want {
+			t.Errorf("Qualifies(%d hits, %.2f rate) = %v, want %v", c.hits, c.rate, got, c.want)
+		}
+	}
+}
+
+func TestNewCandidatePopulation(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 31))
+	qualified := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		c := sim.NewCandidate("c")
+		if c.SimWorker == nil || c.Worker.Keywords == nil {
+			t.Fatal("candidate without worker")
+		}
+		if c.Qualifies(DefaultQualification()) {
+			qualified++
+		}
+	}
+	// Roughly a quarter of the population should fail, with slack.
+	if qualified < n/2 || qualified == n {
+		t.Fatalf("%d/%d candidates qualified; expected a filtered majority", qualified, n)
+	}
+}
+
+func TestRunFilteredStudyConfigValidation(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 32))
+	if _, err := sim.RunFilteredStudy(Strategies, StudyConfig{SessionsTarget: 0}); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := sim.RunFilteredStudy(Strategies, StudyConfig{SessionsTarget: 2, OvertimeRate: 1.5}); err == nil {
+		t.Error("overtime rate > 1 accepted")
+	}
+}
+
+func TestRunFilteredStudyPipeline(t *testing.T) {
+	p := shortParams()
+	p.ReassignAfter = 5
+	sim := newSim(t, p, liveCorpus(t, 33))
+	cfg := StudyConfig{
+		SessionsTarget: 5,
+		Qualification:  DefaultQualification(),
+		OvertimeRate:   0.3, // high rate so the overtime filter demonstrably fires
+	}
+	study, err := sim.RunFilteredStudy([]Strategy{StrategyGRE, StrategyRel}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, strat := range []Strategy{StrategyGRE, StrategyRel} {
+		counts := study.Filters[strat]
+		if counts.Recruited == 0 {
+			t.Fatalf("%s: no candidates recruited", strat)
+		}
+		if counts.Selected > cfg.SessionsTarget {
+			t.Fatalf("%s: selected %d > target %d", strat, counts.Selected, cfg.SessionsTarget)
+		}
+		if counts.Selected != len(study.Sessions[strat]) {
+			t.Fatalf("%s: counts.Selected %d != sessions %d", strat, counts.Selected, len(study.Sessions[strat]))
+		}
+		if counts.Unqualified+counts.Overtime+counts.Incomplete+counts.Valid != counts.Recruited {
+			t.Fatalf("%s: filter counts do not add up: %+v", strat, counts)
+		}
+		if counts.Unqualified == 0 {
+			t.Errorf("%s: qualification filter never fired over %d recruits", strat, counts.Recruited)
+		}
+		if counts.Overtime == 0 {
+			t.Errorf("%s: overtime filter never fired at rate %.2f", strat, cfg.OvertimeRate)
+		}
+		// Selection keeps the sessions with the most completions: the list
+		// must be sorted non-increasing by Completed.
+		sessions := study.Sessions[strat]
+		for i := 1; i < len(sessions); i++ {
+			if sessions[i].Completed > sessions[i-1].Completed {
+				t.Fatalf("%s: sessions not ranked by completions", strat)
+			}
+		}
+		// No overtime session can leak through: durations obey the limit.
+		for _, sess := range sessions {
+			if sess.DurationMinutes > p.SessionMinutes+1e-9 {
+				t.Fatalf("%s: overtime session selected (%.1f min)", strat, sess.DurationMinutes)
+			}
+		}
+	}
+	// The aggregate API still works on the filtered study.
+	tot := study.Total(StrategyGRE)
+	if tot.Sessions != len(study.Sessions[StrategyGRE]) {
+		t.Fatalf("totals inconsistent: %+v", tot)
+	}
+}
+
+func TestRunFilteredStudyTopNSelection(t *testing.T) {
+	p := shortParams()
+	sim := newSim(t, p, liveCorpus(t, 34))
+	cfg := StudyConfig{SessionsTarget: 3, Qualification: Qualification{}, OvertimeRate: 0}
+	study, err := sim.RunFilteredStudy([]Strategy{StrategyDiv}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := study.Filters[StrategyDiv]
+	if counts.Unqualified != 0 {
+		t.Fatalf("empty qualification still filtered %d", counts.Unqualified)
+	}
+	if counts.Valid < cfg.SessionsTarget {
+		t.Skipf("only %d valid sessions; selection not exercised", counts.Valid)
+	}
+	if len(study.Sessions[StrategyDiv]) != cfg.SessionsTarget {
+		t.Fatalf("selected %d, want %d", len(study.Sessions[StrategyDiv]), cfg.SessionsTarget)
+	}
+}

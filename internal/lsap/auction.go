@@ -1,0 +1,98 @@
+package lsap
+
+import (
+	"math"
+)
+
+// Auction solves LSAP (maximization) with Bertsekas' auction algorithm
+// with ε-scaling. The paper's Section IV-C surveys the LSAP solver design
+// space — Hungarian O(n³) vs pseudo-polynomial cost-scaling methods — and
+// dismisses the latter for its guarantee analysis; we include an auction
+// solver so the trade-off can actually be measured (BenchmarkAblationLSAP
+// in the repository root).
+//
+// For integer-valued profits the result is exactly optimal once ε < 1/n;
+// for real-valued profits the result is optimal within n·εMin of the
+// optimum. Profits are internally scaled to keep the default tolerance
+// negligible relative to typical HTA objective magnitudes.
+func Auction(c Costs) Solution {
+	n := c.N()
+	if n == 0 {
+		return Solution{}
+	}
+	// Find the profit range to pick scaling constants.
+	maxAbs := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if v := math.Abs(c.At(i, j)); v > maxAbs {
+				maxAbs = v
+			}
+		}
+	}
+	if maxAbs == 0 {
+		// All profits zero: identity assignment is optimal.
+		rowToCol := make([]int, n)
+		for i := range rowToCol {
+			rowToCol[i] = i
+		}
+		return Solution{RowToCol: rowToCol, Value: 0}
+	}
+
+	price := make([]float64, n)
+	rowToCol := make([]int, n)
+	colToRow := make([]int, n)
+
+	// ε-scaling: start coarse, refine. Final ε gives value within n·εMin
+	// of optimal; with εMin = maxAbs·1e-9/n the error is ~1e-9·maxAbs.
+	epsMin := maxAbs * 1e-9 / float64(n)
+	for eps := maxAbs / 2; ; eps /= 4 {
+		if eps < epsMin {
+			eps = epsMin
+		}
+		for i := range rowToCol {
+			rowToCol[i] = -1
+			colToRow[i] = -1
+		}
+		auctionRound(c, price, rowToCol, colToRow, eps)
+		if eps == epsMin {
+			break
+		}
+	}
+	return Solution{RowToCol: rowToCol, Value: value(c, rowToCol)}
+}
+
+// auctionRound runs the forward auction until all rows are assigned.
+func auctionRound(c Costs, price []float64, rowToCol, colToRow []int, eps float64) {
+	n := c.N()
+	// Simple FIFO queue of unassigned rows.
+	queue := make([]int, n)
+	for i := range queue {
+		queue[i] = i
+	}
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		// Find the best and second-best net value for row i.
+		bestJ, bestV, secondV := -1, math.Inf(-1), math.Inf(-1)
+		for j := 0; j < n; j++ {
+			v := c.At(i, j) - price[j]
+			if v > bestV {
+				secondV = bestV
+				bestV, bestJ = v, j
+			} else if v > secondV {
+				secondV = v
+			}
+		}
+		if math.IsInf(secondV, -1) {
+			secondV = bestV // n == 1
+		}
+		// Bid: raise the price by the value margin plus ε.
+		price[bestJ] += bestV - secondV + eps
+		if prev := colToRow[bestJ]; prev != -1 {
+			rowToCol[prev] = -1
+			queue = append(queue, prev)
+		}
+		rowToCol[i] = bestJ
+		colToRow[bestJ] = i
+	}
+}

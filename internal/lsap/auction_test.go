@@ -1,0 +1,99 @@
+package lsap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAuctionMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(7)
+		c := randDense(r, n)
+		a, opt := Auction(c), BruteForce(c)
+		if math.Abs(a.Value-opt.Value) > 1e-6*math.Max(1, opt.Value) {
+			t.Fatalf("trial %d n=%d: auction %g != optimum %g", trial, n, a.Value, opt.Value)
+		}
+		assertPermutation(t, a.RowToCol)
+	}
+}
+
+func TestAuctionMatchesHungarianLarger(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	for _, n := range []int{20, 60, 120} {
+		c := randDense(r, n)
+		a, h := Auction(c), Hungarian(c)
+		if math.Abs(a.Value-h.Value) > 1e-6*math.Max(1, h.Value) {
+			t.Fatalf("n=%d: auction %g != hungarian %g", n, a.Value, h.Value)
+		}
+	}
+}
+
+func TestAuctionIntegerCosts(t *testing.T) {
+	// With integer profits the ε-scaled auction is exactly optimal.
+	c := NewDense([][]float64{
+		{7, 2, 1},
+		{2, 7, 2},
+		{1, 2, 7},
+	})
+	a := Auction(c)
+	if a.Value != 21 {
+		t.Fatalf("auction value = %g, want 21", a.Value)
+	}
+}
+
+func TestAuctionDegenerate(t *testing.T) {
+	if sol := Auction(NewDense(nil)); len(sol.RowToCol) != 0 {
+		t.Fatalf("empty: %+v", sol)
+	}
+	sol := Auction(NewDense([][]float64{{4}}))
+	if sol.Value != 4 || sol.RowToCol[0] != 0 {
+		t.Fatalf("single: %+v", sol)
+	}
+	// All-zero profits: must still return a valid permutation.
+	zero := Auction(NewDense([][]float64{{0, 0}, {0, 0}}))
+	assertPermutation(t, zero.RowToCol)
+	if zero.Value != 0 {
+		t.Fatalf("zero value = %g", zero.Value)
+	}
+}
+
+func TestAuctionOnColumnClassed(t *testing.T) {
+	r := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(6)
+		b := randBlock(r, n, 1+r.Intn(n))
+		a, opt := Auction(b), BruteForce(b)
+		if math.Abs(a.Value-opt.Value) > 1e-6 {
+			t.Fatalf("trial %d: auction %g != optimum %g", trial, a.Value, opt.Value)
+		}
+	}
+}
+
+func TestQuickAuctionNeverExceedsHungarian(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		c := randDense(r, n)
+		a, h := Auction(c), Hungarian(c)
+		return a.Value <= h.Value+1e-6 && a.Value >= h.Value-1e-6*math.Max(1, h.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAuction(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(itoa(n), func(b *testing.B) {
+			c := randDense(rand.New(rand.NewSource(1)), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Auction(c)
+			}
+		})
+	}
+}

@@ -1,0 +1,35 @@
+package lsap_test
+
+import (
+	"fmt"
+
+	"github.com/htacs/ata/internal/lsap"
+)
+
+// ExampleHungarian solves a 3×3 profit matrix exactly.
+func ExampleHungarian() {
+	profits := lsap.NewDense([][]float64{
+		{1, 9, 2},
+		{8, 6, 3},
+		{4, 5, 7},
+	})
+	sol := lsap.Hungarian(profits)
+	fmt.Printf("value %.0f, rows → cols %v\n", sol.Value, sol.RowToCol)
+	// Output:
+	// value 24, rows → cols [1 0 2]
+}
+
+// ExampleGreedy shows the ½-approximate greedy assignment HTA-GRE uses in
+// place of the Hungarian algorithm.
+func ExampleGreedy() {
+	profits := lsap.NewDense([][]float64{
+		{10, 9, 0},
+		{9, 0, 1},
+		{0, 1, 5},
+	})
+	greedy := lsap.Greedy(profits)
+	exact := lsap.Hungarian(profits)
+	fmt.Printf("greedy %.0f vs exact %.0f\n", greedy.Value, exact.Value)
+	// Output:
+	// greedy 15 vs exact 23
+}

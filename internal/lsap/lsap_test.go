@@ -1,0 +1,263 @@
+package lsap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randDense(r *rand.Rand, n int) *Dense {
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+		for j := range rows[i] {
+			rows[i][j] = r.Float64() * 10
+		}
+	}
+	return NewDense(rows)
+}
+
+func TestHungarianKnown(t *testing.T) {
+	// Max assignment: (0→1)=9 + (1→0)=8 + (2→2)=7 = 24.
+	c := NewDense([][]float64{
+		{1, 9, 2},
+		{8, 6, 3},
+		{4, 5, 7},
+	})
+	sol := Hungarian(c)
+	if sol.Value != 24 {
+		t.Fatalf("Hungarian value = %g, want 24 (assignment %v)", sol.Value, sol.RowToCol)
+	}
+	want := []int{1, 0, 2}
+	for i, j := range sol.RowToCol {
+		if j != want[i] {
+			t.Fatalf("assignment = %v, want %v", sol.RowToCol, want)
+		}
+	}
+}
+
+func TestHungarianEmptyAndSingle(t *testing.T) {
+	if sol := Hungarian(NewDense(nil)); sol.Value != 0 || len(sol.RowToCol) != 0 {
+		t.Fatalf("empty: %+v", sol)
+	}
+	sol := Hungarian(NewDense([][]float64{{3.5}}))
+	if sol.Value != 3.5 || sol.RowToCol[0] != 0 {
+		t.Fatalf("single: %+v", sol)
+	}
+}
+
+func TestHungarianMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(7)
+		c := randDense(r, n)
+		h, b := Hungarian(c), BruteForce(c)
+		if math.Abs(h.Value-b.Value) > 1e-9 {
+			t.Fatalf("trial %d n=%d: Hungarian %g != optimum %g", trial, n, h.Value, b.Value)
+		}
+		assertPermutation(t, h.RowToCol)
+	}
+}
+
+func TestHungarianWithTiesAndZeros(t *testing.T) {
+	c := NewDense([][]float64{
+		{0, 0, 0},
+		{0, 0, 0},
+		{0, 0, 5},
+	})
+	sol := Hungarian(c)
+	if sol.Value != 5 {
+		t.Fatalf("value = %g, want 5", sol.Value)
+	}
+	assertPermutation(t, sol.RowToCol)
+}
+
+func TestGreedyIsPerfectMatching(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(12)
+		sol := Greedy(randDense(r, n))
+		assertPermutation(t, sol.RowToCol)
+	}
+}
+
+func TestGreedyHalfApprox(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(7)
+		c := randDense(r, n)
+		g, opt := Greedy(c), BruteForce(c)
+		if g.Value < opt.Value/2-1e-9 {
+			t.Fatalf("trial %d: greedy %g < 1/2 * optimum %g", trial, g.Value, opt.Value)
+		}
+		if g.Value > opt.Value+1e-9 {
+			t.Fatalf("trial %d: greedy %g exceeds optimum %g", trial, g.Value, opt.Value)
+		}
+	}
+}
+
+func TestGreedyTakesHeaviestFirst(t *testing.T) {
+	// Greedy picks 10 first and is then forced into 1+1 = total 12;
+	// optimum is 9+9+... — classic greedy-vs-opt gap instance.
+	c := NewDense([][]float64{
+		{10, 9, 0},
+		{9, 0, 1},
+		{0, 1, 5},
+	})
+	sol := Greedy(c)
+	if sol.RowToCol[0] != 0 {
+		t.Fatalf("greedy should take the heaviest edge (0,0) first, got %v", sol.RowToCol)
+	}
+}
+
+// blockCosts is a ColumnClassed test double mirroring the HTA auxiliary
+// problem: profit depends only on (row, column class).
+type blockCosts struct {
+	n       int
+	classOf []int
+	profit  [][]float64 // profit[row][class]
+}
+
+func (b *blockCosts) N() int                   { return b.n }
+func (b *blockCosts) At(i, j int) float64      { return b.profit[i][b.classOf[j]] }
+func (b *blockCosts) NumClasses() int          { return len(b.profit[0]) }
+func (b *blockCosts) Class(j int) int          { return b.classOf[j] }
+func (b *blockCosts) AtClass(i, c int) float64 { return b.profit[i][c] }
+
+func randBlock(r *rand.Rand, n, nc int) *blockCosts {
+	b := &blockCosts{n: n, classOf: make([]int, n), profit: make([][]float64, n)}
+	for j := range b.classOf {
+		b.classOf[j] = j % nc
+	}
+	for i := range b.profit {
+		b.profit[i] = make([]float64, nc)
+		for c := range b.profit[i] {
+			b.profit[i][c] = r.Float64() * 5
+		}
+	}
+	return b
+}
+
+func TestGreedyClassedMatchesDenseValue(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(10)
+		nc := 1 + r.Intn(n)
+		b := randBlock(r, n, nc)
+		classed := Greedy(b)
+		// Same matrix as a plain Costs (no ColumnClassed fast path).
+		dense := Greedy(denseView{b})
+		if math.Abs(classed.Value-dense.Value) > 1e-9 {
+			t.Fatalf("trial %d: classed greedy %g != dense greedy %g", trial, classed.Value, dense.Value)
+		}
+		assertPermutation(t, classed.RowToCol)
+	}
+}
+
+func TestHungarianOnClassedMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(6)
+		b := randBlock(r, n, 1+r.Intn(n))
+		h, opt := Hungarian(b), BruteForce(b)
+		if math.Abs(h.Value-opt.Value) > 1e-9 {
+			t.Fatalf("trial %d: %g != %g", trial, h.Value, opt.Value)
+		}
+	}
+}
+
+// denseView strips the ColumnClassed methods from a blockCosts.
+type denseView struct{ c Costs }
+
+func (d denseView) N() int              { return d.c.N() }
+func (d denseView) At(i, j int) float64 { return d.c.At(i, j) }
+
+func TestBruteForcePanicsOnLargeN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BruteForce(randDense(rand.New(rand.NewSource(1)), 11))
+}
+
+func TestDenseRowLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDense([][]float64{{1, 2}, {3}})
+}
+
+func TestDenseSet(t *testing.T) {
+	d := NewDense([][]float64{{1, 2}, {3, 4}})
+	d.Set(0, 1, 9)
+	if d.At(0, 1) != 9 {
+		t.Fatalf("Set/At = %g", d.At(0, 1))
+	}
+}
+
+func TestQuickHungarianAtLeastGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(9)
+		c := randDense(r, n)
+		return Hungarian(c).Value >= Greedy(c).Value-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertPermutation(t *testing.T, p []int) {
+	t.Helper()
+	seen := make([]bool, len(p))
+	for _, j := range p {
+		if j < 0 || j >= len(p) || seen[j] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[j] = true
+	}
+}
+
+func BenchmarkHungarian(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(itoa(n), func(b *testing.B) {
+			c := randDense(rand.New(rand.NewSource(1)), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Hungarian(c)
+			}
+		})
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(itoa(n), func(b *testing.B) {
+			c := randDense(rand.New(rand.NewSource(1)), n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Greedy(c)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

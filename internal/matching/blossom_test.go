@@ -1,0 +1,128 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBlossomTrivial(t *testing.T) {
+	zero := func(i, j int) float64 { return 0 }
+	m := Blossom(0, zero)
+	if len(m.Mate) != 0 || m.Weight != 0 {
+		t.Fatalf("empty graph: %+v", m)
+	}
+	m = Blossom(1, zero)
+	if m.Mate[0] != -1 {
+		t.Fatalf("single vertex matched")
+	}
+	m = Blossom(2, func(i, j int) float64 { return 5 })
+	if m.Weight != 5 || m.Mate[0] != 1 {
+		t.Fatalf("single edge: %+v", m)
+	}
+}
+
+func TestBlossomTriangle(t *testing.T) {
+	// Odd cycle: only one edge can be matched; the heaviest must win.
+	w := tableWeights(3, map[[2]int]float64{{0, 1}: 5, {1, 2}: 4, {0, 2}: 3})
+	m := Blossom(3, w)
+	if math.Abs(m.Weight-5) > 1e-9 {
+		t.Fatalf("triangle weight = %g, want 5", m.Weight)
+	}
+	if err := m.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlossomBeatsGreedyGap(t *testing.T) {
+	// The classic greedy trap: path with weights 3, 4, 3. Greedy takes the
+	// middle edge (4); the optimum takes the outer two (6).
+	w := tableWeights(4, map[[2]int]float64{{0, 1}: 3, {1, 2}: 4, {2, 3}: 3})
+	m := Blossom(4, w)
+	if math.Abs(m.Weight-6) > 1e-9 {
+		t.Fatalf("blossom weight = %g, want 6 (mate %v)", m.Weight, m.Mate)
+	}
+}
+
+func TestBlossomRequiresOddCycleReasoning(t *testing.T) {
+	// A 5-cycle with a pendant: maximum weight matching must reason about
+	// the odd cycle (the "blossom").
+	w := tableWeights(6, map[[2]int]float64{
+		{0, 1}: 8, {1, 2}: 9, {2, 3}: 10, {3, 4}: 7, {4, 0}: 8, // 5-cycle
+		{2, 5}: 6, // pendant off the cycle
+	})
+	got := Blossom(6, w)
+	want := ExactSmall(6, w)
+	if math.Abs(got.Weight-want.Weight) > 1e-9 {
+		t.Fatalf("blossom %g != exact %g", got.Weight, want.Weight)
+	}
+	if err := got.Validate(w); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlossomMatchesExactDP(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 120; trial++ {
+		n := 2 + r.Intn(11)
+		var w WeightFunc
+		switch trial % 3 {
+		case 0:
+			w = randWeights(r, n)
+		case 1:
+			w = discreteWeights(r, n, 4) // tie-heavy
+		default:
+			// Sparse-ish: zero out ~half the edges.
+			dense := randWeights(r, n)
+			mask := make([]bool, n*n)
+			for i := 0; i < n; i++ {
+				for j := i + 1; j < n; j++ {
+					keep := r.Intn(2) == 0
+					mask[i*n+j], mask[j*n+i] = keep, keep
+				}
+			}
+			w = func(i, j int) float64 {
+				if mask[i*n+j] {
+					return dense(i, j)
+				}
+				return 0
+			}
+		}
+		got := Blossom(n, w)
+		want := ExactSmall(n, w)
+		if math.Abs(got.Weight-want.Weight) > 1e-6 {
+			t.Fatalf("trial %d n=%d: blossom %g != exact %g (mate %v)",
+				trial, n, got.Weight, want.Weight, got.Mate)
+		}
+		if err := got.Validate(w); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestBlossomDominatesGreedy(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(20)
+		w := randWeights(r, n)
+		exact := Blossom(n, w)
+		greedy := GreedySort(n, w)
+		if exact.Weight < greedy.Weight-1e-9 {
+			t.Fatalf("trial %d: blossom %g below greedy %g", trial, exact.Weight, greedy.Weight)
+		}
+		if greedy.Weight < exact.Weight/2-1e-9 {
+			t.Fatalf("trial %d: greedy %g below half of blossom %g", trial, greedy.Weight, exact.Weight)
+		}
+	}
+}
+
+func BenchmarkBlossom(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	n := 100
+	w := randWeights(r, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Blossom(n, w)
+	}
+}

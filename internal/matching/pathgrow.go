@@ -1,0 +1,69 @@
+package matching
+
+// PathGrowing implements the Drake–Hougardy path-growing algorithm — the
+// paper's citation [23] for the ½-approximation quality of simple matching
+// heuristics. It grows vertex-disjoint paths by always extending along the
+// heaviest incident edge, alternately coloring edges into two candidate
+// matchings, and keeps the heavier of the two. Like GreedySort and Suitor
+// it guarantees weight ≥ ½·OPT, but in O(n²) time with no edge sorting at
+// all, making it the cheapest of the three on dense graphs. The matchings
+// it produces generally differ from greedy's; the solvers accept it via
+// solver.WithMatcher for ablation runs.
+func PathGrowing(n int, w WeightFunc) Matching {
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	// Two alternating color classes of edges.
+	colors := [2][][2]int{}
+	weights := [2]float64{}
+
+	for start := 0; start < n; start++ {
+		if !alive[start] {
+			continue
+		}
+		v := start
+		color := 0
+		for {
+			alive[v] = false
+			// Heaviest edge from v to an alive vertex with positive weight;
+			// zero-weight edges neither help nor hurt the matching weight,
+			// but taking them preserves maximality on complete graphs.
+			best, bestW := -1, -1.0
+			for u := 0; u < n; u++ {
+				if !alive[u] {
+					continue
+				}
+				if uw := w(v, u); uw > bestW {
+					best, bestW = u, uw
+				}
+			}
+			if best == -1 {
+				break
+			}
+			colors[color] = append(colors[color], [2]int{v, best})
+			weights[color] += bestW
+			color = 1 - color
+			v = best
+		}
+	}
+
+	pick := 0
+	if weights[1] > weights[0] {
+		pick = 1
+	}
+	mate := make([]int, n)
+	for i := range mate {
+		mate[i] = -1
+	}
+	var total float64
+	for _, e := range colors[pick] {
+		// Path edges of one color class are vertex-disjoint by
+		// construction, but guard anyway.
+		if mate[e[0]] == -1 && mate[e[1]] == -1 {
+			mate[e[0]], mate[e[1]] = e[1], e[0]
+			total += w(e[0], e[1])
+		}
+	}
+	return Matching{Mate: mate, Weight: total}
+}

@@ -1,0 +1,87 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPathGrowingHalfApprox(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + r.Intn(11)
+		w := randWeights(r, n)
+		pg, opt := PathGrowing(n, w), ExactSmall(n, w)
+		if pg.Weight < opt.Weight/2-1e-9 {
+			t.Fatalf("trial %d n=%d: path-growing %g < half of optimum %g", trial, n, pg.Weight, opt.Weight)
+		}
+		if pg.Weight > opt.Weight+1e-9 {
+			t.Fatalf("trial %d: path-growing %g exceeds optimum %g", trial, pg.Weight, opt.Weight)
+		}
+		if err := pg.Validate(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPathGrowingKnown(t *testing.T) {
+	// Path 0-1-2-3 with weights 1, 10, 1: the two color classes are
+	// {(0,1),(2,3)} = 2 and {(1,2)} = 10; path-growing keeps the heavier.
+	w := tableWeights(4, map[[2]int]float64{{0, 1}: 1, {1, 2}: 10, {2, 3}: 1})
+	m := PathGrowing(4, w)
+	if m.Weight < 10 {
+		t.Fatalf("weight = %g, want >= 10", m.Weight)
+	}
+}
+
+func TestPathGrowingDegenerate(t *testing.T) {
+	zero := func(i, j int) float64 { return 0 }
+	m := PathGrowing(1, zero)
+	if m.Mate[0] != -1 {
+		t.Fatal("single vertex matched")
+	}
+	m = PathGrowing(0, zero)
+	if len(m.Mate) != 0 {
+		t.Fatal("empty graph produced mates")
+	}
+	m = PathGrowing(4, zero)
+	if err := m.Validate(zero); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathGrowingWithTies(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + r.Intn(10)
+		w := discreteWeights(r, n, 2)
+		m := PathGrowing(n, w)
+		if err := m.Validate(w); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestQuickPathGrowingDisjoint(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(14)
+		w := randWeights(r, n)
+		m := PathGrowing(n, w)
+		return m.Validate(w) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPathGrowing(b *testing.B) {
+	r := rand.New(rand.NewSource(4))
+	n := 400
+	w := randWeights(r, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PathGrowing(n, w)
+	}
+}

@@ -1,0 +1,39 @@
+package metric_test
+
+import (
+	"fmt"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/metric"
+)
+
+// ExampleJaccard computes the paper's default task diversity.
+func ExampleJaccard() {
+	transcription := bitset.FromIndices(8, 0, 1, 2) // audio, english, news
+	tagging := bitset.FromIndices(8, 2, 3)          // news, tagging
+	var d metric.Jaccard
+	fmt.Printf("d = %.2f\n", d.Distance(transcription, tagging))
+	fmt.Printf("rel = %.2f\n", metric.Relevance(d, transcription, tagging))
+	// Output:
+	// d = 0.75
+	// rel = 0.25
+}
+
+// ExampleVerifyMetric shows how a custom distance is vetted before use:
+// the approximation guarantees of the HTA solvers require a true metric.
+func ExampleVerifyMetric() {
+	sample := []*bitset.Set{
+		bitset.FromIndices(4, 1),
+		bitset.FromIndices(4, 1, 2),
+		bitset.FromIndices(4, 2),
+	}
+	if v := metric.VerifyMetric(metric.Jaccard{}, sample, 1e-9); v == nil {
+		fmt.Println("jaccard: ok")
+	}
+	if v := metric.VerifyMetric(metric.Dice{}, sample, 1e-9); v != nil {
+		fmt.Println("dice:", v.Axiom, "violated")
+	}
+	// Output:
+	// jaccard: ok
+	// dice: triangle violated
+}

@@ -1,0 +1,189 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htacs/ata/internal/bitset"
+)
+
+func set(n int, idx ...int) *bitset.Set { return bitset.FromIndices(n, idx...) }
+
+func TestJaccardKnownValues(t *testing.T) {
+	cases := []struct {
+		a, b *bitset.Set
+		want float64
+	}{
+		{set(8, 0, 1), set(8, 0, 1), 0},
+		{set(8, 0, 1), set(8, 2, 3), 1},
+		{set(8, 0, 1, 2), set(8, 1, 2, 3), 0.5},
+		{set(8), set(8), 0},            // empty vs empty
+		{set(8), set(8, 1), 1},         // empty vs nonempty
+		{set(8, 0), set(8, 0, 1), 0.5}, // subset
+	}
+	var j Jaccard
+	for i, c := range cases {
+		if got := j.Distance(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Jaccard(%v,%v) = %g, want %g", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHammingKnownValues(t *testing.T) {
+	var h Hamming
+	if got := h.Distance(set(4, 0, 1), set(4, 1, 2)); got != 0.5 {
+		t.Errorf("Hamming = %g, want 0.5", got)
+	}
+	if got := h.Distance(set(4), set(4)); got != 0 {
+		t.Errorf("Hamming empty = %g, want 0", got)
+	}
+}
+
+func TestEuclideanKnownValues(t *testing.T) {
+	var e Euclidean
+	if got := e.Distance(set(4, 0, 1), set(4, 1, 2)); math.Abs(got-math.Sqrt(0.5)) > 1e-12 {
+		t.Errorf("Euclidean = %g, want sqrt(0.5)", got)
+	}
+}
+
+func TestMismatchedCapacityPanics(t *testing.T) {
+	for _, d := range []Distance{Hamming{}, Euclidean{}} {
+		t.Run(d.Name(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			d.Distance(set(4, 0), set(8, 0))
+		})
+	}
+}
+
+func TestDiceNotClaimedMetric(t *testing.T) {
+	if (Dice{}).Metric() {
+		t.Fatal("Dice must report Metric() = false")
+	}
+	for _, d := range []Distance{Jaccard{}, Hamming{}, Euclidean{}} {
+		if !d.Metric() {
+			t.Errorf("%s must report Metric() = true", d.Name())
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"jaccard", "hamming", "euclidean", "dice", "cosine"} {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, d.Name())
+		}
+	}
+	if _, err := ByName("manhattan"); err == nil {
+		t.Error("ByName(manhattan) should fail")
+	}
+}
+
+func randomSample(r *rand.Rand, count, universe int) []*bitset.Set {
+	sample := make([]*bitset.Set, count)
+	for i := range sample {
+		s := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(3) == 0 {
+				s.Add(k)
+			}
+		}
+		sample[i] = s
+	}
+	return sample
+}
+
+func TestVerifyMetricAcceptsMetrics(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sample := randomSample(r, 25, 40)
+	for _, d := range []Distance{Jaccard{}, Hamming{}, Euclidean{}} {
+		if v := VerifyMetric(d, sample, 1e-9); v != nil {
+			t.Errorf("%s: unexpected violation: %v", d.Name(), v)
+		}
+	}
+}
+
+func TestVerifyMetricCatchesDice(t *testing.T) {
+	// Classic triangle violation for Dice: a={1}, b={1,2}, c={2}.
+	sample := []*bitset.Set{set(4, 1), set(4, 1, 2), set(4, 2)}
+	v := VerifyMetric(Dice{}, sample, 1e-9)
+	if v == nil {
+		t.Fatal("VerifyMetric(Dice) found no violation, want triangle violation")
+	}
+	if v.Axiom != "triangle" {
+		t.Fatalf("violation axiom = %q, want triangle (%v)", v.Axiom, v)
+	}
+	if v.String() == "" {
+		t.Fatal("violation string empty")
+	}
+}
+
+func TestVerifyMetricCatchesAsymmetry(t *testing.T) {
+	v := VerifyMetric(asymmetric{}, []*bitset.Set{set(4, 0), set(4, 1, 2)}, 1e-9)
+	if v == nil || v.Axiom != "symmetry" {
+		t.Fatalf("violation = %v, want symmetry", v)
+	}
+}
+
+// asymmetric is a deliberately broken Distance for VerifyMetric tests.
+type asymmetric struct{}
+
+func (asymmetric) Distance(a, b *bitset.Set) float64 {
+	if a.Count() < b.Count() {
+		return 0.2
+	}
+	if a.Count() > b.Count() {
+		return 0.7
+	}
+	return 0
+}
+func (asymmetric) Metric() bool { return false }
+func (asymmetric) Name() string { return "asymmetric" }
+
+func TestRelevance(t *testing.T) {
+	// rel(t,w) = 1 − Jaccard(t,w); Table I values are produced this way in
+	// the original platform, sanity-check the complement identity here.
+	task, worker := set(8, 0, 1, 2), set(8, 1, 2, 3)
+	if got := Relevance(Jaccard{}, task, worker); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Relevance = %g, want 0.5", got)
+	}
+}
+
+func TestQuickJaccardTriangle(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSample(r, 3, 1+r.Intn(60))
+		var j Jaccard
+		ab, bc, ac := j.Distance(s[0], s[1]), j.Distance(s[1], s[2]), j.Distance(s[0], s[2])
+		return ac <= ab+bc+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDistancesInRange(t *testing.T) {
+	ds := []Distance{Jaccard{}, Hamming{}, Euclidean{}, Dice{}}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSample(r, 2, 1+r.Intn(100))
+		for _, d := range ds {
+			v := d.Distance(s[0], s[1])
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

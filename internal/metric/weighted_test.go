@@ -1,0 +1,181 @@
+package metric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htacs/ata/internal/bitset"
+)
+
+func TestNewWeightedJaccardValidation(t *testing.T) {
+	if _, err := NewWeightedJaccard(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewWeightedJaccard([]float64{1, -0.1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewWeightedJaccard([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights accepted")
+	}
+	if _, err := NewWeightedJaccard([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestWeightedJaccardUniformEqualsPlain(t *testing.T) {
+	uniform := make([]float64, 20)
+	for i := range uniform {
+		uniform[i] = 1
+	}
+	wj, err := NewWeightedJaccard(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(3))
+	var j Jaccard
+	for trial := 0; trial < 50; trial++ {
+		a, b := randomSample(r, 2, 20)[0], randomSample(r, 2, 20)[1]
+		if got, want := wj.Distance(a, b), j.Distance(a, b); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("uniform weighted %g != plain %g", got, want)
+		}
+	}
+}
+
+func TestWeightedJaccardEmphasis(t *testing.T) {
+	// Keyword 0 weighs 10, keyword 1 weighs 1. Sharing only the heavy
+	// keyword must yield a much smaller distance than sharing only the
+	// light one.
+	wj, err := NewWeightedJaccard([]float64{10, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shareHeavy := wj.Distance(set(3, 0, 1), set(3, 0, 2)) // share 0 (w=10), diff 1,2 (w=1 each)
+	shareLight := wj.Distance(set(3, 1, 0), set(3, 1, 2)) // share 1 (w=1), diff 0,2 (w=10, 1)
+	if shareHeavy >= shareLight {
+		t.Fatalf("sharing the heavy keyword (%g) should beat sharing the light one (%g)",
+			shareHeavy, shareLight)
+	}
+}
+
+func TestWeightedJaccardOutOfVocabulary(t *testing.T) {
+	wj, err := NewWeightedJaccard([]float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keywords beyond the weight vector fall back to weight 1.
+	d := wj.Distance(set(4, 0, 3), set(4, 0))
+	want := 1 - 2.0/3.0 // inter = {0}: 2; union = {0,3}: 2+1
+	if math.Abs(d-want) > 1e-12 {
+		t.Fatalf("distance = %g, want %g", d, want)
+	}
+}
+
+func TestWeightedJaccardIsMetric(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	weights := make([]float64, 30)
+	for i := range weights {
+		weights[i] = r.Float64() * 3
+	}
+	weights[0] = 1 // ensure positivity
+	wj, err := NewWeightedJaccard(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wj.Metric() {
+		t.Fatal("Metric() = false")
+	}
+	sample := randomSample(r, 20, 30)
+	if v := VerifyMetric(wj, sample, 1e-9); v != nil {
+		t.Fatalf("weighted Jaccard violates metric axioms: %v", v)
+	}
+}
+
+func TestIDFWeights(t *testing.T) {
+	corpus := []*bitset.Set{
+		set(4, 0, 1), set(4, 0, 2), set(4, 0, 3), set(4, 0),
+	}
+	w, err := IDFWeights(4, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyword 0 appears everywhere → minimum weight; keyword 3 once.
+	if !(w[0] < w[1] && w[1] == w[2] && w[2] == w[3]) {
+		t.Fatalf("weights = %v, want ubiquitous keyword lightest", w)
+	}
+	for _, v := range w {
+		if v <= 0 {
+			t.Fatalf("non-positive IDF weight: %v", w)
+		}
+	}
+	if _, err := IDFWeights(0, corpus); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := IDFWeights(4, []*bitset.Set{nil}); err == nil {
+		t.Error("nil document accepted")
+	}
+}
+
+func TestIDFPipeline(t *testing.T) {
+	// End-to-end: IDF weights from a corpus feed the weighted distance.
+	r := rand.New(rand.NewSource(7))
+	corpus := randomSample(r, 40, 25)
+	w, err := IDFWeights(25, corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := NewWeightedJaccard(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := VerifyMetric(wj, corpus[:12], 1e-9); v != nil {
+		t.Fatalf("IDF-weighted Jaccard violates metric axioms: %v", v)
+	}
+}
+
+func TestCosineKnown(t *testing.T) {
+	var c Cosine
+	if got := c.Distance(set(4, 0, 1), set(4, 0, 1)); math.Abs(got) > 1e-12 {
+		t.Errorf("identical sets: %g", got)
+	}
+	if got := c.Distance(set(4, 0), set(4, 1)); got != 1 {
+		t.Errorf("disjoint sets: %g", got)
+	}
+	if got := c.Distance(set(4), set(4)); got != 0 {
+		t.Errorf("both empty: %g", got)
+	}
+	if got := c.Distance(set(4), set(4, 1)); got != 1 {
+		t.Errorf("one empty: %g", got)
+	}
+	// 45°-style case: |a|=1, |b|=2, share 1 → 1 − 1/√2.
+	if got, want := c.Distance(set(4, 0), set(4, 0, 1)), 1-1/math.Sqrt2; math.Abs(got-want) > 1e-12 {
+		t.Errorf("overlap case: %g, want %g", got, want)
+	}
+	if c.Metric() {
+		t.Error("cosine distance must not claim to be a metric")
+	}
+}
+
+func TestQuickWeightedJaccardRange(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64() * 5
+		}
+		weights[r.Intn(n)] += 0.1
+		wj, err := NewWeightedJaccard(weights)
+		if err != nil {
+			return false
+		}
+		s := randomSample(r, 2, n)
+		d := wj.Distance(s[0], s[1])
+		sym := wj.Distance(s[1], s[0])
+		return d >= 0 && d <= 1 && math.Abs(d-sym) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

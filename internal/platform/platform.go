@@ -1,0 +1,537 @@
+// Package platform exposes the paper's crowdsourcing workflow (Figure 4)
+// as an HTTP service: workers register with their keywords, receive their
+// assigned task set T_w, and notify the platform as they complete tasks;
+// an assignment service monitors all workers at once and decides when a new
+// assignment iteration must occur. The decision rule follows the paper's
+// rationale: (i) keep the system stable by not re-assigning too frequently,
+// (ii) gather enough completions to estimate each worker's (α, β), and
+// (iii) define the set of available workers W^i per iteration.
+//
+// The package contains both the Server (an http.Handler) and a typed
+// Client, so the examples and tests can run the full loop in-process with
+// net/http/httptest or across real sockets.
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/question"
+)
+
+// ServerConfig parameterizes the assignment service.
+type ServerConfig struct {
+	// Engine is the adaptive assignment engine to drive. Required.
+	Engine *adaptive.Engine
+	// Universe is the keyword universe size workers' vectors live in.
+	Universe int
+	// ReassignPerWorker triggers a new iteration once some worker has
+	// completed this many tasks of its current set (default 10).
+	ReassignPerWorker int
+	// ReassignTotal triggers a new iteration once this many completions
+	// accumulated since the last one (default 25).
+	ReassignTotal int
+	// Questions optionally attaches graded content: workers see prompts
+	// and options with their tasks, submit answers on completion, and the
+	// platform grades them against the bank's ground truth — the paper's
+	// quality measurement (Figure 5a).
+	Questions *question.Bank
+}
+
+// Server implements the assignment service. All handlers serialize on a
+// single mutex: the engine itself is not concurrency-safe and assignment
+// iterations must be atomic with respect to worker arrivals.
+//
+// Iterations are global (the paper solves HTA over all available workers at
+// once), so a completion by one worker can refresh every worker's display
+// set. A client holding a stale set will get HTTP 404 when completing a
+// task that is no longer assigned; it should refetch via Tasks and
+// continue — exactly what a browser-based worker UI does when the platform
+// pushes a new page of tasks.
+type Server struct {
+	mu  sync.Mutex
+	cfg ServerConfig
+
+	sinceIteration int            // completions since the last iteration
+	perWorker      map[string]int // completions per worker since their last assignment
+	graded         int            // questions graded so far
+	correct        int            // of which answered correctly
+	mux            *http.ServeMux
+}
+
+// NewServer validates the configuration and builds the HTTP handler.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("platform: nil engine")
+	}
+	if cfg.Universe < 1 {
+		return nil, fmt.Errorf("platform: Universe = %d", cfg.Universe)
+	}
+	if cfg.ReassignPerWorker == 0 {
+		cfg.ReassignPerWorker = 10
+	}
+	if cfg.ReassignTotal == 0 {
+		cfg.ReassignTotal = 25
+	}
+	if cfg.ReassignPerWorker < 1 || cfg.ReassignTotal < 1 {
+		return nil, errors.New("platform: reassignment thresholds must be >= 1")
+	}
+	s := &Server{cfg: cfg, perWorker: make(map[string]int)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/tasks", s.handleAddTasks)
+	mux.HandleFunc("POST /api/workers", s.handleRegister)
+	mux.HandleFunc("GET /api/workers/{id}/tasks", s.handleTasks)
+	mux.HandleFunc("POST /api/workers/{id}/complete", s.handleComplete)
+	mux.HandleFunc("DELETE /api/workers/{id}", s.handleLeave)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Snapshot serializes the engine state while holding the server mutex, so
+// it is safe to call concurrently with request handling (e.g. from a
+// shutdown signal handler).
+func (s *Server) Snapshot(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Engine.Snapshot(w)
+}
+
+// TaskView is the wire form of an assigned task.
+type TaskView struct {
+	ID        string         `json:"id"`
+	Group     string         `json:"group,omitempty"`
+	Reward    float64        `json:"reward"`
+	Keywords  []int          `json:"keywords"`
+	Done      bool           `json:"done"`
+	Questions []QuestionView `json:"questions,omitempty"`
+}
+
+// QuestionView is a question as shown to workers — no ground truth.
+type QuestionView struct {
+	ID      string   `json:"id"`
+	Prompt  string   `json:"prompt"`
+	Options []string `json:"options"`
+}
+
+// WorkerView is the wire form of a worker's state.
+type WorkerView struct {
+	ID        string  `json:"id"`
+	Alpha     float64 `json:"alpha"`
+	Beta      float64 `json:"beta"`
+	Completed int     `json:"completed"`
+	Available bool    `json:"available"`
+}
+
+// StatsView is the wire form of /api/stats.
+type StatsView struct {
+	Iteration int          `json:"iteration"`
+	PoolSize  int          `json:"pool_size"`
+	Workers   []WorkerView `json:"workers"`
+	// Graded/Correct accumulate over all graded answers when the platform
+	// has a question bank; QualityPercent = 100·Correct/Graded.
+	Graded         int     `json:"graded"`
+	Correct        int     `json:"correct"`
+	QualityPercent float64 `json:"quality_percent"`
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// addTasksRequest is the body of POST /api/tasks.
+type addTasksRequest struct {
+	Tasks []struct {
+		ID       string  `json:"id"`
+		Group    string  `json:"group"`
+		Reward   float64 `json:"reward"`
+		Keywords []int   `json:"keywords"`
+	} `json:"tasks"`
+}
+
+func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
+	var req addTasksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	tasks := make([]*core.Task, 0, len(req.Tasks))
+	for _, t := range req.Tasks {
+		for _, k := range t.Keywords {
+			if k < 0 || k >= s.cfg.Universe {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("platform: task %q keyword %d outside universe", t.ID, k))
+				return
+			}
+		}
+		tasks = append(tasks, &core.Task{
+			ID: t.ID, Group: t.Group, Reward: t.Reward,
+			Keywords: bitset.FromIndices(s.cfg.Universe, t.Keywords...),
+		})
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cfg.Engine.AddTasks(tasks...); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"pool_size": s.cfg.Engine.PoolSize()})
+}
+
+// registerRequest is the body of POST /api/workers. The paper's platform
+// asks each worker to choose at least 6 keywords before entering a session.
+type registerRequest struct {
+	ID       string `json:"id"`
+	Keywords []int  `json:"keywords"`
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	if len(req.Keywords) < 6 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("platform: worker must choose at least 6 keywords, got %d", len(req.Keywords)))
+		return
+	}
+	for _, k := range req.Keywords {
+		if k < 0 || k >= s.cfg.Universe {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: keyword %d outside universe", k))
+			return
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	worker := &core.Worker{ID: req.ID, Keywords: bitset.FromIndices(s.cfg.Universe, req.Keywords...)}
+	if _, err := s.cfg.Engine.AddWorker(worker); err != nil {
+		writeErr(w, http.StatusConflict, err)
+		return
+	}
+	// A new worker notifies the assignment service, which assigns a fresh
+	// T_w immediately (Figure 4).
+	if _, err := s.cfg.Engine.NextIteration(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.resetCounters()
+	writeJSON(w, http.StatusCreated, s.taskViewsLocked(req.ID))
+}
+
+func (s *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.cfg.Engine.Worker(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.taskViewsLocked(id))
+}
+
+// completeRequest is the body of POST /api/workers/{id}/complete.
+type completeRequest struct {
+	TaskID  string   `json:"task_id"`
+	Answers []Answer `json:"answers,omitempty"`
+}
+
+// Answer is one submitted response to a task question.
+type Answer struct {
+	QuestionID string `json:"question_id"`
+	Option     int    `json:"option"`
+}
+
+// CompleteResponse reports whether the completion triggered a new
+// assignment iteration, and the (possibly fresh) task set.
+type CompleteResponse struct {
+	Reassigned bool       `json:"reassigned"`
+	Alpha      float64    `json:"alpha"`
+	Beta       float64    `json:"beta"`
+	Graded     int        `json:"graded"`
+	Correct    int        `json:"correct"`
+	Tasks      []TaskView `json:"tasks"`
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ws, err := s.cfg.Engine.Worker(id)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	// Grade submitted answers against the ground truth, if the platform
+	// carries a question bank. Answers must belong to the completed task.
+	var graded, correct int
+	if len(req.Answers) > 0 {
+		if s.cfg.Questions == nil {
+			writeErr(w, http.StatusBadRequest, errors.New("platform: this deployment has no graded questions"))
+			return
+		}
+		valid := make(map[string]bool)
+		for _, q := range s.cfg.Questions.ForTask(req.TaskID) {
+			valid[q.ID] = true
+		}
+		for _, ans := range req.Answers {
+			if !valid[ans.QuestionID] {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("platform: question %q does not belong to task %q", ans.QuestionID, req.TaskID))
+				return
+			}
+		}
+		for _, ans := range req.Answers {
+			ok, err := s.cfg.Questions.Grade(ans.QuestionID, ans.Option)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			graded++
+			if ok {
+				correct++
+			}
+		}
+	}
+	if err := s.cfg.Engine.Complete(id, req.TaskID); err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "not assigned") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, status, err)
+		return
+	}
+	s.graded += graded
+	s.correct += correct
+	s.sinceIteration++
+	s.perWorker[id]++
+
+	// Assignment-service policy: reassign when some worker exhausted its
+	// budget or the system accumulated enough completions overall.
+	reassign := s.perWorker[id] >= s.cfg.ReassignPerWorker ||
+		s.sinceIteration >= s.cfg.ReassignTotal ||
+		len(ws.Completed) == len(ws.Assigned)
+	if reassign {
+		if _, err := s.cfg.Engine.NextIteration(); err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		s.resetCounters()
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{
+		Reassigned: reassign,
+		Alpha:      ws.Alpha(),
+		Beta:       ws.Beta(),
+		Graded:     graded,
+		Correct:    correct,
+		Tasks:      s.taskViewsLocked(id),
+	})
+}
+
+func (s *Server) handleLeave(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cfg.Engine.SetAvailable(id, false); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"left": true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := StatsView{
+		Iteration: s.cfg.Engine.Iteration(),
+		PoolSize:  s.cfg.Engine.PoolSize(),
+		Graded:    s.graded,
+		Correct:   s.correct,
+	}
+	if s.graded > 0 {
+		stats.QualityPercent = 100 * float64(s.correct) / float64(s.graded)
+	}
+	for _, ws := range s.cfg.Engine.Workers() {
+		stats.Workers = append(stats.Workers, WorkerView{
+			ID:        ws.Worker.ID,
+			Alpha:     ws.Alpha(),
+			Beta:      ws.Beta(),
+			Completed: ws.TotalCompleted,
+			Available: ws.Available,
+		})
+	}
+	writeJSON(w, http.StatusOK, stats)
+}
+
+func (s *Server) resetCounters() {
+	s.sinceIteration = 0
+	for k := range s.perWorker {
+		s.perWorker[k] = 0
+	}
+}
+
+// taskViewsLocked renders a worker's current display set. Caller holds mu.
+func (s *Server) taskViewsLocked(id string) []TaskView {
+	ws, err := s.cfg.Engine.Worker(id)
+	if err != nil {
+		return nil
+	}
+	done := make(map[string]bool, len(ws.Completed))
+	for _, t := range ws.Completed {
+		done[t.ID] = true
+	}
+	out := make([]TaskView, 0, len(ws.Assigned))
+	for _, t := range ws.Assigned {
+		view := TaskView{
+			ID: t.ID, Group: t.Group, Reward: t.Reward,
+			Keywords: t.Keywords.Indices(), Done: done[t.ID],
+		}
+		if s.cfg.Questions != nil {
+			for _, q := range s.cfg.Questions.ForTask(t.ID) {
+				view.Questions = append(view.Questions, QuestionView{
+					ID: q.ID, Prompt: q.Prompt, Options: q.Options,
+				})
+			}
+		}
+		out = append(out, view)
+	}
+	return out
+}
+
+// Client is a typed HTTP client for the assignment service.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient targets a server base URL, e.g. "http://127.0.0.1:8080".
+func NewClient(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+}
+
+func (c *Client) do(method, path string, body, out any) error {
+	var reader *strings.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("platform: encoding request: %w", err)
+		}
+		reader = strings.NewReader(string(buf))
+	} else {
+		reader = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, c.base+path, reader)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var apiErr apiError
+		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("platform: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("platform: decoding response: %w", err)
+	}
+	return nil
+}
+
+// AddTasks uploads tasks to the pool.
+func (c *Client) AddTasks(tasks []*core.Task) error {
+	var req addTasksRequest
+	for _, t := range tasks {
+		req.Tasks = append(req.Tasks, struct {
+			ID       string  `json:"id"`
+			Group    string  `json:"group"`
+			Reward   float64 `json:"reward"`
+			Keywords []int   `json:"keywords"`
+		}{t.ID, t.Group, t.Reward, t.Keywords.Indices()})
+	}
+	return c.do(http.MethodPost, "/api/tasks", req, nil)
+}
+
+// Register enrolls a worker (≥ 6 keywords) and returns the first task set.
+func (c *Client) Register(id string, keywords []int) ([]TaskView, error) {
+	var out []TaskView
+	err := c.do(http.MethodPost, "/api/workers", registerRequest{ID: id, Keywords: keywords}, &out)
+	return out, err
+}
+
+// Tasks fetches the worker's current display set.
+func (c *Client) Tasks(id string) ([]TaskView, error) {
+	var out []TaskView
+	err := c.do(http.MethodGet, "/api/workers/"+id+"/tasks", nil, &out)
+	return out, err
+}
+
+// Complete reports a finished task; the response carries the refreshed
+// weight estimates and (possibly re-assigned) task set.
+func (c *Client) Complete(id, taskID string) (*CompleteResponse, error) {
+	return c.CompleteWithAnswers(id, taskID, nil)
+}
+
+// CompleteWithAnswers reports a finished task together with the worker's
+// answers to its graded questions.
+func (c *Client) CompleteWithAnswers(id, taskID string, answers []Answer) (*CompleteResponse, error) {
+	var out CompleteResponse
+	err := c.do(http.MethodPost, "/api/workers/"+id+"/complete",
+		completeRequest{TaskID: taskID, Answers: answers}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Leave marks the worker unavailable for future iterations.
+func (c *Client) Leave(id string) error {
+	return c.do(http.MethodDelete, "/api/workers/"+id, nil, nil)
+}
+
+// Stats fetches platform statistics.
+func (c *Client) Stats() (*StatsView, error) {
+	var out StatsView
+	if err := c.do(http.MethodGet, "/api/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,342 @@
+package platform
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/workload"
+)
+
+const universe = 100
+
+func newTestServer(t *testing.T, numTasks int) (*httptest.Server, *Client) {
+	t.Helper()
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax:             5,
+		ExtraRandomTasks: 2,
+		Rand:             rand.New(rand.NewSource(1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Engine:            engine,
+		Universe:          universe,
+		ReassignPerWorker: 3,
+		ReassignTotal:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	if numTasks > 0 {
+		g, err := workload.NewGenerator(workload.Config{Seed: 3, Universe: universe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.AddTasks(g.Tasks(numTasks/5+1, 5)[:numTasks]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts, client
+}
+
+func sixKeywords(start int) []int {
+	return []int{start, start + 1, start + 2, start + 3, start + 4, start + 5}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := NewServer(ServerConfig{Universe: 10}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	engine, _ := adaptive.NewEngine(adaptive.Config{Xmax: 3})
+	if _, err := NewServer(ServerConfig{Engine: engine}); err == nil {
+		t.Error("zero universe accepted")
+	}
+	if _, err := NewServer(ServerConfig{Engine: engine, Universe: 10, ReassignTotal: -1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestRegisterAssignsTasks(t *testing.T) {
+	_, client := newTestServer(t, 40)
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 7 { // Xmax 5 + 2 extras
+		t.Fatalf("registered worker got %d tasks, want 7", len(tasks))
+	}
+	for _, task := range tasks {
+		if task.Done {
+			t.Fatalf("fresh task marked done: %+v", task)
+		}
+		if task.ID == "" || len(task.Keywords) == 0 {
+			t.Fatalf("malformed task view: %+v", task)
+		}
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	_, client := newTestServer(t, 20)
+	if _, err := client.Register("w1", []int{1, 2, 3}); err == nil ||
+		!strings.Contains(err.Error(), "at least 6 keywords") {
+		t.Fatalf("short keyword list: err = %v", err)
+	}
+	if _, err := client.Register("w1", []int{1, 2, 3, 4, 5, universe}); err == nil ||
+		!strings.Contains(err.Error(), "outside universe") {
+		t.Fatalf("out-of-universe keyword: err = %v", err)
+	}
+	if _, err := client.Register("w1", sixKeywords(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Register("w1", sixKeywords(6)); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate worker: err = %v", err)
+	}
+}
+
+func TestCompleteFlowAndReassignment(t *testing.T) {
+	_, client := newTestServer(t, 60)
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ReassignPerWorker = 3: the first two completions keep the set, the
+	// third triggers a new iteration.
+	var lastResp *CompleteResponse
+	for i := 0; i < 3; i++ {
+		lastResp, err = client.Complete("w1", tasks[i].ID)
+		if err != nil {
+			t.Fatalf("complete %d: %v", i, err)
+		}
+		if i < 2 && lastResp.Reassigned {
+			t.Fatalf("premature reassignment at completion %d", i)
+		}
+	}
+	if !lastResp.Reassigned {
+		t.Fatal("no reassignment after ReassignPerWorker completions")
+	}
+	if lastResp.Alpha+lastResp.Beta < 0.99 || lastResp.Alpha+lastResp.Beta > 1.01 {
+		t.Fatalf("weights not normalized: %g + %g", lastResp.Alpha, lastResp.Beta)
+	}
+	// Fresh tasks must all be un-done.
+	for _, task := range lastResp.Tasks {
+		if task.Done {
+			t.Fatalf("reassigned set contains done task %+v", task)
+		}
+	}
+}
+
+func TestCompleteErrors(t *testing.T) {
+	_, client := newTestServer(t, 30)
+	if _, err := client.Complete("ghost", "t"); err == nil {
+		t.Error("unknown worker accepted")
+	}
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete("w1", "not-assigned"); err == nil {
+		t.Error("unassigned task accepted")
+	}
+	if _, err := client.Complete("w1", tasks[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete("w1", tasks[0].ID); err == nil {
+		t.Error("double completion accepted")
+	}
+}
+
+func TestTasksEndpointMarksDone(t *testing.T) {
+	_, client := newTestServer(t, 30)
+	assigned, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Complete("w1", assigned[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := client.Tasks("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doneCount int
+	for _, task := range tasks {
+		if task.Done {
+			doneCount++
+			if task.ID != assigned[0].ID {
+				t.Fatalf("wrong task marked done: %s", task.ID)
+			}
+		}
+	}
+	if doneCount != 1 {
+		t.Fatalf("done count = %d, want 1", doneCount)
+	}
+	if _, err := client.Tasks("ghost"); err == nil {
+		t.Error("unknown worker lookup succeeded")
+	}
+}
+
+func TestLeaveAndStats(t *testing.T) {
+	_, client := newTestServer(t, 30)
+	if _, err := client.Register("w1", sixKeywords(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Register("w2", sixKeywords(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Leave("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Leave("ghost"); err == nil {
+		t.Error("unknown worker leave succeeded")
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PoolSize <= 0 || stats.Iteration < 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	byID := map[string]WorkerView{}
+	for _, w := range stats.Workers {
+		byID[w.ID] = w
+	}
+	if byID["w2"].Available {
+		t.Error("w2 still available after Leave")
+	}
+	if !byID["w1"].Available {
+		t.Error("w1 not available")
+	}
+}
+
+func TestAddTasksRejectsDuplicates(t *testing.T) {
+	_, client := newTestServer(t, 0)
+	g, err := workload.NewGenerator(workload.Config{Seed: 4, Universe: universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := g.Tasks(2, 3)
+	if err := client.AddTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.AddTasks(tasks); err == nil {
+		t.Error("duplicate task upload accepted")
+	}
+}
+
+func TestAddTasksRejectsOutOfUniverseKeywords(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	body := `{"tasks":[{"id":"t1","keywords":[` + "999" + `]}]}`
+	resp, err := http.Post(ts.URL+"/api/tasks", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+	resp, err := http.Post(ts.URL+"/api/workers", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerSnapshot(t *testing.T) {
+	ts, client := newTestServer(t, 30)
+	if _, err := client.Register("w1", sixKeywords(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Reach into the handler to snapshot through the server mutex.
+	srv := ts.Config.Handler.(*Server)
+	var buf bytes.Buffer
+	if err := srv.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := adaptive.Restore(&buf, adaptive.Config{Xmax: 5, ExtraRandomTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Worker("w1"); err != nil {
+		t.Fatalf("restored engine lost the worker: %v", err)
+	}
+}
+
+// TestConcurrentWorkers exercises the service with several workers racing
+// registrations and completions; the mutex must keep the engine coherent.
+func TestConcurrentWorkers(t *testing.T) {
+	_, client := newTestServer(t, 200)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*20)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := "w" + string(rune('a'+i))
+			tasks, err := client.Register(id, sixKeywords(i*7))
+			if err != nil {
+				errs <- err
+				return
+			}
+			for round := 0; round < 6 && len(tasks) > 0; round++ {
+				resp, err := client.Complete(id, tasks[0].ID)
+				if err != nil && strings.Contains(err.Error(), "not assigned") {
+					// Another worker's completion triggered a global
+					// iteration and replaced our set; refetch and go on.
+					fresh, ferr := client.Tasks(id)
+					if ferr != nil {
+						errs <- ferr
+						return
+					}
+					tasks = fresh
+					continue
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Work on whatever is not done in the (possibly new) set.
+				tasks = tasks[:0]
+				for _, task := range resp.Tasks {
+					if !task.Done {
+						tasks = append(tasks, task)
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, w := range stats.Workers {
+		total += w.Completed
+	}
+	if total == 0 {
+		t.Fatal("no completions recorded")
+	}
+}

@@ -1,0 +1,152 @@
+package platform
+
+import (
+	"math/rand"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/question"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// newGradedServer builds a platform with a question bank over its corpus.
+func newGradedServer(t *testing.T) (*Client, *question.Bank) {
+	t.Helper()
+	engine, err := adaptive.NewEngine(adaptive.Config{
+		Xmax: 4, Rand: rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(workload.Config{Seed: 2, Universe: universe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := g.Tasks(8, 5)
+	bank, err := question.Generate(tasks, 1.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Engine: engine, Universe: universe, Questions: bank,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	client := NewClient(ts.URL, ts.Client())
+	if err := client.AddTasks(tasks); err != nil {
+		t.Fatal(err)
+	}
+	return client, bank
+}
+
+func TestQuestionsShownWithoutGroundTruth(t *testing.T) {
+	client, bank := newGradedServer(t)
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, task := range tasks {
+		want := bank.ForTask(task.ID)
+		if len(task.Questions) != len(want) {
+			t.Fatalf("task %s shows %d questions, bank has %d", task.ID, len(task.Questions), len(want))
+		}
+		for i, qv := range task.Questions {
+			seen++
+			if qv.ID != want[i].ID || qv.Prompt == "" || len(qv.Options) < 2 {
+				t.Fatalf("malformed question view %+v", qv)
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("no questions displayed")
+	}
+}
+
+func TestGradedCompletion(t *testing.T) {
+	client, bank := newGradedServer(t)
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := tasks[0]
+	// Answer everything correctly using the bank (the test plays oracle).
+	var answers []Answer
+	for _, q := range bank.ForTask(task.ID) {
+		answers = append(answers, Answer{QuestionID: q.ID, Option: q.Answer})
+	}
+	resp, err := client.CompleteWithAnswers("w1", task.ID, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Graded != len(answers) || resp.Correct != len(answers) {
+		t.Fatalf("graded %d correct %d, want %d each", resp.Graded, resp.Correct, len(answers))
+	}
+
+	// Second task: answer everything wrong.
+	task2 := tasks[1]
+	answers = answers[:0]
+	for _, q := range bank.ForTask(task2.ID) {
+		wrong := (q.Answer + 1) % len(q.Options)
+		answers = append(answers, Answer{QuestionID: q.ID, Option: wrong})
+	}
+	resp, err = client.CompleteWithAnswers("w1", task2.ID, answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Correct != 0 {
+		t.Fatalf("wrong answers graded correct: %+v", resp)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Graded == 0 || stats.Correct == 0 || stats.Correct >= stats.Graded {
+		t.Fatalf("stats quality counters off: %+v", stats)
+	}
+	if stats.QualityPercent <= 0 || stats.QualityPercent >= 100 {
+		t.Fatalf("quality%% = %g", stats.QualityPercent)
+	}
+}
+
+func TestGradingValidation(t *testing.T) {
+	client, bank := newGradedServer(t)
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	taskA, taskB := tasks[0], tasks[1]
+	// Answer a question of task B while completing task A.
+	qB := bank.ForTask(taskB.ID)[0]
+	_, err = client.CompleteWithAnswers("w1", taskA.ID, []Answer{{QuestionID: qB.ID, Option: 0}})
+	if err == nil || !strings.Contains(err.Error(), "does not belong") {
+		t.Fatalf("cross-task answer accepted: %v", err)
+	}
+	// Unknown question ID.
+	_, err = client.CompleteWithAnswers("w1", taskA.ID, []Answer{{QuestionID: "ghost", Option: 0}})
+	if err == nil {
+		t.Fatal("unknown question accepted")
+	}
+	// The failed gradings must not have completed the task.
+	if _, err := client.Complete("w1", taskA.ID); err != nil {
+		t.Fatalf("task A should still be completable: %v", err)
+	}
+}
+
+func TestAnswersRejectedWithoutBank(t *testing.T) {
+	_, client := newTestServer(t, 20) // no question bank
+	tasks, err := client.Register("w1", sixKeywords(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = client.CompleteWithAnswers("w1", tasks[0].ID, []Answer{{QuestionID: "q", Option: 0}})
+	if err == nil || !strings.Contains(err.Error(), "no graded questions") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package plot renders numeric series as fixed-width ASCII charts. The
+// experiment CLIs use it to show the shape of the paper's figures directly
+// in the terminal — the repository has no plotting dependency, and shapes
+// (who wins, where curves cross) are exactly what the reproduction is
+// about.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers assigns one glyph per series, cycling if there are many.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Config sizes a chart.
+type Config struct {
+	// Width and Height are the plot-area dimensions in characters.
+	// Defaults: 60×12.
+	Width, Height int
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// computed from the data with a small margin.
+	YMin, YMax float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Width == 0 {
+		c.Width = 60
+	}
+	if c.Height == 0 {
+		c.Height = 12
+	}
+}
+
+// Lines renders the series over a shared x grid as an ASCII line chart
+// with a y-axis, x-range footer and a legend.
+func Lines(w io.Writer, title string, x []float64, series []Series, cfg Config) error {
+	cfg.applyDefaults()
+	if cfg.Width < 8 || cfg.Height < 3 {
+		return fmt.Errorf("plot: area %dx%d too small", cfg.Width, cfg.Height)
+	}
+	if len(x) < 2 {
+		return errors.New("plot: need at least two x points")
+	}
+	if len(series) == 0 {
+		return errors.New("plot: no series")
+	}
+	for _, s := range series {
+		if len(s.Y) != len(x) {
+			return fmt.Errorf("plot: series %q has %d points for %d x values", s.Name, len(s.Y), len(x))
+		}
+	}
+
+	yMin, yMax := cfg.YMin, cfg.YMax
+	if yMin == 0 && yMax == 0 {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Y {
+				yMin = math.Min(yMin, v)
+				yMax = math.Max(yMax, v)
+			}
+		}
+		if yMin == yMax {
+			yMin, yMax = yMin-1, yMax+1
+		}
+		margin := (yMax - yMin) * 0.05
+		yMin -= margin
+		yMax += margin
+	}
+	if yMax <= yMin {
+		return fmt.Errorf("plot: empty y range [%g, %g]", yMin, yMax)
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	xMin, xMax := x[0], x[len(x)-1]
+	if xMax <= xMin {
+		return errors.New("plot: x values must increase")
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Y {
+			col := int(math.Round((x[i] - xMin) / (xMax - xMin) * float64(cfg.Width-1)))
+			rowF := (v - yMin) / (yMax - yMin) * float64(cfg.Height-1)
+			row := cfg.Height - 1 - int(math.Round(rowF))
+			if col < 0 || col >= cfg.Width || row < 0 || row >= cfg.Height {
+				continue // out-of-range points are clipped
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for r, line := range grid {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(cfg.Height-1)
+		fmt.Fprintf(w, "%8.1f |%s\n", yVal, string(line))
+	}
+	fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", cfg.Width))
+	fmt.Fprintf(w, "%8s  %-*.1f%*.1f\n", "", cfg.Width/2, xMin, cfg.Width-cfg.Width/2, xMax)
+	legend := make([]string, len(series))
+	for si, s := range series {
+		legend[si] = fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name)
+	}
+	fmt.Fprintf(w, "%8s  %s\n", "", strings.Join(legend, "   "))
+	return nil
+}
+
+// Bars renders a labeled horizontal bar chart, used for totals
+// comparisons (e.g. completed tasks per strategy).
+func Bars(w io.Writer, title string, labels []string, values []float64, width int) error {
+	if len(labels) != len(values) {
+		return fmt.Errorf("plot: %d labels for %d values", len(labels), len(values))
+	}
+	if len(values) == 0 {
+		return errors.New("plot: no bars")
+	}
+	if width <= 0 {
+		width = 40
+	}
+	maxV := math.Inf(-1)
+	maxLabel := 0
+	for i, v := range values {
+		if v < 0 {
+			return fmt.Errorf("plot: negative bar value %g", v)
+		}
+		maxV = math.Max(maxV, v)
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	for i, v := range values {
+		n := 0
+		if maxV > 0 {
+			n = int(math.Round(v / maxV * float64(width)))
+		}
+		fmt.Fprintf(w, "%-*s |%s %.1f\n", maxLabel, labels[i], strings.Repeat("=", n), v)
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinesBasic(t *testing.T) {
+	var buf bytes.Buffer
+	x := []float64{0, 1, 2, 3, 4}
+	err := Lines(&buf, "demo", x, []Series{
+		{Name: "up", Y: []float64{0, 1, 2, 3, 4}},
+		{Name: "down", Y: []float64{4, 3, 2, 1, 0}},
+	}, Config{Width: 20, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "* up", "o down", "+--------------------"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The rising series must hit the top-right area, the falling one the
+	// top-left.
+	lines := strings.Split(out, "\n")
+	top := lines[1] // first grid row after the title
+	if !strings.Contains(top, "*") || !strings.Contains(top, "o") {
+		t.Fatalf("top row should contain both extremes:\n%s", out)
+	}
+}
+
+func TestLinesValidation(t *testing.T) {
+	var buf bytes.Buffer
+	x := []float64{0, 1}
+	ok := []Series{{Name: "s", Y: []float64{1, 2}}}
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"short x", func() error { return Lines(&buf, "", []float64{0}, ok, Config{}) }},
+		{"no series", func() error { return Lines(&buf, "", x, nil, Config{}) }},
+		{"length mismatch", func() error {
+			return Lines(&buf, "", x, []Series{{Name: "s", Y: []float64{1}}}, Config{})
+		}},
+		{"tiny area", func() error { return Lines(&buf, "", x, ok, Config{Width: 2, Height: 1}) }},
+		{"bad y range", func() error { return Lines(&buf, "", x, ok, Config{YMin: 5, YMax: 1}) }},
+		{"non-increasing x", func() error {
+			return Lines(&buf, "", []float64{1, 1}, ok, Config{})
+		}},
+	}
+	for _, c := range cases {
+		if err := c.fn(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestLinesConstantSeries(t *testing.T) {
+	var buf bytes.Buffer
+	x := []float64{0, 1, 2}
+	err := Lines(&buf, "", x, []Series{{Name: "flat", Y: []float64{5, 5, 5}}}, Config{})
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Fatal("no markers drawn")
+	}
+}
+
+func TestLinesFixedRangeClips(t *testing.T) {
+	var buf bytes.Buffer
+	x := []float64{0, 1, 2}
+	err := Lines(&buf, "", x, []Series{{Name: "s", Y: []float64{-10, 0.5, 10}}},
+		Config{YMin: 0, YMax: 1, Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-range points are clipped silently; the in-range one drawn.
+	// Count markers in grid rows only (the legend also shows the glyph).
+	drawn := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.Contains(line, " |") {
+			drawn += strings.Count(line, "*")
+		}
+	}
+	if drawn != 1 {
+		t.Fatalf("expected exactly one drawn point, got %d:\n%s", drawn, buf.String())
+	}
+}
+
+func TestBars(t *testing.T) {
+	var buf bytes.Buffer
+	err := Bars(&buf, "totals", []string{"gre", "rel", "div"}, []float64{734, 666, 636}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "totals") || !strings.Contains(out, "gre") {
+		t.Fatalf("missing labels:\n%s", out)
+	}
+	// The largest bar must be the widest.
+	var greBar, divBar int
+	for _, line := range strings.Split(out, "\n") {
+		n := strings.Count(line, "=")
+		if strings.HasPrefix(line, "gre") {
+			greBar = n
+		}
+		if strings.HasPrefix(line, "div") {
+			divBar = n
+		}
+	}
+	if greBar <= divBar {
+		t.Fatalf("bar widths wrong: gre %d, div %d\n%s", greBar, divBar, out)
+	}
+}
+
+func TestBarsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Bars(&buf, "", []string{"a"}, []float64{1, 2}, 10); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Bars(&buf, "", nil, nil, 10); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := Bars(&buf, "", []string{"a"}, []float64{-1}, 10); err == nil {
+		t.Error("negative value accepted")
+	}
+	if err := Bars(&buf, "", []string{"a"}, []float64{0}, 0); err != nil {
+		t.Errorf("zero width (defaulted) rejected: %v", err)
+	}
+}

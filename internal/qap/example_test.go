@@ -1,0 +1,40 @@
+package qap_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/qap"
+)
+
+// ExampleNewMapping rebuilds the paper's Example 1 (Table I / Figure 1):
+// two workers, eight tasks, Xmax = 3, and reads matrix entries of the
+// MAXQAP view — including the c₁,₁ = 2·0.8·0.28 entry the paper calls out.
+func ExampleNewMapping() {
+	rel := [][]float64{
+		{0.28, 0.25, 0.2, 0.43, 0.67, 0.4, 0, 0.4},
+		{0.3, 0, 0.2, 0.25, 0.25, 0, 0, 0.4},
+	}
+	workers := []*core.Worker{
+		{ID: "w1", Alpha: 0.2, Beta: 0.8},
+		{ID: "w2", Alpha: 0.6, Beta: 0.3},
+	}
+	noDiv := func(k, l int) float64 { return 0 }
+	in, err := core.NewCustomInstance(8, workers, 3, rel, noDiv, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := qap.NewMapping(in)
+	fmt.Printf("vertices: %d (8 tasks, 2 cliques of 3 + 2 isolated)\n", m.N())
+	fmt.Printf("A[0][1] = %.1f (worker w1 clique edge, α)\n", m.A(0, 1))
+	fmt.Printf("A[3][4] = %.1f (worker w2 clique edge, α)\n", m.A(3, 4))
+	fmt.Printf("C[0][0] = %.3f (= 2·0.8·0.28)\n", m.C(0, 0))
+	fmt.Printf("DegA(0) = %.1f (= (Xmax−1)·α_w1)\n", m.DegA(0))
+	// Output:
+	// vertices: 8 (8 tasks, 2 cliques of 3 + 2 isolated)
+	// A[0][1] = 0.2 (worker w1 clique edge, α)
+	// A[3][4] = 0.6 (worker w2 clique edge, α)
+	// C[0][0] = 0.448 (= 2·0.8·0.28)
+	// DegA(0) = 0.4 (= (Xmax−1)·α_w1)
+}

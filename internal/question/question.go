@@ -1,0 +1,166 @@
+// Package question models graded micro-task content: the paper's live
+// tasks carried one or more questions each (4,473 questions over 2,715
+// completed tasks) and crowdwork quality (Figure 5a) is the share of
+// answers matching CrowdFlower's ground truth. The platform keeps the
+// ground truth server-side in a Bank; workers only ever see the prompt and
+// options.
+package question
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// Question is one graded item attached to a task.
+type Question struct {
+	ID     string
+	TaskID string
+	Prompt string
+	// Options are the answer choices shown to the worker.
+	Options []string
+	// Answer is the index of the ground-truth option. It must never be
+	// serialized toward workers.
+	Answer int
+}
+
+// Validate checks structural sanity.
+func (q Question) Validate() error {
+	if q.ID == "" || q.TaskID == "" {
+		return errors.New("question: empty ID or task ID")
+	}
+	if len(q.Options) < 2 {
+		return fmt.Errorf("question: %q has %d options, need >= 2", q.ID, len(q.Options))
+	}
+	if q.Answer < 0 || q.Answer >= len(q.Options) {
+		return fmt.Errorf("question: %q ground truth %d out of range", q.ID, q.Answer)
+	}
+	return nil
+}
+
+// Bank holds the questions and ground truth for a task corpus.
+type Bank struct {
+	byID   map[string]Question
+	byTask map[string][]string // task ID → question IDs, in insertion order
+}
+
+// NewBank returns an empty bank.
+func NewBank() *Bank {
+	return &Bank{byID: make(map[string]Question), byTask: make(map[string][]string)}
+}
+
+// Add validates and stores a question.
+func (b *Bank) Add(q Question) error {
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	if _, dup := b.byID[q.ID]; dup {
+		return fmt.Errorf("question: duplicate id %q", q.ID)
+	}
+	b.byID[q.ID] = q
+	b.byTask[q.TaskID] = append(b.byTask[q.TaskID], q.ID)
+	return nil
+}
+
+// Len returns the number of questions in the bank.
+func (b *Bank) Len() int { return len(b.byID) }
+
+// ForTask returns the questions of a task (ground truth included; callers
+// exposing them to workers must strip Answer).
+func (b *Bank) ForTask(taskID string) []Question {
+	ids := b.byTask[taskID]
+	out := make([]Question, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, b.byID[id])
+	}
+	return out
+}
+
+// ErrUnknownQuestion is returned when grading an unknown ID.
+var ErrUnknownQuestion = errors.New("question: unknown question")
+
+// Grade scores one answer against the ground truth.
+func (b *Bank) Grade(questionID string, answer int) (bool, error) {
+	q, ok := b.byID[questionID]
+	if !ok {
+		return false, fmt.Errorf("%w: %q", ErrUnknownQuestion, questionID)
+	}
+	return answer == q.Answer, nil
+}
+
+// prompts used by the synthetic generator, keyed by question style.
+var promptStyles = []struct {
+	format  string
+	options []string
+}{
+	{"Does this task involve %q?", []string{"yes", "no"}},
+	{"Is %q the main topic of this task?", []string{"yes", "no", "partly"}},
+	{"How relevant is %q to this task?", []string{"not at all", "somewhat", "very"}},
+}
+
+// Generate synthesizes a question bank for a task corpus, with
+// meanPerTask questions per task on average (the paper's ratio is
+// 4,473/2,715 ≈ 1.65). Prompts are built from the tasks' own keywords so
+// simulated workers can be graded against a consistent ground truth.
+func Generate(tasks []*core.Task, meanPerTask float64, seed int64) (*Bank, error) {
+	if meanPerTask <= 0 {
+		return nil, fmt.Errorf("question: meanPerTask = %g", meanPerTask)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bank := NewBank()
+	for _, t := range tasks {
+		if t == nil || t.Keywords == nil {
+			return nil, errors.New("question: task without keywords")
+		}
+		n := int(meanPerTask)
+		if rng.Float64() < meanPerTask-float64(n) {
+			n++
+		}
+		if n == 0 {
+			n = 1
+		}
+		kws := t.Keywords.Indices()
+		for qi := 0; qi < n; qi++ {
+			style := promptStyles[rng.Intn(len(promptStyles))]
+			var kw int
+			if len(kws) > 0 && rng.Intn(2) == 0 {
+				kw = kws[rng.Intn(len(kws))] // about the task's own content
+			} else {
+				kw = rng.Intn(t.Keywords.Len()) // possibly a distractor
+			}
+			// Ground truth: for yes/no styles, "yes" iff the keyword is
+			// actually on the task; for the 3-option style map presence to
+			// the strongest option.
+			var answer int
+			present := kw < t.Keywords.Len() && t.Keywords.Contains(kw)
+			switch len(style.options) {
+			case 2:
+				if present {
+					answer = 0
+				} else {
+					answer = 1
+				}
+			default:
+				if present {
+					answer = len(style.options) - 1
+				} else {
+					answer = 0
+				}
+			}
+			q := Question{
+				ID:      fmt.Sprintf("%s-q%d", t.ID, qi),
+				TaskID:  t.ID,
+				Prompt:  fmt.Sprintf(style.format, workload.Keyword(kw)),
+				Options: style.options,
+				Answer:  answer,
+			}
+			if err := bank.Add(q); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return bank, nil
+}

@@ -1,0 +1,141 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGreedyMotivFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		numWorkers := 1 + r.Intn(4)
+		xmax := 1 + r.Intn(4)
+		numTasks := 1 + r.Intn(numWorkers*xmax+5)
+		in := randInstance(t, r, numTasks, numWorkers, xmax, 12)
+		res := GreedyMotiv(in)
+		if err := res.Assignment.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if math.Abs(res.Objective-in.Objective(res.Assignment)) > 1e-9 {
+			t.Fatalf("trial %d: objective mismatch", trial)
+		}
+	}
+}
+
+func TestGreedyMotivFillsSlots(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	in := randInstance(t, r, 20, 2, 4, 12)
+	res := GreedyMotiv(in)
+	if res.Assignment.AssignedCount() != 8 {
+		t.Fatalf("assigned %d, want 8", res.Assignment.AssignedCount())
+	}
+}
+
+func TestGreedyMotivNeverExceedsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(t, r, 6, 2, 2, 8)
+		opt, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := GreedyMotiv(in)
+		if g.Objective > opt.Objective+1e-9 {
+			t.Fatalf("trial %d: greedy-motiv %g beats exact %g", trial, g.Objective, opt.Objective)
+		}
+	}
+}
+
+func TestLocalSearchNeverWorsens(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(t, r, 16, 2, 4, 12)
+		res, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(int64(trial)))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := res.Objective
+		after := LocalSearch(in, res.Assignment, 3)
+		if after < before-1e-9 {
+			t.Fatalf("trial %d: local search worsened %g -> %g", trial, before, after)
+		}
+		if err := res.Assignment.Validate(in); err != nil {
+			t.Fatalf("trial %d: local search broke feasibility: %v", trial, err)
+		}
+		if math.Abs(after-in.Objective(res.Assignment)) > 1e-9 {
+			t.Fatalf("trial %d: reported %g != recomputed %g", trial, after, in.Objective(res.Assignment))
+		}
+	}
+}
+
+func TestLocalSearchReachesExactOnTiny(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	matched := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		in := randInstance(t, r, 5, 1, 3, 8)
+		opt, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := HTAGRE(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := LocalSearch(in, res.Assignment, 10)
+		if after > opt.Objective+1e-9 {
+			t.Fatalf("trial %d: local search %g beats exact %g", trial, after, opt.Objective)
+		}
+		if math.Abs(after-opt.Objective) < 1e-9 {
+			matched++
+		}
+	}
+	// Single-worker instances: replace+fill moves explore enough that most
+	// runs should reach the optimum.
+	if matched < trials/2 {
+		t.Errorf("local search matched the optimum in only %d/%d single-worker trials", matched, trials)
+	}
+}
+
+func TestHTAGREPlusImprovesOrEquals(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 8; trial++ {
+		in := randInstance(t, r, 24, 3, 4, 16)
+		base, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(9))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plus, err := HTAGREPlus(in, WithRand(rand.New(rand.NewSource(9))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plus.Objective < base.Objective-1e-9 {
+			t.Fatalf("trial %d: gre+ls %g below gre %g", trial, plus.Objective, base.Objective)
+		}
+		if plus.Algorithm != "hta-gre+ls" {
+			t.Fatalf("algorithm = %q", plus.Algorithm)
+		}
+		if err := plus.Assignment.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGreedyMotivComparableToGRE(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	var greedySum, greSum float64
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(t, r, 30, 3, 5, 16)
+		greedySum += GreedyMotiv(in).Objective
+		res, err := HTAGRE(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greSum += res.Objective
+	}
+	// Neither should collapse relative to the other.
+	if greedySum < 0.5*greSum || greSum < 0.5*greedySum {
+		t.Errorf("baseline balance off: greedy-motiv %g vs gre %g", greedySum, greSum)
+	}
+}

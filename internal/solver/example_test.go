@@ -1,0 +1,42 @@
+package solver_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/solver"
+)
+
+// ExampleHTAGRE assigns four tasks of two topics to a diversity-seeker and
+// a relevance-seeker.
+func ExampleHTAGRE() {
+	const universe = 8
+	tasks := []*core.Task{
+		{ID: "audio-1", Keywords: bitset.FromIndices(universe, 0, 1)},
+		{ID: "audio-2", Keywords: bitset.FromIndices(universe, 0, 1)},
+		{ID: "image-1", Keywords: bitset.FromIndices(universe, 2, 3)},
+		{ID: "image-2", Keywords: bitset.FromIndices(universe, 2, 3)},
+	}
+	workers := []*core.Worker{
+		{ID: "explorer", Alpha: 1, Beta: 0, Keywords: bitset.FromIndices(universe, 5)},
+		{ID: "audiophile", Alpha: 0, Beta: 1, Keywords: bitset.FromIndices(universe, 0, 1)},
+	}
+	in, err := core.NewInstance(tasks, workers, 2, metric.Jaccard{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.HTAGRE(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("algorithm:", res.Algorithm)
+	fmt.Println("feasible:", res.Assignment.Validate(in) == nil)
+	fmt.Printf("assigned %d of %d tasks\n", res.Assignment.AssignedCount(), in.NumTasks())
+	// Output:
+	// algorithm: hta-gre
+	// feasible: true
+	// assigned 4 of 4 tasks
+}

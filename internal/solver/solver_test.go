@@ -1,0 +1,550 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/lsap"
+	"github.com/htacs/ata/internal/matching"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/qap"
+)
+
+func randInstance(t testing.TB, r *rand.Rand, numTasks, numWorkers, xmax, universe int) *core.Instance {
+	t.Helper()
+	tasks := make([]*core.Task, numTasks)
+	for i := range tasks {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(4) == 0 {
+				kw.Add(k)
+			}
+		}
+		tasks[i] = &core.Task{ID: "t", Keywords: kw}
+	}
+	workers := make([]*core.Worker, numWorkers)
+	for q := range workers {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(4) == 0 {
+				kw.Add(k)
+			}
+		}
+		alpha := r.Float64()
+		workers[q] = &core.Worker{Alpha: alpha, Beta: 1 - alpha, Keywords: kw}
+	}
+	in, err := core.NewInstance(tasks, workers, xmax, metric.Jaccard{})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return in
+}
+
+func TestSolversProduceFeasibleAssignments(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	solvers := map[string]func(*core.Instance, ...Option) (*Result, error){
+		"app": HTAAPP, "gre": HTAGRE, "div": HTAGREDiv, "rel": HTAGRERel,
+	}
+	for trial := 0; trial < 20; trial++ {
+		numWorkers := 1 + r.Intn(4)
+		xmax := 1 + r.Intn(4)
+		numTasks := 1 + r.Intn(numWorkers*xmax+6)
+		in := randInstance(t, r, numTasks, numWorkers, xmax, 16)
+		for name, solve := range solvers {
+			res, err := solve(in, WithRand(rand.New(rand.NewSource(int64(trial)))))
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, name, err)
+			}
+			if err := res.Assignment.Validate(in); err != nil {
+				t.Fatalf("trial %d %s: infeasible: %v", trial, name, err)
+			}
+			if math.Abs(res.Objective-in.Objective(res.Assignment)) > 1e-9 {
+				t.Fatalf("trial %d %s: recorded objective %g != recomputed %g",
+					trial, name, res.Objective, in.Objective(res.Assignment))
+			}
+		}
+		res := Random(in, r)
+		if err := res.Assignment.Validate(in); err != nil {
+			t.Fatalf("trial %d random: %v", trial, err)
+		}
+	}
+}
+
+func TestSolversFillAllSlotsWhenEnoughTasks(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := randInstance(t, r, 20, 3, 4, 16) // 20 tasks, 12 slots
+	for _, solve := range []func(*core.Instance, ...Option) (*Result, error){HTAAPP, HTAGRE} {
+		res, err := solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Assignment.AssignedCount(); got != 12 {
+			t.Fatalf("%s assigned %d tasks, want 12 (all slots)", res.Algorithm, got)
+		}
+	}
+}
+
+func TestNonMetricRejected(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	tasks := make([]*core.Task, 6)
+	for i := range tasks {
+		tasks[i] = &core.Task{Keywords: bitset.FromIndices(8, r.Intn(8))}
+	}
+	workers := []*core.Worker{{Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(8, 1)}}
+	in, err := core.NewInstance(tasks, workers, 2, metric.Dice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := HTAGRE(in); !errors.Is(err, core.ErrNonMetric) {
+		t.Fatalf("err = %v, want ErrNonMetric", err)
+	}
+	if _, err := HTAGRE(in, AllowNonMetric()); err != nil {
+		t.Fatalf("AllowNonMetric: %v", err)
+	}
+}
+
+// TestApproximationFactors checks the expected-value guarantees of
+// Theorems 3 and 4 on exhaustively solved instances: averaging over flip
+// coins, HTA-APP must reach ¼·OPT and HTA-GRE ⅛·OPT. Both typically do far
+// better; the test also records that neither exceeds OPT.
+func TestApproximationFactors(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 12; trial++ {
+		numWorkers := 1 + r.Intn(2)
+		xmax := 2 + r.Intn(2)
+		numTasks := numWorkers*xmax + r.Intn(3)
+		in := randInstance(t, r, numTasks, numWorkers, xmax, 10)
+		opt, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.Objective <= 0 {
+			continue // degenerate: nothing to approximate
+		}
+		const seeds = 40
+		var sumAPP, sumGRE float64
+		for s := 0; s < seeds; s++ {
+			app, err := HTAAPP(in, WithRand(rand.New(rand.NewSource(int64(s)))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gre, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(int64(s)))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if app.Objective > opt.Objective+1e-9 || gre.Objective > opt.Objective+1e-9 {
+				t.Fatalf("trial %d: solver exceeded optimum %g (app %g, gre %g)",
+					trial, opt.Objective, app.Objective, gre.Objective)
+			}
+			sumAPP += app.Objective
+			sumGRE += gre.Objective
+		}
+		meanAPP, meanGRE := sumAPP/seeds, sumGRE/seeds
+		if meanAPP < opt.Objective/4-1e-9 {
+			t.Errorf("trial %d: E[HTA-APP] = %g < OPT/4 = %g", trial, meanAPP, opt.Objective/4)
+		}
+		if meanGRE < opt.Objective/8-1e-9 {
+			t.Errorf("trial %d: E[HTA-GRE] = %g < OPT/8 = %g", trial, meanGRE, opt.Objective/8)
+		}
+	}
+}
+
+// TestGREObjectiveCloseToAPP reproduces the Figure 2b finding: the greedy
+// LSAP does not hurt the objective much. We require GRE to reach at least
+// 70% of APP on average across random instances (the paper observes
+// near-identical values).
+func TestGREObjectiveCloseToAPP(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	var sumAPP, sumGRE float64
+	for trial := 0; trial < 15; trial++ {
+		in := randInstance(t, r, 30, 3, 5, 20)
+		app, err := HTAAPP(in, WithRand(rand.New(rand.NewSource(7))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gre, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(7))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumAPP += app.Objective
+		sumGRE += gre.Objective
+	}
+	if sumGRE < 0.7*sumAPP {
+		t.Errorf("aggregate GRE objective %g below 70%% of APP %g", sumGRE, sumAPP)
+	}
+}
+
+func TestDivAndRelVariantsBiasTheAssignment(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	var divTD, relTD, divTR, relTR float64
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(t, r, 24, 2, 6, 16)
+		div, err := HTAGREDiv(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel, err := HTAGRERel(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := range in.Workers {
+			divTD += in.SetDiversity(div.Assignment.Sets[q])
+			relTD += in.SetDiversity(rel.Assignment.Sets[q])
+			divTR += in.SetRelevance(q, div.Assignment.Sets[q])
+			relTR += in.SetRelevance(q, rel.Assignment.Sets[q])
+		}
+	}
+	if divTD <= relTD {
+		t.Errorf("diversity-only TD %g not above relevance-only TD %g", divTD, relTD)
+	}
+	if relTR <= divTR {
+		t.Errorf("relevance-only TR %g not above diversity-only TR %g", relTR, divTR)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	in := randInstance(t, r, 18, 2, 4, 12)
+	a, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(42))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(42))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Objective != b.Objective {
+		t.Fatalf("same seed, different objectives: %g vs %g", a.Objective, b.Objective)
+	}
+	for q := range a.Assignment.Sets {
+		if len(a.Assignment.Sets[q]) != len(b.Assignment.Sets[q]) {
+			t.Fatalf("same seed, different assignments")
+		}
+		for i := range a.Assignment.Sets[q] {
+			if a.Assignment.Sets[q][i] != b.Assignment.Sets[q][i] {
+				t.Fatalf("same seed, different assignments")
+			}
+		}
+	}
+}
+
+func TestWithoutFlipStillFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	in := randInstance(t, r, 16, 2, 4, 12)
+	res, err := HTAAPP(in, WithoutFlip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Without the flip the run is fully deterministic regardless of seed.
+	res2, err := HTAAPP(in, WithoutFlip(), WithRand(rand.New(rand.NewSource(999))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Objective != res2.Objective {
+		t.Fatalf("flipless runs differ: %g vs %g", res.Objective, res2.Objective)
+	}
+}
+
+func TestWithMatcherOverride(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	in := randInstance(t, r, 14, 2, 3, 12)
+	a, err := HTAGRE(in, WithMatcher(matching.GreedySort), WithoutFlip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := HTAGRE(in, WithMatcher(matching.Suitor), WithoutFlip())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Suitor computes the same greedy matching, so the whole pipeline agrees.
+	if a.Objective != b.Objective {
+		t.Fatalf("matcher override changed result: %g vs %g", a.Objective, b.Objective)
+	}
+}
+
+// TestWithExactMatcher runs the pipeline with the blossom matcher — the
+// literal "maximum weight matching" of Algorithm 1, Line 2 — and checks
+// the output stays feasible with a sane objective.
+func TestWithExactMatcher(t *testing.T) {
+	r := rand.New(rand.NewSource(39))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(t, r, 16, 2, 4, 12)
+		res, err := HTAAPP(in, WithMatcher(matching.Blossom))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Assignment.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if res.Objective <= 0 {
+			t.Fatalf("trial %d: objective %g", trial, res.Objective)
+		}
+	}
+}
+
+func TestRandomBaselineWithFewTasks(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	in := randInstance(t, r, 3, 2, 5, 8)
+	res := Random(in, r)
+	if err := res.Assignment.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.AssignedCount() != 3 {
+		t.Fatalf("assigned %d, want all 3", res.Assignment.AssignedCount())
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	in := randInstance(t, r, 30, 5, 3, 8)
+	if _, err := Exact(in); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestExactBeatsHeuristicsOnTinyInstances(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		in := randInstance(t, r, 6, 2, 2, 8)
+		opt, err := Exact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Assignment.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		gre, err := HTAGRE(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gre.Objective > opt.Objective+1e-9 {
+			t.Fatalf("trial %d: GRE %g beat exact %g", trial, gre.Objective, opt.Objective)
+		}
+	}
+}
+
+// TestAuxCostsConsistency: the implicit column-classed profits must agree
+// with the literal formula f[k][l] = bM(t_k)·degA(l) + c[k][l].
+func TestAuxCostsConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	in := randInstance(t, r, 10, 2, 3, 10)
+	m := qap.NewMapping(in)
+	mb := matching.GreedySort(m.NumReal(), in.Diversity)
+	costs := newAuxCosts(m, mb)
+	if costs.NumClasses() != 3 {
+		t.Fatalf("NumClasses = %d, want 3", costs.NumClasses())
+	}
+	for k := 0; k < costs.N(); k++ {
+		var bM float64
+		if k < m.NumReal() && mb.Mate[k] != -1 {
+			bM = in.Diversity(k, mb.Mate[k])
+		}
+		for l := 0; l < costs.N(); l++ {
+			want := bM*m.DegA(l) + m.C(k, l)
+			if got := costs.At(k, l); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("f[%d][%d] = %g, want %g", k, l, got, want)
+			}
+			if got := costs.AtClass(k, costs.Class(l)); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("AtClass(%d,%d) = %g, want %g", k, costs.Class(l), got, want)
+			}
+		}
+	}
+}
+
+// TestExample3Trace replays Example 3 of the paper on the Table I instance:
+// the prescribed diversity oracle makes greedy matching produce exactly
+// M_B = {(t4,t8),(t1,t6),(t3,t2),(t7,t5)}, the auxiliary profit
+// f[t1][vertex1] is 1·0.4 + 0.448 = 0.848, and the permutation the paper
+// reports, π = (4,7,1,6,3,8,2,5), attains the LSAP optimum.
+func TestExample3Trace(t *testing.T) {
+	rel := [][]float64{
+		{0.28, 0.25, 0.2, 0.43, 0.67, 0.4, 0, 0.4},
+		{0.3, 0, 0.2, 0.25, 0.25, 0, 0, 0.4},
+	}
+	workers := []*core.Worker{
+		{ID: "w1", Alpha: 0.2, Beta: 0.8},
+		{ID: "w2", Alpha: 0.6, Beta: 0.3},
+	}
+	// Diversities given in Example 3 (0-based pairs), all other pairs 0.
+	pairs := map[[2]int]float64{
+		{3, 7}: 1, {0, 5}: 1, {1, 2}: 0.86, {4, 6}: 0.8,
+	}
+	div := func(k, l int) float64 {
+		if k > l {
+			k, l = l, k
+		}
+		return pairs[[2]int{k, l}]
+	}
+	in, err := core.NewCustomInstance(8, workers, 3, rel, div, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := qap.NewMapping(in)
+	mb := matching.GreedySort(8, in.Diversity)
+	for pair, w := range pairs {
+		if w == 0 {
+			continue
+		}
+		if mb.Mate[pair[0]] != pair[1] {
+			t.Fatalf("M_B mate of t%d = %d, want %d", pair[0]+1, mb.Mate[pair[0]], pair[1])
+		}
+	}
+	costs := newAuxCosts(m, mb)
+	if got := costs.At(0, 0); math.Abs(got-0.848) > 1e-12 {
+		t.Fatalf("f[1][1] = %g, want 0.848", got)
+	}
+	// The paper reports π = (4,7,1,6,3,8,2,5) (1-based). Example 3 omits
+	// the diversities of all other task pairs (we fill them with 0), so the
+	// paper's π need not be the optimum of our zero-filled oracle — but the
+	// Hungarian optimum must dominate it, and the translation of the
+	// paper's π must match the paper's stated worker sets.
+	paperPerm := []int{3, 6, 0, 5, 2, 7, 1, 4}
+	var paperVal float64
+	for k, l := range paperPerm {
+		paperVal += costs.At(k, l)
+	}
+	hung := lsap.Hungarian(costs)
+	if hung.Value < paperVal-1e-9 {
+		t.Fatalf("Hungarian value %g below paper permutation value %g", hung.Value, paperVal)
+	}
+	// The paper's permutation yields w1 ← {t3,t5,t7}, w2 ← {t1,t4,t8}.
+	a := m.AssignmentFromPerm(paperPerm)
+	want := [][]int{{2, 4, 6}, {0, 3, 7}}
+	for q := range want {
+		if !sameSet(a.Sets[q], want[q]) {
+			t.Fatalf("worker %d gets %v, want %v", q, a.Sets[q], want[q])
+		}
+	}
+}
+
+func sameSet(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[int]bool, len(a))
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHTAWithAuction: the ε-scaled auction solves the auxiliary LSAP
+// near-exactly, so the pipeline behaves like HTA-APP.
+func TestHTAWithAuction(t *testing.T) {
+	r := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 6; trial++ {
+		in := randInstance(t, r, 18, 2, 4, 12)
+		auc, err := HTAWith(in, "hta-auction", lsap.Auction, WithRand(rand.New(rand.NewSource(3))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := auc.Assignment.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		if auc.Algorithm != "hta-auction" {
+			t.Fatalf("algorithm = %q", auc.Algorithm)
+		}
+		app, err := HTAAPP(in, WithRand(rand.New(rand.NewSource(3))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Both solve the same LSAP optimally (up to tie choices), so the
+		// objectives should be in the same range.
+		if auc.Objective < 0.5*app.Objective {
+			t.Fatalf("trial %d: auction pipeline %g far below APP %g", trial, auc.Objective, app.Objective)
+		}
+	}
+	if _, err := HTAWith(nil, "x", nil); err == nil {
+		t.Fatal("nil assigner accepted")
+	}
+}
+
+// TestShuffleBeatsDeterministicTiesOnGroupedTasks reproduces the failure
+// mode that motivates the task shuffle: with runs of identical tasks (AMT
+// task groups) and deterministic indexing, LSAP ties pack clones into one
+// worker and collapse diversity. The shuffled default must clearly beat
+// the unshuffled run on such corpora.
+func TestShuffleBeatsDeterministicTiesOnGroupedTasks(t *testing.T) {
+	// 4 groups × 10 identical tasks; 2 workers × 10 slots.
+	const universeSize = 16
+	tasks := make([]*core.Task, 0, 40)
+	for g := 0; g < 4; g++ {
+		kw := bitset.FromIndices(universeSize, 4*g, 4*g+1, 4*g+2)
+		for i := 0; i < 10; i++ {
+			tasks = append(tasks, &core.Task{ID: "t", Keywords: kw})
+		}
+	}
+	workers := []*core.Worker{
+		{ID: "a", Alpha: 0.9, Beta: 0.1, Keywords: bitset.FromIndices(universeSize, 0)},
+		{ID: "b", Alpha: 0.9, Beta: 0.1, Keywords: bitset.FromIndices(universeSize, 4)},
+	}
+	in, err := core.NewInstance(tasks, workers, 10, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var withShuffle, withoutShuffle float64
+	for seed := int64(0); seed < 10; seed++ {
+		s, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(seed))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := HTAGRE(in, WithRand(rand.New(rand.NewSource(seed))), WithoutTaskShuffle())
+		if err != nil {
+			t.Fatal(err)
+		}
+		withShuffle += s.Objective
+		withoutShuffle += n.Objective
+	}
+	if withShuffle < 1.3*withoutShuffle {
+		t.Errorf("shuffle %g not clearly above deterministic ties %g", withShuffle, withoutShuffle)
+	}
+}
+
+func TestTimingsPopulated(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	in := randInstance(t, r, 40, 3, 5, 16)
+	res, err := HTAAPP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 || res.TotalTime < res.LSAPTime {
+		t.Fatalf("timings inconsistent: total %v lsap %v matching %v",
+			res.TotalTime, res.LSAPTime, res.MatchingTime)
+	}
+}
+
+func BenchmarkHTAAPP(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	in := randInstance(b, r, 300, 10, 10, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HTAAPP(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHTAGRE(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	in := randInstance(b, r, 300, 10, 10, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := HTAGRE(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

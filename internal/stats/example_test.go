@@ -1,0 +1,36 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"github.com/htacs/ata/internal/stats"
+)
+
+// ExampleTwoProportionZTest reruns the kind of comparison the paper makes
+// on crowdwork quality.
+func ExampleTwoProportionZTest() {
+	// Strategy A answered 310/379 questions correctly, strategy B 286/379.
+	res, err := stats.TwoProportionZTest(310, 379, 286, 379)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("Z = %.2f, one-sided p = %.3f\n", res.Z, res.POneSided)
+	// Output:
+	// Z = 2.13, one-sided p = 0.017
+}
+
+// ExampleMannWhitneyU compares per-session completed-task counts, as the
+// paper does for throughput.
+func ExampleMannWhitneyU() {
+	a := []float64{40, 38, 36, 35, 33}
+	b := []float64{30, 29, 28, 27, 26}
+	res, err := stats.MannWhitneyU(a, b)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("U = %.0f, one-sided p = %.3f\n", res.U, res.POneSided)
+	// Output:
+	// U = 25, one-sided p = 0.005
+}

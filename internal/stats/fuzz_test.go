@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzMannWhitneyU feeds arbitrary float pairs through the U test and
+// checks it never panics, never returns out-of-range p-values, and stays
+// antisymmetric.
+func FuzzMannWhitneyU(f *testing.F) {
+	f.Add(1.0, 2.0, 3.0, 4.0)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-5.0, 5.0, 1e300, -1e300)
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2 float64) {
+		for _, v := range []float64{a1, a2, b1, b2} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("NaN/Inf inputs are out of contract")
+			}
+		}
+		a := []float64{a1, a2}
+		b := []float64{b1, b2}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			return // insufficient data (e.g. all tied) is a valid outcome
+		}
+		if res.POneSided < 0 || res.POneSided > 1 || res.PTwoSided < 0 || res.PTwoSided > 1.0000001 {
+			t.Fatalf("p-values out of range: %+v", res)
+		}
+		rev, err := MannWhitneyU(b, a)
+		if err != nil {
+			t.Fatalf("reverse direction errored: %v", err)
+		}
+		if math.Abs(res.Z+rev.Z) > 1e-9 {
+			t.Fatalf("Z not antisymmetric: %g vs %g", res.Z, rev.Z)
+		}
+	})
+}
+
+// FuzzTwoProportionZTest checks the Z test over arbitrary counts.
+func FuzzTwoProportionZTest(f *testing.F) {
+	f.Add(10, 20, 5, 20)
+	f.Add(0, 1, 1, 1)
+	f.Add(-1, 5, 2, 5)
+	f.Fuzz(func(t *testing.T, x1, n1, x2, n2 int) {
+		res, err := TwoProportionZTest(x1, n1, x2, n2)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(res.Z) || res.POneSided < 0 || res.POneSided > 0.5000001 {
+			t.Fatalf("bad result for (%d/%d, %d/%d): %+v", x1, n1, x2, n2, res)
+		}
+	})
+}

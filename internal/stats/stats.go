@@ -1,0 +1,205 @@
+// Package stats implements the statistical machinery of the paper's online
+// evaluation (Section V-C): the two-proportions Z-test used on crowdwork
+// quality, the Mann-Whitney U test used on per-session completed-task
+// counts and session durations, and survival curves for worker retention.
+// Only the normal approximations are implemented, which is what the paper's
+// sample sizes (20 sessions per strategy, ~1,100 graded questions) call
+// for.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a test cannot run on the sample.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean; 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation (n−1 denominator); 0 for
+// samples smaller than 2.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the sample using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %g outside [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// normalCDF is the standard normal cumulative distribution function.
+func normalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// ZTestResult reports a Z statistic with its one- and two-sided p-values.
+type ZTestResult struct {
+	Z         float64
+	POneSided float64 // P(Z' >= |Z|): evidence that the higher proportion is truly higher
+	PTwoSided float64
+}
+
+// TwoProportionZTest compares success proportions x1/n1 and x2/n2 using the
+// pooled two-proportions Z-test, as the paper does for the share of correct
+// answers per strategy ("the significance level is 0.06 using
+// two-proportions Z-test").
+func TwoProportionZTest(x1, n1, x2, n2 int) (ZTestResult, error) {
+	if n1 <= 0 || n2 <= 0 {
+		return ZTestResult{}, fmt.Errorf("%w: n1=%d n2=%d", ErrInsufficientData, n1, n2)
+	}
+	if x1 < 0 || x1 > n1 || x2 < 0 || x2 > n2 {
+		return ZTestResult{}, fmt.Errorf("stats: counts out of range: %d/%d, %d/%d", x1, n1, x2, n2)
+	}
+	p1 := float64(x1) / float64(n1)
+	p2 := float64(x2) / float64(n2)
+	pooled := float64(x1+x2) / float64(n1+n2)
+	se := math.Sqrt(pooled * (1 - pooled) * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return ZTestResult{}, fmt.Errorf("%w: zero variance (pooled p = %g)", ErrInsufficientData, pooled)
+	}
+	z := (p1 - p2) / se
+	abs := math.Abs(z)
+	return ZTestResult{
+		Z:         z,
+		POneSided: 1 - normalCDF(abs),
+		PTwoSided: 2 * (1 - normalCDF(abs)),
+	}, nil
+}
+
+// UTestResult reports a Mann-Whitney U test.
+type UTestResult struct {
+	U         float64 // U statistic of the first sample
+	Z         float64 // normal approximation with tie correction
+	POneSided float64
+	PTwoSided float64
+}
+
+// MannWhitneyU compares two independent samples with the Mann-Whitney U
+// test (normal approximation with tie correction), as the paper does for
+// completed tasks per session and session durations. Both samples need at
+// least one observation; the approximation is reasonable for n1+n2 ≥ ~12,
+// which the paper's 20-session samples satisfy.
+func MannWhitneyU(a, b []float64) (UTestResult, error) {
+	n1, n2 := len(a), len(b)
+	if n1 == 0 || n2 == 0 {
+		return UTestResult{}, fmt.Errorf("%w: n1=%d n2=%d", ErrInsufficientData, n1, n2)
+	}
+	type obs struct {
+		v     float64
+		first bool
+	}
+	all := make([]obs, 0, n1+n2)
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Midranks with tie groups; accumulate tie correction Σ(t³−t).
+	n := n1 + n2
+	ranks := make([]float64, n)
+	var tieCorrection float64
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		// Ranks i+1..j share the midrank.
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var r1 float64
+	for i, o := range all {
+		if o.first {
+			r1 += ranks[i]
+		}
+	}
+	u1 := r1 - float64(n1)*float64(n1+1)/2
+	mu := float64(n1) * float64(n2) / 2
+	nf := float64(n)
+	variance := (float64(n1) * float64(n2) / 12) * (nf + 1 - tieCorrection/(nf*(nf-1)))
+	if variance <= 0 {
+		return UTestResult{}, fmt.Errorf("%w: all observations tied", ErrInsufficientData)
+	}
+	z := (u1 - mu) / math.Sqrt(variance)
+	abs := math.Abs(z)
+	return UTestResult{
+		U:         u1,
+		Z:         z,
+		POneSided: 1 - normalCDF(abs),
+		PTwoSided: 2 * (1 - normalCDF(abs)),
+	}, nil
+}
+
+// SurvivalPoint is one step of a survival curve.
+type SurvivalPoint struct {
+	Time     float64 // duration threshold
+	Fraction float64 // fraction of sessions strictly longer than Time... see SurvivalCurve
+}
+
+// SurvivalCurve returns, for each time in grid, the fraction of durations
+// that are ≥ that time — the paper's Figure 5c ("% of sessions that ended
+// after x minutes"). grid must be sorted ascending.
+func SurvivalCurve(durations []float64, grid []float64) []SurvivalPoint {
+	out := make([]SurvivalPoint, len(grid))
+	n := float64(len(durations))
+	for i, g := range grid {
+		alive := 0
+		for _, d := range durations {
+			if d >= g {
+				alive++
+			}
+		}
+		frac := 0.0
+		if n > 0 {
+			frac = float64(alive) / n
+		}
+		out[i] = SurvivalPoint{Time: g, Fraction: frac}
+	}
+	return out
+}

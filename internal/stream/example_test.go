@@ -1,0 +1,49 @@
+package stream_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/stream"
+)
+
+// ExampleAssigner routes two arriving tasks: one to the worker with a free
+// slot and matching interests, the next into the buffer once capacity is
+// exhausted.
+func ExampleAssigner() {
+	a, err := stream.NewAssigner(stream.Config{Xmax: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	worker := &core.Worker{ID: "ada", Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(8, 0, 1)}
+	if _, err := a.AddWorker(worker); err != nil {
+		log.Fatal(err)
+	}
+
+	first := &core.Task{ID: "t1", Keywords: bitset.FromIndices(8, 0)}
+	who, err := a.OfferTask(first)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("t1 ->", who)
+
+	second := &core.Task{ID: "t2", Keywords: bitset.FromIndices(8, 1)}
+	who, err = a.OfferTask(second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t2 -> buffered=%v\n", who == "")
+
+	// Completing t1 frees the slot; the buffer drains immediately.
+	pulled, err := a.Complete("ada", "t1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after completion, ada works on", pulled.ID)
+	// Output:
+	// t1 -> ada
+	// t2 -> buffered=true
+	// after completion, ada works on t2
+}

@@ -1,0 +1,286 @@
+// Package stream implements online (streaming) motivation-aware task
+// assignment — the deployment mode the paper's conclusion names as future
+// work: "task assignment ... needs to be streamed and will depend on the
+// availability of workers".
+//
+// Unlike the iteration engine (package adaptive), which solves a full HTA
+// instance over a pooled batch, the streaming Assigner makes an immediate
+// decision per event:
+//
+//   - a task arrives → it goes to the worker with the largest marginal
+//     motivation gain among those with free capacity, or into a bounded
+//     buffer when everyone is full;
+//   - a worker completes a task → the freed slot pulls the buffered task
+//     with the best marginal gain for that worker;
+//   - a worker arrives → it drains the buffer up to Xmax;
+//   - a worker departs → its active (never-started) tasks return to the
+//     buffer for reassignment. This deliberately relaxes the batch model's
+//     "once assigned, dropped" rule, which exists to keep iterations
+//     disjoint, not to waste work on an abandoned queue.
+//
+// The marginal gain is the same quantity the batch objective sums
+// (Equation 3 of the paper, incrementally):
+//
+//	Δ(q, k) = 2·α_q·Σ_{t∈active(q)} d(k, t) + β_q·(TR_q + |active(q)|·rel(q, k))
+package stream
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+)
+
+// Config parameterizes an Assigner.
+type Config struct {
+	// Xmax caps each worker's active set (constraint C1).
+	Xmax int
+	// BufferLimit caps the number of unassigned tasks held for later;
+	// OfferTask rejects arrivals beyond it. Defaults to 1024.
+	BufferLimit int
+	// Dist is the diversity metric; defaults to Jaccard.
+	Dist metric.Distance
+}
+
+// workerState is one worker's streaming state.
+type workerState struct {
+	worker *core.Worker
+	active []*core.Task // currently assigned, not yet completed
+	sumRel float64      // Σ rel(t, w) over active
+	done   int          // completed count
+}
+
+// Assigner is the streaming decision-maker. It is not safe for concurrent
+// use; wrap it in a mutex (as the platform server does for the batch
+// engine) when events arrive from multiple goroutines.
+type Assigner struct {
+	cfg     Config
+	workers map[string]*workerState
+	order   []string
+	buffer  []*core.Task
+	seen    map[string]bool // task IDs ever accepted, to reject duplicates
+}
+
+// NewAssigner validates the configuration.
+func NewAssigner(cfg Config) (*Assigner, error) {
+	if cfg.Xmax < 1 {
+		return nil, fmt.Errorf("stream: Xmax = %d, must be >= 1", cfg.Xmax)
+	}
+	if cfg.BufferLimit == 0 {
+		cfg.BufferLimit = 1024
+	}
+	if cfg.BufferLimit < 0 {
+		return nil, fmt.Errorf("stream: BufferLimit = %d", cfg.BufferLimit)
+	}
+	if cfg.Dist == nil {
+		cfg.Dist = metric.Jaccard{}
+	}
+	return &Assigner{
+		cfg:     cfg,
+		workers: make(map[string]*workerState),
+		seen:    make(map[string]bool),
+	}, nil
+}
+
+// BufferLen returns the number of tasks waiting for a free slot.
+func (a *Assigner) BufferLen() int { return len(a.buffer) }
+
+// Active returns the IDs of the tasks currently assigned to the worker.
+func (a *Assigner) Active(workerID string) ([]string, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	out := make([]string, len(ws.active))
+	for i, t := range ws.active {
+		out[i] = t.ID
+	}
+	return out, nil
+}
+
+// AddWorker registers a worker and immediately drains the buffer into its
+// free capacity, best-marginal-gain first. Returns the tasks assigned.
+func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
+	if w == nil || w.Keywords == nil {
+		return nil, errors.New("stream: nil worker or keywords")
+	}
+	if w.ID == "" {
+		return nil, errors.New("stream: worker with empty ID")
+	}
+	if _, dup := a.workers[w.ID]; dup {
+		return nil, fmt.Errorf("stream: duplicate worker %q", w.ID)
+	}
+	ws := &workerState{worker: w}
+	a.workers[w.ID] = ws
+	a.order = append(a.order, w.ID)
+	var assigned []*core.Task
+	for len(ws.active) < a.cfg.Xmax {
+		t := a.pullBest(ws)
+		if t == nil {
+			break
+		}
+		assigned = append(assigned, t)
+	}
+	return assigned, nil
+}
+
+// RemoveWorker deregisters a worker; its unfinished active tasks return to
+// the buffer (subject to the buffer limit; overflow tasks are dropped and
+// returned so the caller can decide their fate).
+func (a *Assigner) RemoveWorker(id string) (dropped []*core.Task, err error) {
+	ws, ok := a.workers[id]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", id)
+	}
+	delete(a.workers, id)
+	for i, oid := range a.order {
+		if oid == id {
+			a.order = append(a.order[:i], a.order[i+1:]...)
+			break
+		}
+	}
+	for _, t := range ws.active {
+		if len(a.buffer) < a.cfg.BufferLimit {
+			a.buffer = append(a.buffer, t)
+		} else {
+			dropped = append(dropped, t)
+		}
+	}
+	return dropped, nil
+}
+
+// ErrBufferFull is returned when a task arrives and neither a slot nor
+// buffer space is available.
+var ErrBufferFull = errors.New("stream: task buffer full")
+
+// OfferTask routes an arriving task: to the best worker with capacity, or
+// into the buffer. It returns the assigned worker's ID, or "" if buffered.
+func (a *Assigner) OfferTask(t *core.Task) (string, error) {
+	if t == nil || t.Keywords == nil {
+		return "", errors.New("stream: nil task or keywords")
+	}
+	if t.ID == "" {
+		return "", errors.New("stream: task with empty ID")
+	}
+	if a.seen[t.ID] {
+		return "", fmt.Errorf("stream: duplicate task %q", t.ID)
+	}
+	// Primary criterion: marginal motivation gain. Ties — in particular
+	// the first task of an empty set, whose singleton motiv is 0 by
+	// Equation 3 — break toward the more relevant worker, so cold workers
+	// start from work that matches their interests.
+	bestQ, bestGain, bestRel := "", -1.0, -1.0
+	for _, id := range a.order {
+		ws := a.workers[id]
+		if len(ws.active) >= a.cfg.Xmax {
+			continue
+		}
+		g := a.marginalGain(ws, t)
+		rel := metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+		if g > bestGain+1e-12 || (g > bestGain-1e-12 && rel > bestRel) {
+			bestQ, bestGain, bestRel = id, g, rel
+		}
+	}
+	a.seen[t.ID] = true
+	if bestQ == "" {
+		if len(a.buffer) >= a.cfg.BufferLimit {
+			delete(a.seen, t.ID)
+			return "", ErrBufferFull
+		}
+		a.buffer = append(a.buffer, t)
+		return "", nil
+	}
+	a.assign(a.workers[bestQ], t)
+	return bestQ, nil
+}
+
+// Complete marks an active task finished; the freed slot immediately pulls
+// the best buffered task for that worker, which is returned (nil if the
+// buffer is empty).
+func (a *Assigner) Complete(workerID, taskID string) (*core.Task, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	idx := -1
+	for i, t := range ws.active {
+		if t.ID == taskID {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		return nil, fmt.Errorf("stream: task %q is not active for worker %q", taskID, workerID)
+	}
+	ws.sumRel -= metric.Relevance(a.cfg.Dist, ws.active[idx].Keywords, ws.worker.Keywords)
+	ws.active = append(ws.active[:idx], ws.active[idx+1:]...)
+	ws.done++
+	return a.pullBest(ws), nil
+}
+
+// Objective returns the current total motivation over all active sets —
+// the streaming analogue of the batch objective, useful for comparing the
+// online decisions against an offline solve on the same data.
+func (a *Assigner) Objective() float64 {
+	var total float64
+	for _, id := range a.order {
+		ws := a.workers[id]
+		w := ws.worker
+		var td float64
+		for i := 1; i < len(ws.active); i++ {
+			for j := 0; j < i; j++ {
+				td += a.cfg.Dist.Distance(ws.active[i].Keywords, ws.active[j].Keywords)
+			}
+		}
+		if len(ws.active) > 0 {
+			total += 2*w.Alpha*td + w.Beta*float64(len(ws.active)-1)*ws.sumRel
+		}
+	}
+	return total
+}
+
+// Completed returns how many tasks the worker has finished.
+func (a *Assigner) Completed(workerID string) (int, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return 0, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	return ws.done, nil
+}
+
+// marginalGain is Δ(q, k) from the package comment.
+func (a *Assigner) marginalGain(ws *workerState, t *core.Task) float64 {
+	var sumDiv float64
+	for _, u := range ws.active {
+		sumDiv += a.cfg.Dist.Distance(t.Keywords, u.Keywords)
+	}
+	rel := metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+	w := ws.worker
+	return 2*w.Alpha*sumDiv + w.Beta*(ws.sumRel+float64(len(ws.active))*rel)
+}
+
+// pullBest removes and assigns the buffered task with the best marginal
+// gain for the worker; nil when the buffer is empty or the worker is full.
+func (a *Assigner) pullBest(ws *workerState) *core.Task {
+	if len(a.buffer) == 0 || len(ws.active) >= a.cfg.Xmax {
+		return nil
+	}
+	bestI, bestGain := -1, -1.0
+	for i, t := range a.buffer {
+		if g := a.marginalGain(ws, t); g > bestGain {
+			bestI, bestGain = i, g
+		}
+	}
+	t := a.buffer[bestI]
+	last := len(a.buffer) - 1
+	a.buffer[bestI] = a.buffer[last]
+	a.buffer = a.buffer[:last]
+	a.assign(ws, t)
+	return t
+}
+
+func (a *Assigner) assign(ws *workerState, t *core.Task) {
+	ws.active = append(ws.active, t)
+	ws.sumRel += metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+}

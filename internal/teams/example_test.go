@@ -1,0 +1,40 @@
+package teams_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/teams"
+)
+
+// ExampleGreedy staffs one collaborative task needing two complementary
+// skills from a pool of three workers.
+func ExampleGreedy() {
+	const universe = 8
+	task := &teams.CollabTask{
+		Task:     &core.Task{ID: "bilingual-review", Keywords: bitset.FromIndices(universe, 0, 1)},
+		TeamSize: 2,
+	}
+	workers := []*core.Worker{
+		{ID: "skill-0", Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(universe, 0)},
+		{ID: "skill-1", Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(universe, 1)},
+		{ID: "neither", Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(universe, 7)},
+	}
+	p, err := teams.NewProblem([]*teams.CollabTask{task}, workers, metric.Jaccard{}, teams.DefaultWeights())
+	if err != nil {
+		log.Fatal(err)
+	}
+	a := teams.Greedy(p)
+	team := a.Teams[0]
+	fmt.Printf("coverage %.2f with %d members\n", p.Coverage(0, team), len(team))
+	for _, m := range team {
+		fmt.Println("-", workers[m].ID)
+	}
+	// Output:
+	// coverage 1.00 with 2 members
+	// - skill-0
+	// - skill-1
+}

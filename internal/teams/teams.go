@@ -1,0 +1,341 @@
+// Package teams implements the paper's stated future-work extension
+// (Section VII): motivation-aware assignment for *collaborative* tasks,
+// where a task needs a whole team and "task assignment would have to
+// account for the presence of other workers in forming the most motivated
+// team to complete a task", with complementary skills and social signaling
+// as additional motivation factors.
+//
+// The model follows the paper's sketch. A collaborative task t requires
+// TeamSize workers; the motivation of team G for t combines
+//
+//   - coverage: how much of t's keyword requirements the union of member
+//     skills covers (complementary skills — members contributing the same
+//     keywords do not add coverage);
+//   - relevance: the mean member↔task relevance (as in the core model);
+//   - affinity: social signaling, measured as the mean pairwise keyword
+//     similarity between members (teams sharing vocabulary work better).
+//
+// score(t, G) = γc·coverage + γr·relevance + γa·affinity, with the γ
+// weights summing to 1.
+//
+// Team formation is NP-hard already for coverage alone (it embeds set
+// cover), so the package ships a greedy former with local-search
+// improvement and an exact enumerator for small instances used to test
+// the greedy's quality.
+package teams
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+)
+
+// CollabTask is a task needing a team.
+type CollabTask struct {
+	Task *core.Task
+	// TeamSize is the exact number of workers the task needs.
+	TeamSize int
+}
+
+// Weights are the γ coefficients of the team score. They must be
+// non-negative and sum to 1.
+type Weights struct {
+	Coverage  float64
+	Relevance float64
+	Affinity  float64
+}
+
+// DefaultWeights balance the three factors.
+func DefaultWeights() Weights { return Weights{Coverage: 0.4, Relevance: 0.3, Affinity: 0.3} }
+
+func (w Weights) validate() error {
+	if w.Coverage < 0 || w.Relevance < 0 || w.Affinity < 0 {
+		return errors.New("teams: negative weight")
+	}
+	if math.Abs(w.Coverage+w.Relevance+w.Affinity-1) > 1e-9 {
+		return fmt.Errorf("teams: weights sum to %g, want 1", w.Coverage+w.Relevance+w.Affinity)
+	}
+	return nil
+}
+
+// Problem is one team-formation instance.
+type Problem struct {
+	Tasks   []*CollabTask
+	Workers []*core.Worker
+	Dist    metric.Distance
+	Weights Weights
+}
+
+// NewProblem validates inputs. Every task needs keywords and a positive
+// team size; the total demand may exceed the worker supply (some tasks
+// then stay unstaffed).
+func NewProblem(tasks []*CollabTask, workers []*core.Worker, dist metric.Distance, w Weights) (*Problem, error) {
+	if dist == nil {
+		return nil, errors.New("teams: nil distance")
+	}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	for i, t := range tasks {
+		if t == nil || t.Task == nil || t.Task.Keywords == nil {
+			return nil, fmt.Errorf("teams: task %d is nil or lacks keywords", i)
+		}
+		if t.TeamSize < 1 {
+			return nil, fmt.Errorf("teams: task %d has team size %d", i, t.TeamSize)
+		}
+	}
+	for i, wk := range workers {
+		if wk == nil || wk.Keywords == nil {
+			return nil, fmt.Errorf("teams: worker %d is nil or lacks keywords", i)
+		}
+	}
+	return &Problem{Tasks: tasks, Workers: workers, Dist: dist, Weights: w}, nil
+}
+
+// Coverage returns the fraction of the task's keywords covered by the
+// union of the members' keywords; 1 for tasks with no keywords.
+func (p *Problem) Coverage(task int, members []int) float64 {
+	req := p.Tasks[task].Task.Keywords
+	total := req.Count()
+	if total == 0 {
+		return 1
+	}
+	covered := 0
+	for _, k := range req.Indices() {
+		for _, m := range members {
+			w := p.Workers[m].Keywords
+			if k < w.Len() && w.Contains(k) {
+				covered++
+				break
+			}
+		}
+	}
+	return float64(covered) / float64(total)
+}
+
+// Relevance returns the mean member↔task relevance.
+func (p *Problem) Relevance(task int, members []int) float64 {
+	if len(members) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, m := range members {
+		sum += metric.Relevance(p.Dist, p.Tasks[task].Task.Keywords, p.Workers[m].Keywords)
+	}
+	return sum / float64(len(members))
+}
+
+// Affinity returns the mean pairwise keyword similarity between members
+// (1 − distance); 1 for singleton teams.
+func (p *Problem) Affinity(members []int) float64 {
+	if len(members) < 2 {
+		return 1
+	}
+	var sum float64
+	var n int
+	for i := 1; i < len(members); i++ {
+		for j := 0; j < i; j++ {
+			sum += 1 - p.Dist.Distance(p.Workers[members[i]].Keywords, p.Workers[members[j]].Keywords)
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+// Score returns the team score for assigning the members to the task.
+// Incomplete teams (fewer members than TeamSize) score 0: the task cannot
+// run without a full team.
+func (p *Problem) Score(task int, members []int) float64 {
+	if len(members) != p.Tasks[task].TeamSize {
+		return 0
+	}
+	w := p.Weights
+	return w.Coverage*p.Coverage(task, members) +
+		w.Relevance*p.Relevance(task, members) +
+		w.Affinity*p.Affinity(members)
+}
+
+// Assignment maps task index → member worker indices (empty = unstaffed).
+type Assignment struct {
+	Teams [][]int
+}
+
+// Validate checks team sizes (full or empty) and worker disjointness.
+func (a *Assignment) Validate(p *Problem) error {
+	if len(a.Teams) != len(p.Tasks) {
+		return fmt.Errorf("teams: %d teams for %d tasks", len(a.Teams), len(p.Tasks))
+	}
+	used := make(map[int]int)
+	for t, team := range a.Teams {
+		if len(team) != 0 && len(team) != p.Tasks[t].TeamSize {
+			return fmt.Errorf("teams: task %d staffed with %d of %d members", t, len(team), p.Tasks[t].TeamSize)
+		}
+		for _, m := range team {
+			if m < 0 || m >= len(p.Workers) {
+				return fmt.Errorf("teams: member %d out of range", m)
+			}
+			if prev, dup := used[m]; dup {
+				return fmt.Errorf("teams: worker %d on tasks %d and %d", m, prev, t)
+			}
+			used[m] = t
+		}
+	}
+	return nil
+}
+
+// Objective returns the total score of an assignment.
+func (p *Problem) Objective(a *Assignment) float64 {
+	var total float64
+	for t, team := range a.Teams {
+		if len(team) == p.Tasks[t].TeamSize {
+			total += p.Score(t, team)
+		}
+	}
+	return total
+}
+
+// Greedy forms teams task by task (largest teams first): each task
+// repeatedly recruits the free worker with the best marginal score
+// contribution, then a pairwise local search swaps members between teams
+// while the objective improves.
+func Greedy(p *Problem) *Assignment {
+	a := &Assignment{Teams: make([][]int, len(p.Tasks))}
+	free := make([]bool, len(p.Workers))
+	for i := range free {
+		free[i] = true
+	}
+	// Staff big teams first: they are hardest to fill well.
+	order := make([]int, len(p.Tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return p.Tasks[order[i]].TeamSize > p.Tasks[order[j]].TeamSize
+	})
+	for _, t := range order {
+		size := p.Tasks[t].TeamSize
+		if countFree(free) < size {
+			continue
+		}
+		team := make([]int, 0, size)
+		for len(team) < size {
+			best, bestGain := -1, math.Inf(-1)
+			for w, ok := range free {
+				if !ok {
+					continue
+				}
+				cand := append(team, w)
+				// Marginal proxy: score the partial team as if complete.
+				gain := p.partialScore(t, cand)
+				if gain > bestGain {
+					best, bestGain = w, gain
+				}
+			}
+			free[best] = false
+			team = append(team, best)
+		}
+		a.Teams[t] = team
+	}
+	localSearch(p, a)
+	return a
+}
+
+// partialScore scores a possibly incomplete team (used only inside the
+// greedy recruitment loop).
+func (p *Problem) partialScore(task int, members []int) float64 {
+	w := p.Weights
+	return w.Coverage*p.Coverage(task, members) +
+		w.Relevance*p.Relevance(task, members) +
+		w.Affinity*p.Affinity(members)
+}
+
+func countFree(free []bool) int {
+	n := 0
+	for _, ok := range free {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// localSearch swaps pairs of members across teams while improving.
+func localSearch(p *Problem, a *Assignment) {
+	improved := true
+	for rounds := 0; improved && rounds < 20; rounds++ {
+		improved = false
+		for t1 := range a.Teams {
+			for t2 := t1 + 1; t2 < len(a.Teams); t2++ {
+				if len(a.Teams[t1]) == 0 || len(a.Teams[t2]) == 0 {
+					continue
+				}
+				base := p.Score(t1, a.Teams[t1]) + p.Score(t2, a.Teams[t2])
+				for i := range a.Teams[t1] {
+					for j := range a.Teams[t2] {
+						a.Teams[t1][i], a.Teams[t2][j] = a.Teams[t2][j], a.Teams[t1][i]
+						if p.Score(t1, a.Teams[t1])+p.Score(t2, a.Teams[t2]) > base+1e-12 {
+							improved = true
+							base = p.Score(t1, a.Teams[t1]) + p.Score(t2, a.Teams[t2])
+						} else {
+							a.Teams[t1][i], a.Teams[t2][j] = a.Teams[t2][j], a.Teams[t1][i]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// ErrTooLarge is returned by Exact beyond its enumeration budget.
+var ErrTooLarge = errors.New("teams: instance too large for exact enumeration")
+
+// Exact enumerates all assignments of workers to team slots and returns an
+// optimal one. Budget-limited to tiny instances; used to validate Greedy.
+func Exact(p *Problem) (*Assignment, error) {
+	slots := 0
+	for _, t := range p.Tasks {
+		slots += t.TeamSize
+	}
+	states := math.Pow(float64(len(p.Tasks)+1), float64(len(p.Workers)))
+	if states > 5e6 {
+		return nil, fmt.Errorf("%w: (%d+1)^%d states", ErrTooLarge, len(p.Tasks), len(p.Workers))
+	}
+	choice := make([]int, len(p.Workers)) // task index or len(tasks) = idle
+	best := &Assignment{Teams: make([][]int, len(p.Tasks))}
+	bestVal := math.Inf(-1)
+	var recurse func(w int)
+	recurse = func(w int) {
+		if w == len(p.Workers) {
+			a := &Assignment{Teams: make([][]int, len(p.Tasks))}
+			for worker, t := range choice {
+				if t < len(p.Tasks) {
+					a.Teams[t] = append(a.Teams[t], worker)
+				}
+			}
+			// Only full teams count; discard overfull states early.
+			for t, team := range a.Teams {
+				if len(team) > p.Tasks[t].TeamSize {
+					return
+				}
+				if len(team) < p.Tasks[t].TeamSize {
+					a.Teams[t] = nil
+				}
+			}
+			if v := p.Objective(a); v > bestVal {
+				bestVal = v
+				best = a
+			}
+			return
+		}
+		for t := 0; t <= len(p.Tasks); t++ {
+			choice[w] = t
+			recurse(w + 1)
+		}
+	}
+	recurse(0)
+	return best, nil
+}

@@ -1,0 +1,261 @@
+package teams
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+)
+
+const universe = 24
+
+func collabTask(size int, kw ...int) *CollabTask {
+	return &CollabTask{
+		Task:     &core.Task{ID: "t", Keywords: bitset.FromIndices(universe, kw...)},
+		TeamSize: size,
+	}
+}
+
+func worker(kw ...int) *core.Worker {
+	return &core.Worker{Alpha: 0.5, Beta: 0.5, Keywords: bitset.FromIndices(universe, kw...)}
+}
+
+func mustProblem(t *testing.T, tasks []*CollabTask, workers []*core.Worker) *Problem {
+	t.Helper()
+	p, err := NewProblem(tasks, workers, metric.Jaccard{}, DefaultWeights())
+	if err != nil {
+		t.Fatalf("NewProblem: %v", err)
+	}
+	return p
+}
+
+func randProblem(r *rand.Rand, numTasks, numWorkers int) *Problem {
+	tasks := make([]*CollabTask, numTasks)
+	for i := range tasks {
+		kw := []int{}
+		for k := 0; k < universe; k++ {
+			if r.Intn(5) == 0 {
+				kw = append(kw, k)
+			}
+		}
+		if len(kw) == 0 {
+			kw = []int{r.Intn(universe)}
+		}
+		tasks[i] = collabTask(1+r.Intn(3), kw...)
+	}
+	workers := make([]*core.Worker, numWorkers)
+	for i := range workers {
+		kw := []int{}
+		for k := 0; k < universe; k++ {
+			if r.Intn(4) == 0 {
+				kw = append(kw, k)
+			}
+		}
+		if len(kw) == 0 {
+			kw = []int{r.Intn(universe)}
+		}
+		workers[i] = worker(kw...)
+	}
+	p, err := NewProblem(tasks, workers, metric.Jaccard{}, DefaultWeights())
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestNewProblemValidation(t *testing.T) {
+	good := []*CollabTask{collabTask(2, 0, 1)}
+	ws := []*core.Worker{worker(0)}
+	if _, err := NewProblem(good, ws, nil, DefaultWeights()); err == nil {
+		t.Error("nil distance accepted")
+	}
+	if _, err := NewProblem(good, ws, metric.Jaccard{}, Weights{Coverage: 0.9, Relevance: 0.9}); err == nil {
+		t.Error("weights not summing to 1 accepted")
+	}
+	if _, err := NewProblem(good, ws, metric.Jaccard{}, Weights{Coverage: -1, Relevance: 1, Affinity: 1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewProblem([]*CollabTask{collabTask(0, 1)}, ws, metric.Jaccard{}, DefaultWeights()); err == nil {
+		t.Error("zero team size accepted")
+	}
+	if _, err := NewProblem([]*CollabTask{nil}, ws, metric.Jaccard{}, DefaultWeights()); err == nil {
+		t.Error("nil task accepted")
+	}
+	if _, err := NewProblem(good, []*core.Worker{nil}, metric.Jaccard{}, DefaultWeights()); err == nil {
+		t.Error("nil worker accepted")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(2, 0, 1, 2, 3)},
+		[]*core.Worker{worker(0, 1), worker(2), worker(10)},
+	)
+	if got := p.Coverage(0, []int{0, 1}); got != 0.75 {
+		t.Errorf("Coverage = %g, want 0.75 (3 of 4 keywords)", got)
+	}
+	if got := p.Coverage(0, []int{2}); got != 0 {
+		t.Errorf("Coverage with irrelevant member = %g, want 0", got)
+	}
+	// Complementarity: duplicated skills add nothing.
+	if got := p.Coverage(0, []int{0, 0}); got != 0.5 {
+		t.Errorf("Coverage with duplicate skills = %g, want 0.5", got)
+	}
+}
+
+func TestAffinityAndRelevance(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(2, 0, 1)},
+		[]*core.Worker{worker(0, 1), worker(0, 1), worker(5, 6)},
+	)
+	if got := p.Affinity([]int{0, 1}); got != 1 {
+		t.Errorf("Affinity of twins = %g, want 1", got)
+	}
+	if got := p.Affinity([]int{0, 2}); got != 0 {
+		t.Errorf("Affinity of disjoint = %g, want 0", got)
+	}
+	if got := p.Affinity([]int{0}); got != 1 {
+		t.Errorf("Affinity of singleton = %g, want 1", got)
+	}
+	if got := p.Relevance(0, []int{0}); got != 1 {
+		t.Errorf("Relevance = %g, want 1", got)
+	}
+}
+
+func TestScoreRequiresFullTeam(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(2, 0, 1)},
+		[]*core.Worker{worker(0), worker(1)},
+	)
+	if got := p.Score(0, []int{0}); got != 0 {
+		t.Errorf("incomplete team scored %g, want 0", got)
+	}
+	if got := p.Score(0, []int{0, 1}); got <= 0 {
+		t.Errorf("full team scored %g, want > 0", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(2, 0, 1), collabTask(1, 2)},
+		[]*core.Worker{worker(0), worker(1), worker(2)},
+	)
+	ok := &Assignment{Teams: [][]int{{0, 1}, {2}}}
+	if err := ok.Validate(p); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+	empty := &Assignment{Teams: [][]int{nil, {2}}}
+	if err := empty.Validate(p); err != nil {
+		t.Fatalf("unstaffed task rejected: %v", err)
+	}
+	cases := []*Assignment{
+		{Teams: [][]int{{0}}},         // wrong count
+		{Teams: [][]int{{0}, {2}}},    // partial team
+		{Teams: [][]int{{0, 1}, {1}}}, // reused worker
+		{Teams: [][]int{{0, 9}, {2}}}, // out of range
+	}
+	for i, a := range cases {
+		if err := a.Validate(p); err == nil {
+			t.Errorf("case %d accepted: %+v", i, a)
+		}
+	}
+}
+
+func TestGreedyFeasibleAndPositive(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		p := randProblem(r, 1+r.Intn(4), 2+r.Intn(8))
+		a := Greedy(p)
+		if err := a.Validate(p); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if p.Objective(a) < 0 {
+			t.Fatalf("trial %d: negative objective", trial)
+		}
+	}
+}
+
+func TestGreedyStaffsWhenPossible(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(2, 0, 1), collabTask(2, 2, 3)},
+		[]*core.Worker{worker(0), worker(1), worker(2), worker(3)},
+	)
+	a := Greedy(p)
+	for tsk, team := range a.Teams {
+		if len(team) != 2 {
+			t.Fatalf("task %d staffed with %d members: %v", tsk, len(team), a.Teams)
+		}
+	}
+}
+
+func TestGreedySkipsWhenShortOfWorkers(t *testing.T) {
+	p := mustProblem(t,
+		[]*CollabTask{collabTask(3, 0, 1), collabTask(1, 2)},
+		[]*core.Worker{worker(0), worker(2)},
+	)
+	a := Greedy(p)
+	if err := a.Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Teams[0]) != 0 {
+		t.Fatalf("task needing 3 workers staffed with %d", len(a.Teams[0]))
+	}
+	if len(a.Teams[1]) != 1 {
+		t.Fatalf("singleton task not staffed: %v", a.Teams)
+	}
+}
+
+func TestGreedyNearOptimal(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	var greedySum, optSum float64
+	for trial := 0; trial < 20; trial++ {
+		p := randProblem(r, 1+r.Intn(2), 2+r.Intn(4))
+		opt, err := Exact(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := Greedy(p)
+		if p.Objective(g) > p.Objective(opt)+1e-9 {
+			t.Fatalf("trial %d: greedy %g beats exact %g", trial, p.Objective(g), p.Objective(opt))
+		}
+		greedySum += p.Objective(g)
+		optSum += p.Objective(opt)
+	}
+	if greedySum < 0.8*optSum {
+		t.Errorf("greedy aggregate %g below 80%% of optimal %g", greedySum, optSum)
+	}
+}
+
+func TestExactTooLarge(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	p := randProblem(r, 6, 18)
+	if _, err := Exact(p); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestQuickScoreBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProblem(r, 1+r.Intn(3), 2+r.Intn(6))
+		a := Greedy(p)
+		for tsk, team := range a.Teams {
+			if len(team) == 0 {
+				continue
+			}
+			s := p.Score(tsk, team)
+			if s < 0 || s > 1+1e-9 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

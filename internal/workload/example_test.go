@@ -1,0 +1,35 @@
+package workload_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/htacs/ata/internal/workload"
+)
+
+// ExampleGenerator produces an AMT-shaped workload: task groups sharing
+// keyword metadata, and synthetic workers with normalized (α, β).
+func ExampleGenerator() {
+	gen, err := workload.NewGenerator(workload.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tasks := gen.Tasks(3, 4) // 3 groups × 4 tasks
+	workers := gen.Workers(2)
+
+	fmt.Printf("%d tasks in %d groups\n", len(tasks), 3)
+	fmt.Println("same-group tasks share keywords:",
+		tasks[0].Keywords.Equal(tasks[1].Keywords))
+	fmt.Println("cross-group tasks differ:",
+		!tasks[0].Keywords.Equal(tasks[4].Keywords))
+	for _, w := range workers {
+		fmt.Printf("%s: %d interests, α+β = %.0f\n",
+			w.ID, w.Keywords.Count(), w.Alpha+w.Beta)
+	}
+	// Output:
+	// 12 tasks in 3 groups
+	// same-group tasks share keywords: true
+	// cross-group tasks differ: true
+	// w0000: 5 interests, α+β = 1
+	// w0001: 5 interests, α+β = 1
+}

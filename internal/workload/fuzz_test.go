@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTasks checks that arbitrary input never panics the JSON-lines
+// task reader and that whatever parses round-trips through WriteTasks.
+func FuzzReadTasks(f *testing.F) {
+	f.Add(`{"id":"t1","group":"g","reward":0.05,"universe":8,"keywords":[0,3]}`)
+	f.Add(`{"id":"t1","universe":1,"keywords":[]}`)
+	f.Add(`{"id":"","universe":-1}`)
+	f.Add(`garbage`)
+	f.Add(``)
+	f.Add(`{"id":"x","universe":8,"keywords":[99]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		tasks, err := ReadTasks(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must survive a write→read cycle unchanged.
+		var buf bytes.Buffer
+		if err := WriteTasks(&buf, tasks); err != nil {
+			t.Fatalf("WriteTasks on parsed input: %v", err)
+		}
+		back, err := ReadTasks(&buf)
+		if err != nil {
+			t.Fatalf("ReadTasks on own output: %v", err)
+		}
+		if len(back) != len(tasks) {
+			t.Fatalf("round trip changed count: %d -> %d", len(tasks), len(back))
+		}
+		for i := range tasks {
+			if back[i].ID != tasks[i].ID || !back[i].Keywords.Equal(tasks[i].Keywords) {
+				t.Fatalf("round trip changed task %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadWorkers mirrors FuzzReadTasks for the worker reader.
+func FuzzReadWorkers(f *testing.F) {
+	f.Add(`{"id":"w1","alpha":0.5,"beta":0.5,"universe":8,"keywords":[1,2]}`)
+	f.Add(`{"id":"w","universe":0}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, input string) {
+		workers, err := ReadWorkers(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteWorkers(&buf, workers); err != nil {
+			t.Fatalf("WriteWorkers on parsed input: %v", err)
+		}
+		back, err := ReadWorkers(&buf)
+		if err != nil {
+			t.Fatalf("ReadWorkers on own output: %v", err)
+		}
+		if len(back) != len(workers) {
+			t.Fatalf("round trip changed count")
+		}
+	})
+}
