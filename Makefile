@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short vet bench experiments live crowd clean
+.PHONY: all build test test-short test-race vet bench experiments live crowd clean
 
 all: build vet test
 
@@ -18,8 +18,12 @@ test:
 test-short:
 	$(GO) test -short ./...
 
+# Race-check the parallel diversity kernel and everything it touches.
+test-race:
+	$(GO) test -race ./internal/...
+
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 # Regenerate every offline figure at laptop scale (see EXPERIMENTS.md).
 experiments:

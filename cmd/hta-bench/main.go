@@ -28,6 +28,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	xmax := flag.Int("xmax", 20, "per-worker capacity Xmax")
 	skipAPP := flag.Bool("skip-app", false, "skip the O(|T|^3) HTA-APP runs")
+	parallel := flag.Int("parallel", 0,
+		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
@@ -38,6 +40,7 @@ func main() {
 
 	opts := experiments.Options{
 		Scale: *scale, Runs: *runs, Seed: *seed, Xmax: *xmax, SkipAPP: *skipAPP,
+		Parallelism: *parallel,
 	}
 	start := time.Now()
 	var err error

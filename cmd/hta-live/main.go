@@ -69,10 +69,13 @@ func main() {
 		"run the paper's full selection pipeline: worker qualification, overtime and incomplete-session filters, top-N by completions")
 	chart := flag.Bool("chart", false, "render the Figure 5a-5c curves as ASCII charts")
 	sessionsOut := flag.String("out", "", "archive raw sessions as JSON lines to this file (analyze with hta-report)")
+	parallel := flag.Int("parallel", 0,
+		"diversity-kernel parallelism per session engine: 0 = serial, N > 0 = N goroutines, -1 = all cores; sessions are bit-identical")
 	flag.Parse()
 
 	params := crowd.DefaultParams()
 	params.SessionMinutes = *minutes
+	params.Parallelism = *parallel
 	start := time.Now()
 	res, err := experiments.Fig5(experiments.Fig5Options{
 		SessionsPerStrategy: *sessions,

@@ -50,6 +50,15 @@ type Config struct {
 	// HTA-GRE has no (α, β) estimates yet; the non-adaptive strategies
 	// (DIV, REL) ignore the estimates and need no cold start.
 	DisableRandomColdStart bool
+	// Parallelism enables the cached diversity kernel across iterations:
+	// > 0 uses that many goroutines, < 0 uses runtime.NumCPU(), 0 (the
+	// zero value) keeps the legacy serial path. With the kernel on, the
+	// engine retains the pairwise distance matrix between NextIteration
+	// calls — pairs whose tasks both survive in the pool are carried
+	// forward, assigned tasks drop out by omission — and passes
+	// solver.WithParallelism to the configured Solve. Assignments are
+	// bit-identical to the serial path.
+	Parallelism int
 }
 
 // WorkerState tracks one worker across iterations.
@@ -89,6 +98,12 @@ type Engine struct {
 	workers   map[string]*WorkerState
 	order     []string // worker registration order, for deterministic instances
 	iteration int
+	kernel    *core.DistKernel // cross-iteration distance cache; nil when Parallelism == 0
+	// KernelReused/KernelComputed accumulate the pair counts the kernel
+	// carried forward vs computed fresh across all iterations — the
+	// incremental-invalidation win reported by the iteration benches.
+	KernelReused   int
+	KernelComputed int
 }
 
 // NewEngine validates the configuration and returns an empty engine.
@@ -114,11 +129,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.New(rand.NewSource(1))
 	}
-	return &Engine{
+	e := &Engine{
 		cfg:     cfg,
 		inPool:  make(map[string]int),
 		workers: make(map[string]*WorkerState),
-	}, nil
+	}
+	if cfg.Parallelism != 0 {
+		e.kernel = core.NewDistKernel()
+	}
+	return e, nil
 }
 
 // Iteration returns the number of completed NextIteration calls.
@@ -337,7 +356,18 @@ func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: building instance: %w", err)
 		}
-		res, err := e.cfg.Solve(in, solver.WithRand(e.cfg.Rand))
+		solveOpts := []solver.Option{solver.WithRand(e.cfg.Rand)}
+		if e.kernel != nil {
+			// Materialize this iteration's distance matrix, carrying
+			// forward every pair whose tasks both survive from the last
+			// iteration; assigned tasks dropped out of the pool and are
+			// invalidated simply by not being carried forward.
+			reused, computed := e.kernel.Precompute(in, e.cfg.Parallelism)
+			e.KernelReused += reused
+			e.KernelComputed += computed
+			solveOpts = append(solveOpts, solver.WithParallelism(e.cfg.Parallelism))
+		}
+		res, err := e.cfg.Solve(in, solveOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: solving iteration %d: %w", e.iteration, err)
 		}

@@ -1,0 +1,109 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+)
+
+func parallelTestFixtures(t *testing.T, seed int64) ([]*core.Task, []*core.Worker) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	const universe = 24
+	tasks := make([]*core.Task, 60)
+	for i := range tasks {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(3) == 0 {
+				kw.Add(k)
+			}
+		}
+		tasks[i] = &core.Task{ID: string(rune('a'+i%26)) + string(rune('0'+i/26)), Keywords: kw}
+	}
+	workers := make([]*core.Worker, 3)
+	for q := range workers {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(3) == 0 {
+				kw.Add(k)
+			}
+		}
+		workers[q] = &core.Worker{ID: string(rune('A' + q)), Keywords: kw}
+	}
+	return tasks, workers
+}
+
+func runIterations(t *testing.T, parallelism int, iterations int) (*Engine, []map[string][]*core.Task) {
+	t.Helper()
+	tasks, workers := parallelTestFixtures(t, 83)
+	e, err := NewEngine(Config{
+		Xmax:                   4,
+		Rand:                   rand.New(rand.NewSource(9)),
+		DisableRandomColdStart: true,
+		Parallelism:            parallelism,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddTasks(tasks...); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range workers {
+		if _, err := e.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var rounds []map[string][]*core.Task
+	for i := 0; i < iterations; i++ {
+		out, err := e.NextIteration()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds = append(rounds, out)
+	}
+	return e, rounds
+}
+
+// TestEngineParallelParity: with the cross-iteration kernel on, every
+// iteration's assignments must be identical to the serial engine's.
+func TestEngineParallelParity(t *testing.T) {
+	_, serial := runIterations(t, 0, 4)
+	for _, p := range []int{1, 4} {
+		engine, got := runIterations(t, p, 4)
+		for i := range serial {
+			for id, set := range serial[i] {
+				gotSet := got[i][id]
+				if len(gotSet) != len(set) {
+					t.Fatalf("p=%d iteration %d worker %s: %d tasks, want %d",
+						p, i, id, len(gotSet), len(set))
+				}
+				for j := range set {
+					if gotSet[j].ID != set[j].ID {
+						t.Fatalf("p=%d iteration %d worker %s task %d: %q, want %q",
+							p, i, id, j, gotSet[j].ID, set[j].ID)
+					}
+				}
+			}
+		}
+		if engine.KernelComputed == 0 {
+			t.Fatalf("p=%d: kernel computed no pairs over 4 iterations", p)
+		}
+		if engine.KernelReused == 0 {
+			t.Fatalf("p=%d: kernel reused no pairs — cross-iteration carry-forward is dead", p)
+		}
+	}
+}
+
+// TestEngineSerialHasNoKernel: the zero-value config must keep the legacy
+// path, with no kernel allocated and no accounting.
+func TestEngineSerialHasNoKernel(t *testing.T) {
+	engine, _ := runIterations(t, 0, 2)
+	if engine.kernel != nil {
+		t.Fatal("serial engine allocated a kernel")
+	}
+	if engine.KernelReused != 0 || engine.KernelComputed != 0 {
+		t.Fatal("serial engine accumulated kernel stats")
+	}
+}

@@ -93,6 +93,25 @@ func (s *Set) IntersectionCount(t *Set) int {
 	return c
 }
 
+// IntersectionUnionCount returns |s ∩ t| and |s ∪ t| in a single pass over
+// the words — the two aggregates Jaccard needs, at half the memory traffic
+// of calling IntersectionCount and UnionCount separately. It is the batch
+// primitive behind the precomputed diversity kernel.
+func (s *Set) IntersectionUnionCount(t *Set) (inter, union int) {
+	a, b := s.words, t.words
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	for i, w := range a {
+		inter += bits.OnesCount64(w & b[i])
+		union += bits.OnesCount64(w | b[i])
+	}
+	for _, w := range b[len(a):] {
+		union += bits.OnesCount64(w)
+	}
+	return inter, union
+}
+
 // UnionCount returns |s ∪ t|.
 func (s *Set) UnionCount(t *Set) int {
 	a, b := s.words, t.words

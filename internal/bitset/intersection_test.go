@@ -1,0 +1,38 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIntersectionUnionCount checks the single-pass counts against the
+// two-call reference on random sets, including mismatched universe sizes.
+func TestIntersectionUnionCount(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	for trial := 0; trial < 200; trial++ {
+		na, nb := 1+r.Intn(200), 1+r.Intn(200)
+		a, b := New(na), New(nb)
+		for i := 0; i < na; i++ {
+			if r.Intn(3) == 0 {
+				a.Add(i)
+			}
+		}
+		for i := 0; i < nb; i++ {
+			if r.Intn(3) == 0 {
+				b.Add(i)
+			}
+		}
+		inter, union := a.IntersectionUnionCount(b)
+		if want := a.IntersectionCount(b); inter != want {
+			t.Fatalf("trial %d: intersection %d, want %d", trial, inter, want)
+		}
+		if want := a.UnionCount(b); union != want {
+			t.Fatalf("trial %d: union %d, want %d", trial, union, want)
+		}
+		// Symmetry.
+		ri, ru := b.IntersectionUnionCount(a)
+		if ri != inter || ru != union {
+			t.Fatalf("trial %d: asymmetric counts (%d,%d) vs (%d,%d)", trial, ri, ru, inter, union)
+		}
+	}
+}

@@ -10,9 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/par"
 )
 
 // Task is a unit of crowd work described by a Boolean keyword vector
@@ -57,6 +60,112 @@ type Instance struct {
 
 	rel   [][]float64            // rel[q][k] = rel(t_k, w_q), precomputed
 	divFn func(k, l int) float64 // nil → compute from keyword bitsets
+	div   *divCache              // optional packed pairwise-distance matrix
+}
+
+// divCache holds the precomputed pairwise diversity matrix in packed
+// lower-triangular form: vals[k*(k-1)/2 + l] = d(t_k, t_l) for k > l.
+// It lives behind a pointer so Instance copies (WithUniformWeights) share
+// one cache, and behind an atomic so concurrent solvers can race a first
+// Precompute against cache reads safely: readers either see the finished
+// matrix or fall back to on-demand computation of the very same values.
+type divCache struct {
+	once sync.Once
+	vals atomic.Pointer[[]float64]
+}
+
+// cachedDiv returns the packed matrix, or nil when not (yet) precomputed.
+func (in *Instance) cachedDiv() []float64 {
+	if in.div == nil {
+		return nil
+	}
+	if p := in.div.vals.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// triIndex is the packed lower-triangular offset of pair (k, l), k > l.
+func triIndex(k, l int) int { return k*(k-1)/2 + l }
+
+// Precompute materializes the pairwise diversity matrix once, sharding
+// triangular row blocks across p goroutines (p >= 1 is literal, p <= 0
+// means runtime.NumCPU()). After it returns, Diversity/SetDiversity/Motiv
+// read the cache in O(1) instead of recomputing keyword distances.
+//
+// The cache stores exactly the values the on-demand path would produce, so
+// precomputing never changes solver output — only when distances are
+// computed. Memory is |T|·(|T|−1)/2 float64s (≈400 MB at the paper's
+// 10,000-task scale), which is why it is opt-in rather than part of
+// NewInstance. Idempotent and safe for concurrent use; the first caller
+// computes, later callers return once the matrix is published.
+func (in *Instance) Precompute(p int) {
+	if in.div == nil || in.cachedDiv() != nil {
+		return
+	}
+	in.div.once.Do(func() {
+		vals := in.computeTriangle(par.N(p))
+		in.div.vals.Store(&vals)
+	})
+}
+
+// HasDiversityCache reports whether the pairwise diversity matrix has been
+// precomputed (by Precompute or a DistKernel).
+func (in *Instance) HasDiversityCache() bool { return in.cachedDiv() != nil }
+
+// computeTriangle fills the packed lower triangle with p goroutines. Row k
+// holds k entries, so chunks are weight-balanced by row index.
+func (in *Instance) computeTriangle(p int) []float64 {
+	n := in.NumTasks()
+	vals := make([]float64, n*(n-1)/2)
+	if n < 2 {
+		return vals
+	}
+	fillRows := in.rowFiller()
+	par.DoWeighted(n, p, func(k int) int { return k }, fillRows(vals))
+	return vals
+}
+
+// rowFiller returns a constructor of chunk workers that fill triangular
+// rows [lo, hi) of a packed matrix, choosing the fastest available path:
+// explicit oracle, batch row distance, or per-pair distance.
+func (in *Instance) rowFiller() func(vals []float64) func(lo, hi int) {
+	if in.divFn != nil {
+		return func(vals []float64) func(lo, hi int) {
+			return func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					base := triIndex(k, 0)
+					for l := 0; l < k; l++ {
+						vals[base+l] = in.divFn(k, l)
+					}
+				}
+			}
+		}
+	}
+	keys := make([]*bitset.Set, len(in.Tasks))
+	for k, t := range in.Tasks {
+		keys[k] = t.Keywords
+	}
+	if rd, ok := in.Dist.(metric.RowDistancer); ok {
+		return func(vals []float64) func(lo, hi int) {
+			return func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					base := triIndex(k, 0)
+					rd.DistanceRow(keys[k], keys[:k], vals[base:base+k])
+				}
+			}
+		}
+	}
+	return func(vals []float64) func(lo, hi int) {
+		return func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				base := triIndex(k, 0)
+				for l := 0; l < k; l++ {
+					vals[base+l] = in.Dist.Distance(keys[k], keys[l])
+				}
+			}
+		}
+	}
 }
 
 // ErrNonMetric is wrapped into errors returned when a caller requests an
@@ -91,7 +200,7 @@ func NewInstance(tasks []*Task, workers []*Worker, xmax int, dist metric.Distanc
 			return nil, err
 		}
 	}
-	inst := &Instance{Tasks: tasks, Workers: workers, Xmax: xmax, Dist: dist}
+	inst := &Instance{Tasks: tasks, Workers: workers, Xmax: xmax, Dist: dist, div: &divCache{}}
 	inst.rel = make([][]float64, len(workers))
 	for q, w := range workers {
 		row := make([]float64, len(tasks))
@@ -161,6 +270,7 @@ func NewCustomInstance(numTasks int, workers []*Worker, xmax int, rel [][]float6
 		Dist:    oracleDistance{metric: metricDiv},
 		rel:     relCopy,
 		divFn:   div,
+		div:     &divCache{},
 	}, nil
 }
 
@@ -230,8 +340,23 @@ func (in *Instance) Permuted(perm []int) (*Instance, error) {
 		Xmax:    in.Xmax,
 		Dist:    in.Dist,
 		rel:     rel,
+		div:     &divCache{},
 	}
-	if in.divFn != nil {
+	if vals := in.cachedDiv(); vals != nil {
+		// Read through the receiver's precomputed matrix instead of
+		// recomputing distances for the permuted view. Same float64s,
+		// just found at permuted offsets.
+		out.divFn = func(k, l int) float64 {
+			pk, pl := perm[k], perm[l]
+			if pk == pl {
+				return 0
+			}
+			if pk < pl {
+				pk, pl = pl, pk
+			}
+			return vals[triIndex(pk, pl)]
+		}
+	} else if in.divFn != nil {
 		inner := in.divFn
 		out.divFn = func(k, l int) float64 { return inner(perm[k], perm[l]) }
 	}
@@ -244,11 +369,18 @@ func (in *Instance) NumTasks() int { return len(in.Tasks) }
 // NumWorkers returns |W^i|.
 func (in *Instance) NumWorkers() int { return len(in.Workers) }
 
-// Diversity returns the pairwise task diversity d(t_k, t_l), computed on
-// demand from the keyword bitsets.
+// Diversity returns the pairwise task diversity d(t_k, t_l): from the
+// precomputed matrix when Precompute has run, otherwise computed on demand
+// from the diversity oracle or the keyword bitsets.
 func (in *Instance) Diversity(k, l int) float64 {
 	if k == l {
 		return 0
+	}
+	if vals := in.cachedDiv(); vals != nil {
+		if k < l {
+			k, l = l, k
+		}
+		return vals[triIndex(k, l)]
 	}
 	if in.divFn != nil {
 		return in.divFn(k, l)
@@ -267,6 +399,21 @@ func (in *Instance) RelevanceRow(q int) []float64 { return in.rel[q] }
 // indices (Equation 1).
 func (in *Instance) SetDiversity(taskIdx []int) float64 {
 	var td float64
+	if vals := in.cachedDiv(); vals != nil {
+		for i := 1; i < len(taskIdx); i++ {
+			for j := 0; j < i; j++ {
+				k, l := taskIdx[i], taskIdx[j]
+				if k == l {
+					continue
+				}
+				if k < l {
+					k, l = l, k
+				}
+				td += vals[triIndex(k, l)]
+			}
+		}
+		return td
+	}
 	for i := 1; i < len(taskIdx); i++ {
 		for j := 0; j < i; j++ {
 			td += in.Diversity(taskIdx[i], taskIdx[j])

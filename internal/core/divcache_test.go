@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/metric"
+)
+
+func randKeywordInstance(t *testing.T, r *rand.Rand, numTasks, universe int) *Instance {
+	t.Helper()
+	tasks := make([]*Task, numTasks)
+	for i := range tasks {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(3) == 0 {
+				kw.Add(k)
+			}
+		}
+		tasks[i] = &Task{Keywords: kw}
+	}
+	workers := []*Worker{mkWorker("w0", 0.5, universe, 0)}
+	in, err := NewInstance(tasks, workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatalf("NewInstance: %v", err)
+	}
+	return in
+}
+
+// TestPrecomputeBitIdentical is the kernel's core contract: every cached
+// entry equals the exact float64 Dist.Distance returns for that pair, at
+// every parallelism level, and Diversity keeps returning it.
+func TestPrecomputeBitIdentical(t *testing.T) {
+	for _, p := range []int{1, 3, 8} {
+		r := rand.New(rand.NewSource(11))
+		in := randKeywordInstance(t, r, 40, 32)
+		want := make([][]float64, 40)
+		for k := range want {
+			want[k] = make([]float64, 40)
+			for l := 0; l < 40; l++ {
+				if k != l {
+					want[k][l] = in.Dist.Distance(in.Tasks[k].Keywords, in.Tasks[l].Keywords)
+				}
+			}
+		}
+		in.Precompute(p)
+		if !in.HasDiversityCache() {
+			t.Fatalf("p=%d: Precompute left no cache", p)
+		}
+		for k := 0; k < 40; k++ {
+			for l := 0; l < 40; l++ {
+				if got := in.Diversity(k, l); got != want[k][l] {
+					t.Fatalf("p=%d: Diversity(%d,%d) = %v, want %v", p, k, l, got, want[k][l])
+				}
+			}
+		}
+	}
+}
+
+// TestPrecomputePropertyRandomSizes fuzzes sizes and densities: for any
+// instance the cached triangle must agree bit-for-bit with the direct
+// per-pair distance.
+func TestPrecomputePropertyRandomSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		numTasks := 1 + r.Intn(25)
+		universe := 1 + r.Intn(90)
+		in := randKeywordInstance(t, r, numTasks, universe)
+		in.Precompute(1 + r.Intn(4))
+		for k := 0; k < numTasks; k++ {
+			for l := 0; l < k; l++ {
+				want := in.Dist.Distance(in.Tasks[k].Keywords, in.Tasks[l].Keywords)
+				if got := in.Diversity(k, l); got != want {
+					t.Fatalf("trial %d: Diversity(%d,%d) = %v, want %v", trial, k, l, got, want)
+				}
+				if got := in.Diversity(l, k); got != want {
+					t.Fatalf("trial %d: Diversity(%d,%d) = %v, want %v (symmetry)", trial, l, k, got, want)
+				}
+			}
+			if got := in.Diversity(k, k); got != 0 {
+				t.Fatalf("trial %d: Diversity(%d,%d) = %v, want 0", trial, k, k, got)
+			}
+		}
+	}
+}
+
+// TestPermutedReadsThroughCache: a permuted view of a precomputed instance
+// must serve cached values through the permutation without re-deriving them.
+func TestPermutedReadsThroughCache(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	in := randKeywordInstance(t, r, 20, 24)
+	in.Precompute(2)
+	perm := r.Perm(20)
+	view, err := in.Permuted(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 20; k++ {
+		for l := 0; l < 20; l++ {
+			if got, want := view.Diversity(k, l), in.Diversity(perm[k], perm[l]); got != want {
+				t.Fatalf("view.Diversity(%d,%d) = %v, want base(%d,%d) = %v",
+					k, l, got, perm[k], perm[l], want)
+			}
+		}
+	}
+}
+
+// TestSetDiversityCachedMatchesUncached: the cached SetDiversity fast path
+// must sum the same values in the same order as the uncached path.
+func TestSetDiversityCachedMatchesUncached(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	in := randKeywordInstance(t, r, 30, 24)
+	sets := make([][]int, 10)
+	for i := range sets {
+		set := r.Perm(30)[:2+r.Intn(6)]
+		sets[i] = set
+	}
+	before := make([]float64, len(sets))
+	for i, set := range sets {
+		before[i] = in.SetDiversity(set)
+	}
+	in.Precompute(4)
+	for i, set := range sets {
+		if got := in.SetDiversity(set); got != before[i] {
+			t.Fatalf("set %v: cached SetDiversity %v != uncached %v", set, got, before[i])
+		}
+	}
+}
+
+// TestPrecomputeOracleInstance: custom (oracle-backed) instances cache their
+// divFn values too.
+func TestPrecomputeOracleInstance(t *testing.T) {
+	div := func(k, l int) float64 {
+		if k == l {
+			return 0
+		}
+		return float64(k+l) / 10
+	}
+	workers := []*Worker{mkWorker("w0", 0.5, 4, 0)}
+	in, err := NewCustomInstance(6, workers, 2, [][]float64{{0, 0, 0, 0, 0, 0}}, div, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Precompute(2)
+	if !in.HasDiversityCache() {
+		t.Fatal("no cache after Precompute")
+	}
+	for k := 0; k < 6; k++ {
+		for l := 0; l < 6; l++ {
+			want := div(k, l)
+			if k == l {
+				want = 0
+			}
+			if got := in.Diversity(k, l); got != want {
+				t.Fatalf("Diversity(%d,%d) = %v, want %v", k, l, got, want)
+			}
+		}
+	}
+}
+
+// TestUniformWeightsSharesCache: the WithUniformWeights copy used by the
+// DIV/REL strategies must see (and lazily share) the base instance's cache.
+func TestUniformWeightsSharesCache(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	in := randKeywordInstance(t, r, 15, 24)
+	out, err := in.WithUniformWeights(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Precompute(2)
+	if !out.HasDiversityCache() {
+		t.Fatal("uniform-weights copy does not see the base cache")
+	}
+	for k := 0; k < 15; k++ {
+		for l := 0; l < 15; l++ {
+			if got, want := out.Diversity(k, l), in.Diversity(k, l); got != want {
+				t.Fatalf("copy.Diversity(%d,%d) = %v, want %v", k, l, got, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentPrecompute: concurrent first Precomputes must publish exactly
+// one matrix; run under -race this also proves the publication is sound.
+func TestConcurrentPrecompute(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	in := randKeywordInstance(t, r, 30, 24)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			in.Precompute(1 + p%3)
+		}(i)
+	}
+	wg.Wait()
+	for k := 0; k < 30; k++ {
+		for l := 0; l < k; l++ {
+			want := in.Dist.Distance(in.Tasks[k].Keywords, in.Tasks[l].Keywords)
+			if got := in.Diversity(k, l); got != want {
+				t.Fatalf("Diversity(%d,%d) = %v, want %v", k, l, got, want)
+			}
+		}
+	}
+}
+
+// TestDistKernelReuse drives the cross-iteration path: iteration 2 keeps a
+// survivor subset and adds new tasks; the kernel must report exactly the
+// survivor-pair count as reused and every value must equal the direct
+// distance (carried-forward floats included).
+func TestDistKernelReuse(t *testing.T) {
+	universe := 24
+	mk := func(id string, r *rand.Rand) *Task {
+		kw := bitset.New(universe)
+		for k := 0; k < universe; k++ {
+			if r.Intn(3) == 0 {
+				kw.Add(k)
+			}
+		}
+		return &Task{ID: id, Keywords: kw}
+	}
+	r := rand.New(rand.NewSource(47))
+	pool := make([]*Task, 12)
+	for i := range pool {
+		pool[i] = mk(string(rune('a'+i)), r)
+	}
+	workers := []*Worker{mkWorker("w0", 0.5, universe, 0)}
+
+	dk := NewDistKernel()
+	in1, err := NewInstance(pool, workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, computed := dk.Precompute(in1, 2)
+	if reused != 0 || computed != 12*11/2 {
+		t.Fatalf("iteration 1: reused %d computed %d, want 0 and %d", reused, computed, 12*11/2)
+	}
+	if dk.Tasks() != 12 {
+		t.Fatalf("snapshot covers %d tasks, want 12", dk.Tasks())
+	}
+
+	// Iteration 2: 7 survivors (tasks 3..9), 4 new tasks — dropped tasks are
+	// invalidated by omission.
+	next := append(append([]*Task(nil), pool[3:10]...),
+		mk("n0", r), mk("n1", r), mk("n2", r), mk("n3", r))
+	in2, err := NewInstance(next, workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, computed = dk.Precompute(in2, 3)
+	wantReused := 7 * 6 / 2
+	wantComputed := 11*10/2 - wantReused
+	if reused != wantReused || computed != wantComputed {
+		t.Fatalf("iteration 2: reused %d computed %d, want %d and %d",
+			reused, computed, wantReused, wantComputed)
+	}
+	for k := 0; k < len(next); k++ {
+		for l := 0; l < k; l++ {
+			want := in2.Dist.Distance(next[k].Keywords, next[l].Keywords)
+			if got := in2.Diversity(k, l); got != want {
+				t.Fatalf("iteration 2: Diversity(%d,%d) = %v, want %v", k, l, got, want)
+			}
+		}
+	}
+	if dk.Tasks() != 11 {
+		t.Fatalf("snapshot covers %d tasks, want 11 (dropped tasks invalidated)", dk.Tasks())
+	}
+
+	// Already-cached instances are adopted without work.
+	reused, computed = dk.Precompute(in2, 1)
+	if reused != 0 || computed != 0 {
+		t.Fatalf("cached instance: reused %d computed %d, want 0 and 0", reused, computed)
+	}
+
+	dk.Reset()
+	if dk.Tasks() != 0 || dk.Pairs() != 0 {
+		t.Fatal("Reset left snapshot state behind")
+	}
+}
+
+// TestDistKernelMatchesPlainPrecompute: an instance filled through the kernel
+// must be indistinguishable from one filled by Instance.Precompute.
+func TestDistKernelMatchesPlainPrecompute(t *testing.T) {
+	mkPool := func() []*Task {
+		r := rand.New(rand.NewSource(53))
+		pool := make([]*Task, 18)
+		for i := range pool {
+			kw := bitset.New(30)
+			for k := 0; k < 30; k++ {
+				if r.Intn(3) == 0 {
+					kw.Add(k)
+				}
+			}
+			pool[i] = &Task{ID: string(rune('A' + i)), Keywords: kw}
+		}
+		return pool
+	}
+	workers := []*Worker{mkWorker("w0", 0.5, 30, 0)}
+	plain, err := NewInstance(mkPool(), workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Precompute(1)
+
+	dk := NewDistKernel()
+	// Warm the kernel with a prefix pool so the second call exercises reuse.
+	warm, err := NewInstance(mkPool()[:10], workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dk.Precompute(warm, 2)
+	viaKernel, err := NewInstance(mkPool(), workers, 2, metric.Jaccard{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused, _ := dk.Precompute(viaKernel, 2); reused != 10*9/2 {
+		t.Fatalf("reused %d pairs, want %d", reused, 10*9/2)
+	}
+	for k := 0; k < 18; k++ {
+		for l := 0; l < 18; l++ {
+			if got, want := viaKernel.Diversity(k, l), plain.Diversity(k, l); got != want {
+				t.Fatalf("Diversity(%d,%d) = %v via kernel, want %v", k, l, got, want)
+			}
+		}
+	}
+}

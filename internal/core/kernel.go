@@ -1,0 +1,142 @@
+// The distance kernel: reusing pairwise diversities across the instances
+// of an adaptive session. Each iteration of the adaptive engine solves a
+// fresh Instance over a task pool that overlaps heavily with the previous
+// iteration's (completed tasks drop out, occasionally new tasks arrive), so
+// recomputing the full pairwise distance matrix every iteration throws away
+// almost all of the previous iteration's work. DistKernel carries the
+// packed matrix forward: surviving pairs are copied, only pairs touching
+// new tasks are computed.
+package core
+
+import (
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/par"
+)
+
+// DistKernel retains the precomputed pairwise diversity matrix of the most
+// recent instance and seeds the next instance's matrix from it. Pairs whose
+// tasks both survive are never recomputed; pairs involving tasks that left
+// the pool are dropped with the superseded snapshot (incremental
+// invalidation by omission — no scan, no tombstones).
+//
+// Tasks are identified by Task.ID, which must be unique within an instance
+// and stable across instances (the adaptive engine enforces both). The
+// kernel is meant for keyword-backed instances; for oracle-backed instances
+// (NewCustomInstance) it degrades to a plain Precompute without reuse,
+// since the synthetic task IDs of unrelated custom instances collide.
+//
+// A DistKernel is owned by one assignment loop and is not safe for
+// concurrent use.
+type DistKernel struct {
+	idx  map[string]int // task ID → index into the retained snapshot
+	vals []float64      // packed lower triangle of the retained snapshot
+}
+
+// NewDistKernel returns an empty kernel.
+func NewDistKernel() *DistKernel {
+	return &DistKernel{idx: make(map[string]int)}
+}
+
+// Tasks returns how many tasks the retained snapshot covers.
+func (dk *DistKernel) Tasks() int { return len(dk.idx) }
+
+// Pairs returns how many pairwise distances the retained snapshot holds.
+func (dk *DistKernel) Pairs() int { return len(dk.vals) }
+
+// Reset drops the retained snapshot.
+func (dk *DistKernel) Reset() {
+	dk.idx = make(map[string]int)
+	dk.vals = nil
+}
+
+// Precompute fills in's diversity cache like Instance.Precompute — same
+// packed layout, same values, p goroutines (p >= 1 literal, p <= 0 →
+// runtime.NumCPU()) — but copies every pair already known to the kernel
+// instead of recomputing it, then retains in's matrix as the snapshot for
+// the next call. It reports how many pairs were reused from the snapshot
+// and how many were freshly computed.
+//
+// If in already has a diversity cache, the kernel adopts it as the new
+// snapshot without any work (reused = 0, computed = 0).
+func (dk *DistKernel) Precompute(in *Instance, p int) (reused, computed int) {
+	if in.div == nil {
+		return 0, 0
+	}
+	if vals := in.cachedDiv(); vals != nil {
+		dk.retain(in, vals)
+		return 0, 0
+	}
+	n := in.NumTasks()
+	totalPairs := n * (n - 1) / 2
+	if in.divFn != nil {
+		// Oracle-backed instance: IDs are synthetic, reuse would be unsound.
+		in.Precompute(p)
+		dk.retain(in, in.cachedDiv())
+		return 0, totalPairs
+	}
+
+	vals := make([]float64, totalPairs)
+	survivors := 0
+	if n >= 2 {
+		// prev[k] is the snapshot index of task k, or -1 when unseen.
+		prev := make([]int, n)
+		keys := make([]*bitset.Set, n)
+		for k, t := range in.Tasks {
+			keys[k] = t.Keywords
+			if oldIdx, ok := dk.idx[t.ID]; ok {
+				prev[k] = oldIdx
+				survivors++
+			} else {
+				prev[k] = -1
+			}
+		}
+		old := dk.vals
+		rd, hasRow := in.Dist.(metric.RowDistancer)
+		par.DoWeighted(n, p, func(k int) int { return k }, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				row := vals[triIndex(k, 0) : triIndex(k, 0)+k]
+				pk := prev[k]
+				if pk < 0 {
+					// Entirely new task: the whole row is fresh.
+					if hasRow {
+						rd.DistanceRow(keys[k], keys[:k], row)
+					} else {
+						for l := 0; l < k; l++ {
+							row[l] = in.Dist.Distance(keys[k], keys[l])
+						}
+					}
+					continue
+				}
+				for l := 0; l < k; l++ {
+					if pl := prev[l]; pl >= 0 {
+						a, b := pk, pl
+						if a < b {
+							a, b = b, a
+						}
+						row[l] = old[triIndex(a, b)]
+					} else {
+						row[l] = in.Dist.Distance(keys[k], keys[l])
+					}
+				}
+			}
+		})
+	}
+	in.div.once.Do(func() { in.div.vals.Store(&vals) })
+	// Adopt whatever the instance actually published (a concurrent
+	// Instance.Precompute could have won the once) so the snapshot always
+	// matches what future reads of this instance return.
+	dk.retain(in, in.cachedDiv())
+	reused = survivors * (survivors - 1) / 2
+	return reused, totalPairs - reused
+}
+
+// retain snapshots the instance's published matrix for the next call.
+func (dk *DistKernel) retain(in *Instance, vals []float64) {
+	idx := make(map[string]int, len(in.Tasks))
+	for k, t := range in.Tasks {
+		idx[t.ID] = k
+	}
+	dk.idx = idx
+	dk.vals = vals
+}

@@ -47,6 +47,10 @@ type Options struct {
 	Xmax int
 	// SkipAPP drops the cubic HTA-APP runs (useful at large scales).
 	SkipAPP bool
+	// Parallelism enables the cached diversity kernel in every measured
+	// solve: > 0 uses that many goroutines, < 0 all CPUs, 0 (default)
+	// keeps the paper's serial path. Objectives are bit-identical.
+	Parallelism int
 }
 
 func (o *Options) applyDefaults() {
@@ -112,7 +116,11 @@ func measure(o Options, algo string, solve solveFn, numGroups, tasksPerGroup, nu
 		if err != nil {
 			return row, err
 		}
-		res, err := solve(in, solver.WithRand(rand.New(rand.NewSource(o.Seed+int64(run)))))
+		solveOpts := []solver.Option{solver.WithRand(rand.New(rand.NewSource(o.Seed + int64(run))))}
+		if o.Parallelism != 0 {
+			solveOpts = append(solveOpts, solver.WithParallelism(o.Parallelism))
+		}
+		res, err := solve(in, solveOpts...)
 		if err != nil {
 			return row, err
 		}
@@ -297,6 +305,7 @@ func SweepIterationLatency(o Options) ([]LatencyRow, error) {
 				Xmax:                   o.Xmax,
 				Rand:                   rand.New(rand.NewSource(o.Seed + int64(run))),
 				DisableRandomColdStart: true,
+				Parallelism:            o.Parallelism,
 			})
 			if err != nil {
 				return nil, err

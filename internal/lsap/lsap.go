@@ -21,6 +21,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/htacs/ata/internal/par"
 )
 
 // Costs is a square matrix of assignment profits. Implementations must be
@@ -181,20 +183,33 @@ type greedyEdge struct {
 // the full edge set under a tie-break that prefers lower column indices
 // within a class.
 func Greedy(c Costs) Solution {
-	if cc, ok := c.(ColumnClassed); ok {
-		return greedyClassed(cc)
-	}
-	return greedyDense(c)
+	return GreedyP(c, 1)
 }
 
-func greedyDense(c Costs) Solution {
-	n := c.N()
-	edges := make([]greedyEdge, 0, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			edges = append(edges, greedyEdge{w: c.At(i, j), row: int32(i), col: int32(j)})
-		}
+// GreedyP is Greedy with the candidate profit list built by p goroutines
+// (p >= 1 literal, p <= 0 → runtime.NumCPU()) — the parallel construction
+// of the auxiliary LSAP profit matrix in the HTA-GRE hot path. Each
+// candidate is written to its position-determined slot, so the sorted order
+// (sortEdges is a strict total order on (w, row, col)) and the returned
+// solution are identical to Greedy's for any p. c must be safe for
+// concurrent reads, as the Costs contract already requires.
+func GreedyP(c Costs, p int) Solution {
+	if cc, ok := c.(ColumnClassed); ok {
+		return greedyClassed(cc, p)
 	}
+	return greedyDense(c, p)
+}
+
+func greedyDense(c Costs, p int) Solution {
+	n := c.N()
+	edges := make([]greedyEdge, n*n)
+	par.Do(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				edges[i*n+j] = greedyEdge{w: c.At(i, j), row: int32(i), col: int32(j)}
+			}
+		}
+	})
 	sortEdges(edges)
 	rowToCol := make([]int, n)
 	for i := range rowToCol {
@@ -216,7 +231,7 @@ func greedyDense(c Costs) Solution {
 	return Solution{RowToCol: rowToCol, Value: value(c, rowToCol)}
 }
 
-func greedyClassed(c ColumnClassed) Solution {
+func greedyClassed(c ColumnClassed, p int) Solution {
 	n := c.N()
 	nc := c.NumClasses()
 	// Remaining capacity and free column list per class.
@@ -227,12 +242,14 @@ func greedyClassed(c ColumnClassed) Solution {
 		capacity[cl]++
 		freeCols[cl] = append(freeCols[cl], j)
 	}
-	edges := make([]greedyEdge, 0, n*nc)
-	for i := 0; i < n; i++ {
-		for cl := 0; cl < nc; cl++ {
-			edges = append(edges, greedyEdge{w: c.AtClass(i, cl), row: int32(i), col: int32(cl)})
+	edges := make([]greedyEdge, n*nc)
+	par.Do(n, p, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for cl := 0; cl < nc; cl++ {
+				edges[i*nc+cl] = greedyEdge{w: c.AtClass(i, cl), row: int32(i), col: int32(cl)}
+			}
 		}
-	}
+	})
 	sortEdges(edges)
 	rowToCol := make([]int, n)
 	for i := range rowToCol {

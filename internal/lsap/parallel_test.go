@@ -1,0 +1,65 @@
+package lsap
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestGreedyPParityDense: the parallel candidate fill must reproduce Greedy's
+// solution exactly on dense cost matrices.
+func TestGreedyPParityDense(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(30)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, n)
+			for j := range rows[i] {
+				rows[i][j] = r.Float64()
+			}
+		}
+		c := NewDense(rows)
+		serial := Greedy(c)
+		for _, p := range []int{2, 4, n + 2} {
+			got := GreedyP(c, p)
+			if !reflect.DeepEqual(got.RowToCol, serial.RowToCol) || got.Value != serial.Value {
+				t.Fatalf("trial %d n=%d p=%d: GreedyP diverges from Greedy", trial, n, p)
+			}
+		}
+	}
+}
+
+// classedCosts is a minimal ColumnClassed for the parity test: columns fall
+// into nc classes round-robin and the profit depends only on (row, class).
+type classedCosts struct {
+	n, nc int
+	a     []float64 // n × nc
+}
+
+func (c *classedCosts) N() int                    { return c.n }
+func (c *classedCosts) NumClasses() int           { return c.nc }
+func (c *classedCosts) Class(j int) int           { return j % c.nc }
+func (c *classedCosts) AtClass(i, cl int) float64 { return c.a[i*c.nc+cl] }
+func (c *classedCosts) At(i, j int) float64       { return c.AtClass(i, c.Class(j)) }
+
+// TestGreedyPParityClassed: same contract on the column-classed fast path,
+// the shape the HTA auxiliary LSAP actually uses.
+func TestGreedyPParityClassed(t *testing.T) {
+	r := rand.New(rand.NewSource(79))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(40)
+		nc := 1 + r.Intn(6)
+		c := &classedCosts{n: n, nc: nc, a: make([]float64, n*nc)}
+		for i := range c.a {
+			c.a[i] = r.Float64()
+		}
+		serial := Greedy(c)
+		for _, p := range []int{2, 5, n + 1} {
+			got := GreedyP(c, p)
+			if !reflect.DeepEqual(got.RowToCol, serial.RowToCol) || got.Value != serial.Value {
+				t.Fatalf("trial %d n=%d nc=%d p=%d: GreedyP diverges from Greedy", trial, n, nc, p)
+			}
+		}
+	}
+}

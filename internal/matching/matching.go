@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/htacs/ata/internal/par"
 )
 
 // WeightFunc returns the weight of edge {i, j}, i ≠ j. It must be symmetric
@@ -92,8 +94,18 @@ const DefaultEdgeListLimit = 3_000_000
 // DefaultEdgeListLimit entries, Suitor otherwise. Both produce the same
 // matching (greedy under the (weight, lower-index) total order).
 func Auto(n int, w WeightFunc) Matching {
+	return AutoP(n, w, 1)
+}
+
+// AutoP is Auto with the edge-list construction sharded across p goroutines
+// (p >= 1 literal, p <= 0 → runtime.NumCPU()). The matching returned is
+// identical to Auto's for any p: parallelism only changes when edge weights
+// are evaluated, never the edge order the greedy pass consumes. w must
+// therefore be safe for concurrent calls (all weight functions in this
+// repository are: they read immutable instances).
+func AutoP(n int, w WeightFunc, p int) Matching {
 	if n*(n-1)/2 <= DefaultEdgeListLimit {
-		return GreedySort(n, w)
+		return GreedySortP(n, w, p)
 	}
 	return Suitor(n, w)
 }
@@ -108,12 +120,29 @@ type edge struct {
 // endpoints are still free. It is a ½-approximation of the maximum-weight
 // matching and, on a complete graph, leaves at most one vertex unmatched.
 func GreedySort(n int, w WeightFunc) Matching {
-	edges := make([]edge, 0, n*(n-1)/2)
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			edges = append(edges, edge{w: w(i, j), i: int32(i), j: int32(j)})
+	return GreedySortP(n, w, 1)
+}
+
+// rowBase is the edge-list offset of row i in the row-major upper-triangle
+// layout GreedySort uses: edge (i, j), j > i, lives at rowBase(n, i)+j-i-1.
+func rowBase(n, i int) int { return i * (2*n - i - 1) / 2 }
+
+// GreedySortP is GreedySort with the edge list filled by p goroutines
+// (p >= 1 literal, p <= 0 → runtime.NumCPU()). Each edge is written to its
+// position-determined slot, so the list — and with edgeLess being a strict
+// total order, the sorted order and the matching — is identical to the
+// serial one. w must be safe for concurrent calls.
+func GreedySortP(n int, w WeightFunc, p int) Matching {
+	edges := make([]edge, n*(n-1)/2)
+	// Row i contributes n-1-i edges; weight the chunks accordingly.
+	par.DoWeighted(n, p, func(i int) int { return n - 1 - i }, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := rowBase(n, i)
+			for j := i + 1; j < n; j++ {
+				edges[base+j-i-1] = edge{w: w(i, j), i: int32(i), j: int32(j)}
+			}
 		}
-	}
+	})
 	sort.Slice(edges, func(a, b int) bool { return edgeLess(edges[b], edges[a]) })
 	mate := make([]int, n)
 	for i := range mate {

@@ -1,0 +1,62 @@
+package metric
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/htacs/ata/internal/bitset"
+)
+
+// TestDistanceRowBitIdentical is the RowDistancer contract: the batch path
+// must return the exact float64 of the per-pair Distance for every metric
+// that implements it.
+func TestDistanceRowBitIdentical(t *testing.T) {
+	metrics := []Distance{Jaccard{}, Hamming{}, Euclidean{}}
+	r := rand.New(rand.NewSource(97))
+	for _, m := range metrics {
+		rd, ok := m.(RowDistancer)
+		if !ok {
+			t.Fatalf("%s does not implement RowDistancer", m.Name())
+		}
+		for trial := 0; trial < 20; trial++ {
+			universe := 1 + r.Intn(150)
+			from := bitset.New(universe)
+			for i := 0; i < universe; i++ {
+				if r.Intn(3) == 0 {
+					from.Add(i)
+				}
+			}
+			to := make([]*bitset.Set, r.Intn(20))
+			for j := range to {
+				s := bitset.New(universe)
+				for i := 0; i < universe; i++ {
+					if r.Intn(4) == 0 {
+						s.Add(i)
+					}
+				}
+				to[j] = s
+			}
+			out := make([]float64, len(to))
+			rd.DistanceRow(from, to, out)
+			for j, s := range to {
+				if want := m.Distance(from, s); out[j] != want {
+					t.Fatalf("%s trial %d: DistanceRow[%d] = %v, want %v", m.Name(), trial, j, out[j], want)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceRowEmptySets covers the union == 0 edge of Jaccard's batch
+// path, which must mirror the per-pair convention (distance 0).
+func TestDistanceRowEmptySets(t *testing.T) {
+	empty := bitset.New(8)
+	out := make([]float64, 2)
+	Jaccard{}.DistanceRow(empty, []*bitset.Set{bitset.New(8), bitset.FromIndices(8, 1)}, out)
+	if want := (Jaccard{}).Distance(empty, bitset.New(8)); out[0] != want {
+		t.Errorf("empty-vs-empty: got %v, want %v", out[0], want)
+	}
+	if want := (Jaccard{}).Distance(empty, bitset.FromIndices(8, 1)); out[1] != want {
+		t.Errorf("empty-vs-nonempty: got %v, want %v", out[1], want)
+	}
+}

@@ -1,0 +1,95 @@
+// Package par provides the tiny data-parallel scaffolding shared by the
+// distance kernel and the solver pipeline: splitting an index range into
+// contiguous chunks and running them on a bounded number of goroutines
+// (stdlib sync only).
+//
+// Everything in this repository that is parallelized writes to disjoint,
+// position-determined slots of a preallocated slice, so the helpers here
+// need no channels and no locks — only a WaitGroup barrier. Parallelism
+// changes *when* a value is computed, never *what* is computed, which is
+// what lets the solvers guarantee bit-identical results to the serial path.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// N resolves a parallelism request: p >= 1 is taken literally, anything
+// else (0, negative) means runtime.NumCPU().
+func N(p int) int {
+	if p >= 1 {
+		return p
+	}
+	return runtime.NumCPU()
+}
+
+// Do splits [0, n) into at most p contiguous chunks of near-equal length
+// and runs fn(lo, hi) for each, concurrently when p > 1. fn must only
+// touch state owned by its chunk. Do returns after every chunk completes.
+func Do(n, p int, fn func(lo, hi int)) {
+	DoWeighted(n, p, nil, fn)
+}
+
+// DoWeighted is Do with per-index costs: chunk boundaries are chosen so
+// each chunk carries roughly 1/p of Σ weight(i). A nil weight means
+// uniform cost. Triangular workloads (row k of a lower-triangular matrix
+// has k entries) pass weight(k) = k so the first rows don't starve the
+// goroutine that owns them.
+func DoWeighted(n, p int, weight func(i int) int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p = N(p)
+	if p > n {
+		p = n
+	}
+	if p == 1 {
+		fn(0, n)
+		return
+	}
+	bounds := chunkBounds(n, p, weight)
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		lo, hi := bounds[c], bounds[c+1]
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// chunkBounds returns p+1 ascending cut points over [0, n] balancing the
+// total weight per chunk.
+func chunkBounds(n, p int, weight func(i int) int) []int {
+	bounds := make([]int, 0, p+1)
+	bounds = append(bounds, 0)
+	if weight == nil {
+		for c := 1; c < p; c++ {
+			bounds = append(bounds, c*n/p)
+		}
+		return append(bounds, n)
+	}
+	total := 0
+	for i := 0; i < n; i++ {
+		total += weight(i)
+	}
+	acc, next := 0, 1
+	for i := 0; i < n && next < p; i++ {
+		acc += weight(i)
+		// Cut after index i once this chunk holds its share.
+		if acc*p >= total*next {
+			bounds = append(bounds, i+1)
+			next++
+		}
+	}
+	for len(bounds) < p {
+		bounds = append(bounds, n)
+	}
+	return append(bounds, n)
+}

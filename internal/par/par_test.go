@@ -1,0 +1,78 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// covered verifies fn receives each index exactly once and returns the
+// per-index visit counts.
+func covered(t *testing.T, n, p int, weight func(i int) int) {
+	t.Helper()
+	hits := make([]int32, n)
+	DoWeighted(n, p, weight, func(lo, hi int) {
+		if lo < 0 || hi > n || lo > hi {
+			t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("n=%d p=%d: index %d visited %d times", n, p, i, h)
+		}
+	}
+}
+
+func TestDoCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 100, 1001} {
+		for _, p := range []int{-1, 0, 1, 2, 3, 8, 200} {
+			covered(t, n, p, nil)
+		}
+	}
+}
+
+func TestDoWeightedTriangular(t *testing.T) {
+	tri := func(i int) int { return i }
+	for _, n := range []int{1, 2, 10, 500} {
+		for _, p := range []int{1, 2, 4, 7} {
+			covered(t, n, p, tri)
+		}
+	}
+}
+
+func TestDoWeightedBalances(t *testing.T) {
+	// Triangular weights over 1000 rows split 4 ways: every chunk should
+	// carry a non-trivial share of the ~500k total weight, unlike a naive
+	// equal-length split where the first quarter holds only 1/16.
+	n, p := 1000, 4
+	var chunks [][2]int
+	DoWeighted(n, 1, nil, func(lo, hi int) {}) // warmup no-op
+	bounds := chunkBounds(n, p, func(i int) int { return i })
+	total := n * (n - 1) / 2
+	for c := 0; c+1 < len(bounds); c++ {
+		w := 0
+		for i := bounds[c]; i < bounds[c+1]; i++ {
+			w += i
+		}
+		if w < total/(2*p) || w > total*2/p {
+			t.Fatalf("chunk %d [%d,%d) weight %d not within [%d,%d]",
+				c, bounds[c], bounds[c+1], w, total/(2*p), total*2/p)
+		}
+		chunks = append(chunks, [2]int{bounds[c], bounds[c+1]})
+	}
+	if len(chunks) != p {
+		t.Fatalf("got %d chunks, want %d", len(chunks), p)
+	}
+}
+
+func TestNResolves(t *testing.T) {
+	if N(3) != 3 || N(1) != 1 {
+		t.Fatal("N must pass through positive values")
+	}
+	if N(0) < 1 || N(-2) < 1 {
+		t.Fatal("N must resolve non-positive values to at least 1")
+	}
+}

@@ -1,0 +1,50 @@
+package qap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchedEdgeWeights checks bM against the serial definition — B(k,
+// mate[k]) for matched real tasks, 0 elsewhere — at several parallelism
+// levels, including a mate slice shorter than N().
+func TestMatchedEdgeWeights(t *testing.T) {
+	div := func(k, l int) float64 {
+		if k == l {
+			return 0
+		}
+		return float64(k*7+l*3) / 100
+	}
+	in := tableIInstance(t, func(k, l int) float64 { return div(min(k, l), max(k, l)) })
+	m := NewMapping(in)
+	r := rand.New(rand.NewSource(101))
+
+	for trial := 0; trial < 20; trial++ {
+		mateLen := r.Intn(m.N() + 1)
+		mate := make([]int, mateLen)
+		for k := range mate {
+			if r.Intn(3) == 0 {
+				mate[k] = -1
+			} else {
+				mate[k] = r.Intn(m.NumReal())
+			}
+		}
+		want := make([]float64, m.N())
+		for k := 0; k < m.NumReal() && k < len(mate); k++ {
+			if mate[k] != -1 {
+				want[k] = m.Instance().Diversity(k, mate[k])
+			}
+		}
+		for _, p := range []int{1, 2, 8} {
+			got := m.MatchedEdgeWeights(mate, p)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d p=%d: len %d, want %d", trial, p, len(got), len(want))
+			}
+			for k := range got {
+				if got[k] != want[k] {
+					t.Fatalf("trial %d p=%d: bM[%d] = %v, want %v", trial, p, k, got[k], want[k])
+				}
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/lsap"
 	"github.com/htacs/ata/internal/matching"
+	"github.com/htacs/ata/internal/par"
 	"github.com/htacs/ata/internal/qap"
 )
 
@@ -40,6 +41,11 @@ type Result struct {
 	MatchingTime time.Duration
 	LSAPTime     time.Duration
 	TotalTime    time.Duration
+	// PrecomputeTime is the time spent materializing the pairwise distance
+	// matrix when WithParallelism enabled the diversity kernel. Zero when
+	// the kernel is off or the instance already carried a cache (e.g. the
+	// adaptive engine precomputed it across iterations).
+	PrecomputeTime time.Duration
 }
 
 type config struct {
@@ -48,6 +54,7 @@ type config struct {
 	skipShuffle    bool
 	allowNonMetric bool
 	matcher        func(n int, w matching.WeightFunc) matching.Matching
+	parallel       int // 0 = serial legacy path; >= 1 = diversity kernel with that many goroutines
 }
 
 // Option customizes a solver run.
@@ -81,16 +88,31 @@ func WithoutTaskShuffle() Option { return func(c *config) { c.skipShuffle = true
 func AllowNonMetric() Option { return func(c *config) { c.allowNonMetric = true } }
 
 // WithMatcher overrides the algorithm used for the diversity matching M_B.
-// The default is matching.Auto (sort-greedy below the edge-list memory
-// threshold, suitor above; both are the same ½-approximate greedy).
+// The default is matching.AutoP (sort-greedy below the edge-list memory
+// threshold, suitor above; both are the same ½-approximate greedy) at the
+// run's parallelism level. An explicit matcher wins over WithParallelism for
+// the matching phase.
 func WithMatcher(m func(n int, w matching.WeightFunc) matching.Matching) Option {
 	return func(c *config) { c.matcher = m }
 }
 
+// WithParallelism enables the cached diversity kernel: before solving, the
+// instance's full pairwise distance matrix is materialized with p goroutines
+// (p >= 1 literal, p <= 0 → runtime.NumCPU()), and the matching, profit and
+// LSAP construction phases shard their loops across the same p. Results are
+// bit-identical to the serial path for every p — parallelism only changes
+// when distances are computed, never what the solver sees — so this is a
+// pure time/memory trade: the cache costs O(|T|²/2) float64s (~400 MB at
+// the paper's 10k-task scale). The precompute cost is reported in
+// Result.PrecomputeTime; instances that already carry a cache (e.g. from
+// adaptive's cross-iteration kernel) skip it.
+func WithParallelism(p int) Option {
+	return func(c *config) { c.parallel = par.N(p) }
+}
+
 func newConfig(opts []Option) *config {
 	c := &config{
-		rng:     rand.New(rand.NewSource(1)),
-		matcher: matching.Auto,
+		rng: rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
 		o(c)
@@ -101,13 +123,13 @@ func newConfig(opts []Option) *config {
 // HTAAPP runs Algorithm 1 (HTA-APP), the ¼-approximation that solves the
 // auxiliary LSAP exactly with the Hungarian algorithm. O(|T|³) time.
 func HTAAPP(in *core.Instance, opts ...Option) (*Result, error) {
-	return run(in, "hta-app", lsap.Hungarian, opts)
+	return run(in, "hta-app", func(c lsap.Costs, _ int) lsap.Solution { return lsap.Hungarian(c) }, opts)
 }
 
 // HTAGRE runs Algorithm 2 (HTA-GRE), the ⅛-approximation that solves the
 // auxiliary LSAP with the ½-approximate greedy matching. O(|T|² log |T|).
 func HTAGRE(in *core.Instance, opts ...Option) (*Result, error) {
-	return run(in, "hta-gre", lsap.Greedy, opts)
+	return run(in, "hta-gre", lsap.GreedyP, opts)
 }
 
 // HTAWith runs the shared Algorithm 1/2 pipeline with a caller-supplied
@@ -123,7 +145,7 @@ func HTAWith(in *core.Instance, name string, assign func(lsap.Costs) lsap.Soluti
 	if name == "" {
 		name = "hta-custom"
 	}
-	return run(in, name, assign, opts)
+	return run(in, name, func(c lsap.Costs, _ int) lsap.Solution { return assign(c) }, opts)
 }
 
 // HTAGREDiv runs HTA-GRE with every worker's weights forced to α=1, β=0 —
@@ -133,7 +155,7 @@ func HTAGREDiv(in *core.Instance, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(div, "hta-gre-div", lsap.Greedy, opts)
+	res, err := run(div, "hta-gre-div", lsap.GreedyP, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +171,7 @@ func HTAGRERel(in *core.Instance, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(rel, "hta-gre-rel", lsap.Greedy, opts)
+	res, err := run(rel, "hta-gre-rel", lsap.GreedyP, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -158,13 +180,30 @@ func HTAGRERel(in *core.Instance, opts ...Option) (*Result, error) {
 }
 
 // run is the shared pipeline of Algorithms 1 and 2; assign solves the
-// auxiliary LSAP (Line 11), the only step in which they differ.
-func run(in *core.Instance, name string, assign func(lsap.Costs) lsap.Solution, opts []Option) (*Result, error) {
+// auxiliary LSAP (Line 11), the only step in which they differ, with the
+// run's parallelism level as second argument (1 when the kernel is off).
+func run(in *core.Instance, name string, assign func(lsap.Costs, int) lsap.Solution, opts []Option) (*Result, error) {
 	cfg := newConfig(opts)
 	if !in.Dist.Metric() && !cfg.allowNonMetric {
 		return nil, fmt.Errorf("solver: %s on %q distance: %w", name, in.Dist.Name(), core.ErrNonMetric)
 	}
 	start := time.Now()
+
+	// Kernel phase: materialize the pairwise distance matrix once, before
+	// the permuted view is taken so the view reads through the base cache.
+	// Every later Diversity read — matching weights, bM profits, the flip's
+	// objective — becomes an O(1) lookup of the exact float64 the serial
+	// path would have computed.
+	p := cfg.parallel
+	var precomputeTime time.Duration
+	if p > 0 && !in.HasDiversityCache() {
+		preStart := time.Now()
+		in.Precompute(p)
+		precomputeTime = time.Since(preStart)
+	}
+	if p < 1 {
+		p = 1
+	}
 
 	// Randomize task indexing so that ties in the auxiliary LSAP (identical
 	// tasks from the same group have identical profits) break uniformly
@@ -185,17 +224,23 @@ func run(in *core.Instance, name string, assign func(lsap.Costs) lsap.Solution, 
 	// Line 2: matching M_B on the diversity graph over the real tasks.
 	// Virtual padding tasks have zero diversity to everything, so excluding
 	// them from the matching changes no weight.
+	matcher := cfg.matcher
+	if matcher == nil {
+		matcher = func(n int, w matching.WeightFunc) matching.Matching {
+			return matching.AutoP(n, w, p)
+		}
+	}
 	matchStart := time.Now()
-	mb := cfg.matcher(m.NumReal(), solveIn.Diversity)
+	mb := matcher(m.NumReal(), solveIn.Diversity)
 	matchingTime := time.Since(matchStart)
 
 	// Lines 3–10: auxiliary LSAP profits
 	// f[k][l] = bM(t_k)·degA(l) + c[k][l].
-	costs := newAuxCosts(m, mb)
+	costs := newAuxCosts(m, mb, p)
 
 	// Line 11: solve the LSAP (Hungarian for APP, greedy for GRE).
 	lsapStart := time.Now()
-	sol := assign(costs)
+	sol := assign(costs, p)
 	lsapTime := time.Since(lsapStart)
 	perm := sol.RowToCol
 
@@ -221,12 +266,13 @@ func run(in *core.Instance, name string, assign func(lsap.Costs) lsap.Solution, 
 		}
 	}
 	res := &Result{
-		Assignment:   a,
-		Objective:    in.Objective(a),
-		Algorithm:    name,
-		MatchingTime: matchingTime,
-		LSAPTime:     lsapTime,
-		TotalTime:    time.Since(start),
+		Assignment:     a,
+		Objective:      in.Objective(a),
+		Algorithm:      name,
+		MatchingTime:   matchingTime,
+		LSAPTime:       lsapTime,
+		TotalTime:      time.Since(start),
+		PrecomputeTime: precomputeTime,
 	}
 	return res, nil
 }
@@ -243,14 +289,9 @@ type auxCosts struct {
 	xmax       int
 }
 
-func newAuxCosts(m *qap.Mapping, mb matching.Matching) *auxCosts {
+func newAuxCosts(m *qap.Mapping, mb matching.Matching, p int) *auxCosts {
 	in := m.Instance()
-	bM := make([]float64, m.N())
-	for k := 0; k < m.NumReal(); k++ {
-		if mate := mb.Mate[k]; mate != -1 {
-			bM[k] = in.Diversity(k, mate)
-		}
-	}
+	bM := m.MatchedEdgeWeights(mb.Mate, p)
 	return &auxCosts{m: m, bM: bM, n: m.N(), numWorkers: in.NumWorkers(), xmax: in.Xmax}
 }
 
