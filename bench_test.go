@@ -195,6 +195,78 @@ func BenchmarkFig5Session(b *testing.B) {
 	}
 }
 
+// BenchmarkLSAP times the three auxiliary-LSAP solvers over an (n, |W|)
+// grid of clique-structured profit matrices shaped like the real HTA
+// auxiliary problem: |W| worker-clique column classes of n/|W| columns
+// each. All three run through a reused lsap.Workspace, so steady-state
+// iterations report 0 allocs/op — the adaptive-loop contract PR 2 added.
+// dense is the O(n³) Hungarian, classed the O(n²·|W|) class-collapsed
+// exact solver, greedy the ½-approximation.
+func BenchmarkLSAP(b *testing.B) {
+	for _, n := range []int{200, 400, 1000} {
+		for _, numWorkers := range []int{10, 50} {
+			xmax := n / numWorkers
+			nc := numWorkers + 1
+			classOf := make([]int, n)
+			for j := range classOf {
+				if q := j / xmax; q < numWorkers {
+					classOf[j] = q
+				} else {
+					classOf[j] = numWorkers
+				}
+			}
+			r := rand.New(rand.NewSource(1))
+			profits := make([][]float64, n)
+			for i := range profits {
+				profits[i] = make([]float64, nc)
+				for c := 0; c < numWorkers; c++ {
+					profits[i][c] = r.Float64() * 5
+				}
+			}
+			costs := lsap.NewBlock(classOf, profits)
+			caps := make([]int, nc)
+			for _, cl := range classOf {
+				caps[cl]++
+			}
+			name := fmt.Sprintf("n=%d/workers=%d", n, numWorkers)
+			b.Run("dense/"+name, func(b *testing.B) {
+				if n >= 1000 && testing.Short() {
+					b.Skip("cubic Hungarian at n=1000")
+				}
+				ws := lsap.NewWorkspace()
+				lsap.HungarianWS(costs, ws)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lsap.HungarianWS(costs, ws)
+				}
+			})
+			b.Run("classed/"+name, func(b *testing.B) {
+				ws := lsap.NewWorkspace()
+				if _, err := lsap.HungarianClassedWS(costs, caps, ws); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := lsap.HungarianClassedWS(costs, caps, ws); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("greedy/"+name, func(b *testing.B) {
+				ws := lsap.NewWorkspace()
+				lsap.GreedyWS(costs, 1, ws)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lsap.GreedyWS(costs, 1, ws)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkAblationLSAP isolates the APP→GRE design choice: the exact
 // Hungarian vs the ½-approximate greedy on the same auxiliary LSAP sizes.
 func BenchmarkAblationLSAP(b *testing.B) {

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c or 3")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg or pr2")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -31,6 +31,7 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
+	jsonPath := flag.String("json", "", "with -fig pr2: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "hta-bench: unknown format %q\n", *format)
@@ -71,8 +72,27 @@ func main() {
 		if err == nil {
 			err = experiments.RenderLatency(os.Stdout, rows)
 		}
+	case "pr2":
+		// Not a paper figure: the before/after report of the PR 2 LSAP
+		// class collapse (dense Hungarian → capacitated class-level
+		// Hungarian) plus the precompute gating fix.
+		fmt.Printf("PR 2 report: class-collapsed exact LSAP + gated precompute (Xmax = %d)\n\n", opts.Xmax)
+		var report *experiments.PR2Report
+		report, err = experiments.SweepPR2(opts)
+		if err == nil {
+			err = report.RenderPR2(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR2JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj or bg)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg or pr2)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 
 	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/lsap"
 	"github.com/htacs/ata/internal/metric"
 	"github.com/htacs/ata/internal/solver"
 )
@@ -99,6 +100,7 @@ type Engine struct {
 	order     []string // worker registration order, for deterministic instances
 	iteration int
 	kernel    *core.DistKernel // cross-iteration distance cache; nil when Parallelism == 0
+	lsapWS    *lsap.Workspace  // scratch reused by every iteration's LSAP solve
 	// KernelReused/KernelComputed accumulate the pair counts the kernel
 	// carried forward vs computed fresh across all iterations — the
 	// incremental-invalidation win reported by the iteration benches.
@@ -133,6 +135,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		cfg:     cfg,
 		inPool:  make(map[string]int),
 		workers: make(map[string]*WorkerState),
+		// One workspace for the engine's lifetime: iterations solve
+		// same-shaped LSAPs back to back, so the scratch (and result)
+		// buffers reach steady state after the first and every later
+		// solve allocates nothing. NextIteration runs are sequential,
+		// matching the workspace's single-goroutine contract.
+		lsapWS: lsap.NewWorkspace(),
 	}
 	if cfg.Parallelism != 0 {
 		e.kernel = core.NewDistKernel()
@@ -356,7 +364,7 @@ func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: building instance: %w", err)
 		}
-		solveOpts := []solver.Option{solver.WithRand(e.cfg.Rand)}
+		solveOpts := []solver.Option{solver.WithRand(e.cfg.Rand), solver.WithWorkspace(e.lsapWS)}
 		if e.kernel != nil {
 			// Materialize this iteration's distance matrix, carrying
 			// forward every pair whose tasks both survive from the last

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPR2ReportJSONRoundTrip(t *testing.T) {
+	report := &PR2Report{
+		Note: "test",
+		Solvers: []PR2SolverPoint{{
+			Algorithm: "hta-app", NumTasks: 400, Workers: 20,
+			BeforeNs: 100, AfterNs: 10, BeforeLSAPNs: 90, AfterLSAPNs: 3,
+			LSAPSpeedup: 30, ObjectiveBefore: 1.5, ObjectiveAfter: 1.5,
+			ObjectiveIdentical: true,
+		}},
+		Micro: []PR2MicroPoint{{N: 1000, Workers: 10, DenseNs: 500, ClassedNs: 5, GreedyNs: 9, ValueEqual: true}},
+	}
+	var buf bytes.Buffer
+	if err := report.WritePR2JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back PR2Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(back.Solvers) != 1 || back.Solvers[0].LSAPSpeedup != 30 || !back.Micro[0].ValueEqual {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	var out bytes.Buffer
+	if err := report.RenderPR2(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"hta-app", "identical", "lsap micro"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSweepPR2SmallRun exercises the real sweep end to end at the smallest
+// possible cost — skipped in -short because the dense |T|=1000 Hungarian
+// side takes a few seconds on its own.
+func TestSweepPR2SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PR2 sweep is seconds-long")
+	}
+	report, err := SweepPR2(Options{Runs: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Solvers) != 6 || len(report.Micro) != 3 {
+		t.Fatalf("report shape: %d solver points, %d micro points", len(report.Solvers), len(report.Micro))
+	}
+	for _, p := range report.Solvers {
+		if p.Algorithm == "hta-app" {
+			if p.LSAPSpeedup < 3 {
+				t.Errorf("|T|=%d: APP LSAP speedup %.1fx < 3x", p.NumTasks, p.LSAPSpeedup)
+			}
+			if p.LSAPValueDelta > 1e-9 {
+				t.Errorf("|T|=%d: LSAP value delta %g > 1e-9", p.NumTasks, p.LSAPValueDelta)
+			}
+		}
+	}
+	for _, m := range report.Micro {
+		if !m.ValueEqual {
+			t.Errorf("|W|=%d: dense and classed LSAP values differ", m.Workers)
+		}
+		if m.ClassedNs >= m.DenseNs {
+			t.Errorf("|W|=%d: classed (%d ns) not faster than dense (%d ns)", m.Workers, m.ClassedNs, m.DenseNs)
+		}
+	}
+}

@@ -1,0 +1,373 @@
+package lsap
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// cliqueBlock builds a ColumnClassed instance with HTA's clique structure:
+// numWorkers classes of xmax columns each plus one isolated class holding
+// the remaining n − numWorkers·xmax columns (requires n ≥ numWorkers·xmax).
+func cliqueBlock(r *rand.Rand, n, numWorkers, xmax int) *blockCosts {
+	nc := numWorkers + 1
+	b := &blockCosts{n: n, classOf: make([]int, n), profit: make([][]float64, n)}
+	for j := 0; j < n; j++ {
+		if w := j / xmax; w < numWorkers {
+			b.classOf[j] = w
+		} else {
+			b.classOf[j] = numWorkers
+		}
+	}
+	for i := range b.profit {
+		b.profit[i] = make([]float64, nc)
+		for c := range b.profit[i] {
+			b.profit[i][c] = r.Float64() * 5
+		}
+	}
+	return b
+}
+
+func classCounts(c ColumnClassed) []int {
+	caps := make([]int, c.NumClasses())
+	for j := 0; j < c.N(); j++ {
+		caps[c.Class(j)]++
+	}
+	return caps
+}
+
+func TestHungarianClassedMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(8)
+		nc := 1 + r.Intn(n)
+		c := randBlock(r, n, nc)
+		sol, err := HungarianClassed(c, classCounts(c))
+		if err != nil {
+			t.Fatalf("n=%d nc=%d: %v", n, nc, err)
+		}
+		assertPermutation(t, sol.RowToCol)
+		want := BruteForce(denseView{c})
+		if math.Abs(sol.Value-want.Value) > 1e-9 {
+			t.Fatalf("n=%d nc=%d: classed value %.12f, brute force %.12f", n, nc, sol.Value, want.Value)
+		}
+		if got := value(c, sol.RowToCol); math.Abs(got-sol.Value) > 1e-12 {
+			t.Fatalf("reported Value %.12f disagrees with its own assignment %.12f", sol.Value, got)
+		}
+	}
+}
+
+func TestHungarianClassedParityWithDense(t *testing.T) {
+	shapes := []struct{ n, numWorkers, xmax int }{
+		{60, 2, 5},
+		{120, 10, 4},
+		{200, 5, 20},
+		{300, 25, 8},
+		{300, 1, 40},
+	}
+	for _, s := range shapes {
+		r := rand.New(rand.NewSource(int64(s.n*31 + s.numWorkers)))
+		c := cliqueBlock(r, s.n, s.numWorkers, s.xmax)
+		classed, err := HungarianClassed(c, classCounts(c))
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		assertPermutation(t, classed.RowToCol)
+		dense := Hungarian(c)
+		if math.Abs(classed.Value-dense.Value) > 1e-9 {
+			t.Fatalf("%+v: classed %.12f vs dense Hungarian %.12f", s, classed.Value, dense.Value)
+		}
+	}
+}
+
+func TestHungarianClassedZeroCapacityClass(t *testing.T) {
+	// A class with zero columns (and zero capacity) must be skippable.
+	c := &blockCosts{
+		n:       3,
+		classOf: []int{0, 0, 2},
+		profit:  [][]float64{{1, 9, 2}, {3, 9, 4}, {5, 9, 6}},
+	}
+	sol, err := HungarianClassed(c, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertPermutation(t, sol.RowToCol)
+	if want := BruteForce(denseView{c}); math.Abs(sol.Value-want.Value) > 1e-9 {
+		t.Fatalf("value %.12f, want %.12f", sol.Value, want.Value)
+	}
+}
+
+func TestHungarianClassedCapacityErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := randBlock(r, 6, 3) // classes 0,1,2 with 2 columns each
+	cases := []struct {
+		name string
+		caps []int
+	}{
+		{"wrong length", []int{2, 2, 1, 1}},
+		{"negative", []int{-1, 4, 3}},
+		{"exceeds columns", []int{3, 2, 1}},
+		{"sum short", []int{2, 2, 1}},
+		{"sum mismatch via zero class", []int{2, 2, 0}},
+	}
+	for _, tc := range cases {
+		if _, err := HungarianClassed(c, tc.caps); !errors.Is(err, ErrBadCapacities) {
+			t.Errorf("%s: got %v, want ErrBadCapacities", tc.name, err)
+		}
+	}
+	if _, err := HungarianClassed(c, nil); !errors.Is(err, ErrBadCapacities) {
+		t.Errorf("nil capacities: got %v, want ErrBadCapacities", err)
+	}
+}
+
+func TestHungarianClassedEmpty(t *testing.T) {
+	sol, err := HungarianClassed(NewBlock(nil, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.RowToCol) != 0 || sol.Value != 0 {
+		t.Fatalf("empty instance: got %+v", sol)
+	}
+}
+
+func TestHungarianClassedDeterministicExpansion(t *testing.T) {
+	// Identical inputs must give identical assignments, and within a class
+	// earlier rows must receive lower column indices.
+	r := rand.New(rand.NewSource(9))
+	c := cliqueBlock(r, 80, 4, 10)
+	caps := classCounts(c)
+	first, err := HungarianClassed(c, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := append([]int(nil), first.RowToCol...)
+	for trial := 0; trial < 3; trial++ {
+		again, err := HungarianClassed(c, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != again.RowToCol[i] {
+				t.Fatalf("trial %d: row %d assigned %d then %d", trial, i, got[i], again.RowToCol[i])
+			}
+		}
+	}
+	lastCol := make(map[int]int) // class → last column handed out, per increasing row
+	for i, j := range got {
+		cl := c.Class(j)
+		if prev, ok := lastCol[cl]; ok && j < prev {
+			t.Fatalf("row %d got column %d of class %d after a later row got %d: not lowest-free-first", i, j, cl, prev)
+		}
+		lastCol[cl] = j
+	}
+}
+
+func TestAutoDispatch(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+
+	// Classed costs with 2·nc ≤ n: Auto must still return the exact optimum.
+	c := cliqueBlock(r, 90, 3, 15)
+	if got, want := Auto(c, 1), Hungarian(c); math.Abs(got.Value-want.Value) > 1e-9 {
+		t.Fatalf("Auto on classed costs: %.12f, dense %.12f", got.Value, want.Value)
+	}
+
+	// Dense costs (no ColumnClassed): falls back to Hungarian exactly.
+	d := randDense(r, 40)
+	got, want := Auto(d, 1), Hungarian(d)
+	if got.Value != want.Value {
+		t.Fatalf("Auto on dense costs: %.12f, dense %.12f", got.Value, want.Value)
+	}
+	for i := range want.RowToCol {
+		if got.RowToCol[i] != want.RowToCol[i] {
+			t.Fatalf("Auto on dense costs diverged from Hungarian at row %d", i)
+		}
+	}
+
+	// Too many classes to pay off (2·nc > n): dense path, still optimal.
+	small := randBlock(r, 7, 5)
+	if got, want := Auto(small, 1), BruteForce(denseView{small}); math.Abs(got.Value-want.Value) > 1e-9 {
+		t.Fatalf("Auto below profitability cutoff: %.12f, want %.12f", got.Value, want.Value)
+	}
+}
+
+// badClass reports an out-of-range class for one column; Auto must fall
+// back to the dense solver instead of erroring.
+type badClass struct{ *blockCosts }
+
+func (b badClass) Class(j int) int {
+	if j == 0 {
+		return -1
+	}
+	return b.blockCosts.Class(j)
+}
+
+func TestAutoFallsBackOnBadMetadata(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	c := badClass{randBlock(r, 30, 3)}
+	got := Auto(c, 1)
+	want := Hungarian(denseView{c.blockCosts})
+	if math.Abs(got.Value-want.Value) > 1e-9 {
+		t.Fatalf("Auto with bad class metadata: %.12f, want dense %.12f", got.Value, want.Value)
+	}
+}
+
+func TestWorkspaceReuseParity(t *testing.T) {
+	// The WS variants must produce results identical to the nil-workspace
+	// path across solves of varying shapes through one shared workspace.
+	r := rand.New(rand.NewSource(13))
+	ws := NewWorkspace()
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + r.Intn(60)
+		seed := r.Int63()
+
+		dr := rand.New(rand.NewSource(seed))
+		d := randDense(dr, n)
+		fresh := Hungarian(d)
+		reused := HungarianWS(d, ws)
+		if fresh.Value != reused.Value {
+			t.Fatalf("HungarianWS value drift: %.12f vs %.12f", reused.Value, fresh.Value)
+		}
+		for i := range fresh.RowToCol {
+			if fresh.RowToCol[i] != reused.RowToCol[i] {
+				t.Fatalf("HungarianWS assignment drift at row %d", i)
+			}
+		}
+
+		nc := 1 + r.Intn(6)
+		c := randBlock(rand.New(rand.NewSource(seed+1)), n, nc)
+		caps := classCounts(c)
+		freshC, err := HungarianClassed(c, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reusedC, err := HungarianClassedWS(c, caps, ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if freshC.Value != reusedC.Value {
+			t.Fatalf("HungarianClassedWS value drift: %.12f vs %.12f", reusedC.Value, freshC.Value)
+		}
+		for i := range freshC.RowToCol {
+			if freshC.RowToCol[i] != reusedC.RowToCol[i] {
+				t.Fatalf("HungarianClassedWS assignment drift at row %d", i)
+			}
+		}
+
+		freshG := Greedy(c)
+		reusedG := GreedyWS(c, 1, ws)
+		if freshG.Value != reusedG.Value {
+			t.Fatalf("GreedyWS value drift: %.12f vs %.12f", reusedG.Value, freshG.Value)
+		}
+	}
+}
+
+func TestWorkspaceZeroAllocSteadyState(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	n := 120
+	d := randDense(r, n)
+	c := cliqueBlock(r, n, 5, 12)
+	caps := classCounts(c)
+	ws := NewWorkspace()
+
+	// Warm up each solver so every scratch buffer reaches full size.
+	HungarianWS(d, ws)
+	if _, err := HungarianClassedWS(c, caps, ws); err != nil {
+		t.Fatal(err)
+	}
+	GreedyWS(c, 1, ws)
+	GreedyWS(d, 1, ws)
+	AutoWS(c, 1, ws)
+
+	checks := []struct {
+		name string
+		fn   func()
+	}{
+		{"HungarianWS", func() { HungarianWS(d, ws) }},
+		{"HungarianClassedWS", func() {
+			if _, err := HungarianClassedWS(c, caps, ws); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"GreedyWS/classed", func() { GreedyWS(c, 1, ws) }},
+		{"GreedyWS/dense", func() { GreedyWS(d, 1, ws) }},
+		{"AutoWS/classed", func() { AutoWS(c, 1, ws) }},
+	}
+	for _, check := range checks {
+		if allocs := testing.AllocsPerRun(20, check.fn); allocs != 0 {
+			t.Errorf("%s: %.1f allocs/op steady-state, want 0", check.name, allocs)
+		}
+	}
+}
+
+func FuzzHungarianClassedCapacities(f *testing.F) {
+	f.Add(int64(1), uint8(6), uint8(3), uint8(2), uint8(2), uint8(2))
+	f.Add(int64(2), uint8(5), uint8(2), uint8(0), uint8(5), uint8(0))
+	f.Add(int64(3), uint8(8), uint8(4), uint8(9), uint8(0), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, rn, rnc, c0, c1, c2 uint8) {
+		n := 1 + int(rn)%10
+		nc := 1 + int(rnc)%5
+		r := rand.New(rand.NewSource(seed))
+		c := randBlock(r, n, nc)
+		caps := make([]int, nc)
+		for l, raw := range []uint8{c0, c1, c2} {
+			if l < nc {
+				caps[l] = int(raw) % (n + 2)
+			}
+		}
+		counts := classCounts(c)
+		sum, valid := 0, true
+		for l, cp := range caps {
+			if cp > counts[l] {
+				valid = false
+			}
+			sum += cp
+		}
+		if sum != n {
+			valid = false
+		}
+		sol, err := HungarianClassed(c, caps)
+		if valid {
+			if err != nil {
+				t.Fatalf("valid capacities %v (counts %v) rejected: %v", caps, counts, err)
+			}
+			assertPermutation(t, sol.RowToCol)
+			for i, j := range sol.RowToCol {
+				_ = i
+				// Respect per-class capacities by construction of the permutation;
+				// spot-check class membership is in range.
+				if cl := c.Class(j); cl < 0 || cl >= nc {
+					t.Fatalf("column %d mapped to class %d", j, cl)
+				}
+			}
+			if n <= 8 {
+				want := BruteForce(denseView{c})
+				if math.Abs(sol.Value-want.Value) > 1e-9 {
+					t.Fatalf("value %.12f, brute force %.12f", sol.Value, want.Value)
+				}
+			}
+		} else if !errors.Is(err, ErrBadCapacities) {
+			t.Fatalf("invalid capacities %v (counts %v, n=%d): got %v, want ErrBadCapacities", caps, counts, n, err)
+		}
+	})
+}
+
+func FuzzHungarianClassedParity(f *testing.F) {
+	f.Add(int64(1), uint8(8), uint8(3))
+	f.Add(int64(42), uint8(12), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, rn, rnc uint8) {
+		n := 1 + int(rn)%16
+		nc := 1 + int(rnc)%6
+		r := rand.New(rand.NewSource(seed))
+		c := randBlock(r, n, nc)
+		sol, err := HungarianClassed(c, classCounts(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPermutation(t, sol.RowToCol)
+		dense := Hungarian(c)
+		if math.Abs(sol.Value-dense.Value) > 1e-9 {
+			t.Fatalf("n=%d nc=%d: classed %.12f vs dense %.12f", n, nc, sol.Value, dense.Value)
+		}
+	})
+}

@@ -20,7 +20,7 @@ package lsap
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"github.com/htacs/ata/internal/par"
 )
@@ -99,18 +99,31 @@ func value(c Costs, rowToCol []int) float64 {
 // augmenting path formulation of the Kuhn–Munkres algorithm (the same
 // family as the Carpaneto–Toth code the paper adapted).
 func Hungarian(c Costs) Solution {
+	return HungarianWS(c, nil)
+}
+
+// HungarianWS is Hungarian drawing every scratch slice (and the returned
+// RowToCol) from ws, so steady-state solves of same-sized problems allocate
+// nothing. A nil ws uses a private workspace, which is exactly Hungarian.
+func HungarianWS(c Costs, ws *Workspace) Solution {
 	n := c.N()
 	if n == 0 {
 		return Solution{RowToCol: nil, Value: 0}
 	}
+	if ws == nil {
+		ws = &Workspace{}
+	}
 	// The classic formulation minimizes; negate profits.
 	const inf = math.MaxFloat64
-	u := make([]float64, n+1)
-	v := make([]float64, n+1)
-	p := make([]int, n+1)   // p[j]: row (1-based) matched to column j; p[0] is the row being inserted
-	way := make([]int, n+1) // way[j]: previous column on the shortest alternating path
-	minv := make([]float64, n+1)
-	used := make([]bool, n+1)
+	u := growFloats(&ws.u, n+1)
+	v := growFloats(&ws.v, n+1)
+	p := growInts(&ws.p, n+1)     // p[j]: row (1-based) matched to column j; p[0] is the row being inserted
+	way := growInts(&ws.way, n+1) // way[j]: previous column on the shortest alternating path
+	minv := growFloats(&ws.minv, n+1)
+	used := growBools(&ws.used, n+1)
+	for j := 0; j <= n; j++ {
+		u[j], v[j], p[j] = 0, 0, 0
+	}
 	for i := 1; i <= n; i++ {
 		p[0] = i
 		j0 := 0
@@ -156,7 +169,7 @@ func Hungarian(c Costs) Solution {
 			j0 = j1
 		}
 	}
-	rowToCol := make([]int, n)
+	rowToCol := growInts(&ws.rowToCol, n)
 	for j := 1; j <= n; j++ {
 		rowToCol[p[j]-1] = j - 1
 	}
@@ -183,7 +196,7 @@ type greedyEdge struct {
 // the full edge set under a tie-break that prefers lower column indices
 // within a class.
 func Greedy(c Costs) Solution {
-	return GreedyP(c, 1)
+	return GreedyWS(c, 1, nil)
 }
 
 // GreedyP is Greedy with the candidate profit list built by p goroutines
@@ -194,28 +207,49 @@ func Greedy(c Costs) Solution {
 // solution are identical to Greedy's for any p. c must be safe for
 // concurrent reads, as the Costs contract already requires.
 func GreedyP(c Costs, p int) Solution {
-	if cc, ok := c.(ColumnClassed); ok {
-		return greedyClassed(cc, p)
-	}
-	return greedyDense(c, p)
+	return GreedyWS(c, p, nil)
 }
 
-func greedyDense(c Costs, p int) Solution {
+// GreedyWS is GreedyP drawing scratch (and the returned RowToCol) from ws;
+// with p == 1 and a warm workspace it allocates nothing. A nil ws uses a
+// private workspace.
+func GreedyWS(c Costs, p int, ws *Workspace) Solution {
+	if ws == nil {
+		ws = &Workspace{}
+	}
+	if cc, ok := c.(ColumnClassed); ok {
+		return greedyClassed(cc, p, ws)
+	}
+	return greedyDense(c, p, ws)
+}
+
+func greedyDense(c Costs, p int, ws *Workspace) Solution {
 	n := c.N()
-	edges := make([]greedyEdge, n*n)
-	par.Do(n, p, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	edges := growEdges(&ws.edges, n*n)
+	if p <= 1 {
+		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				edges[i*n+j] = greedyEdge{w: c.At(i, j), row: int32(i), col: int32(j)}
 			}
 		}
-	})
+	} else {
+		par.Do(n, p, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					edges[i*n+j] = greedyEdge{w: c.At(i, j), row: int32(i), col: int32(j)}
+				}
+			}
+		})
+	}
 	sortEdges(edges)
-	rowToCol := make([]int, n)
+	rowToCol := growInts(&ws.rowToCol, n)
 	for i := range rowToCol {
 		rowToCol[i] = -1
 	}
-	colUsed := make([]bool, n)
+	colUsed := growBools(&ws.colUsed, n)
+	for j := range colUsed {
+		colUsed[j] = false
+	}
 	assigned := 0
 	for _, e := range edges {
 		if assigned == n {
@@ -231,27 +265,49 @@ func greedyDense(c Costs, p int) Solution {
 	return Solution{RowToCol: rowToCol, Value: value(c, rowToCol)}
 }
 
-func greedyClassed(c ColumnClassed, p int) Solution {
+func greedyClassed(c ColumnClassed, p int, ws *Workspace) Solution {
 	n := c.N()
 	nc := c.NumClasses()
-	// Remaining capacity and free column list per class.
-	capacity := make([]int, nc)
-	freeCols := make([][]int, nc)
+	// Remaining capacity and, in cols, the columns of each class in
+	// increasing index (class cl owns cols[colStart[cl]:colStart[cl+1]]).
+	capacity := growInts(&ws.caps, nc)
+	for cl := range capacity {
+		capacity[cl] = 0
+	}
+	for j := 0; j < n; j++ {
+		capacity[c.Class(j)]++
+	}
+	colStart := growInts(&ws.colStart, nc+1)
+	colStart[0] = 0
+	for cl := 0; cl < nc; cl++ {
+		colStart[cl+1] = colStart[cl] + capacity[cl]
+	}
+	cols := growInts(&ws.cols, n)
+	cursor := growInts(&ws.colNext, nc)
+	copy(cursor, colStart[:nc])
 	for j := 0; j < n; j++ {
 		cl := c.Class(j)
-		capacity[cl]++
-		freeCols[cl] = append(freeCols[cl], j)
+		cols[cursor[cl]] = j
+		cursor[cl]++
 	}
-	edges := make([]greedyEdge, n*nc)
-	par.Do(n, p, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	edges := growEdges(&ws.edges, n*nc)
+	if p <= 1 {
+		for i := 0; i < n; i++ {
 			for cl := 0; cl < nc; cl++ {
 				edges[i*nc+cl] = greedyEdge{w: c.AtClass(i, cl), row: int32(i), col: int32(cl)}
 			}
 		}
-	})
+	} else {
+		par.Do(n, p, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				for cl := 0; cl < nc; cl++ {
+					edges[i*nc+cl] = greedyEdge{w: c.AtClass(i, cl), row: int32(i), col: int32(cl)}
+				}
+			}
+		})
+	}
 	sortEdges(edges)
-	rowToCol := make([]int, n)
+	rowToCol := growInts(&ws.rowToCol, n)
 	for i := range rowToCol {
 		rowToCol[i] = -1
 	}
@@ -264,9 +320,7 @@ func greedyClassed(c ColumnClassed, p int) Solution {
 		if rowToCol[e.row] != -1 || capacity[cl] == 0 {
 			continue
 		}
-		cols := freeCols[cl]
-		rowToCol[e.row] = cols[len(cols)-1]
-		freeCols[cl] = cols[:len(cols)-1]
+		rowToCol[e.row] = cols[colStart[cl]+capacity[cl]-1]
 		capacity[cl]--
 		assigned++
 	}
@@ -276,15 +330,17 @@ func greedyClassed(c ColumnClassed, p int) Solution {
 // sortEdges orders candidates by decreasing weight, breaking ties by
 // (row, col) so runs are deterministic.
 func sortEdges(edges []greedyEdge) {
-	sort.Slice(edges, func(a, b int) bool {
-		ea, eb := edges[a], edges[b]
-		if ea.w != eb.w {
-			return ea.w > eb.w
+	slices.SortFunc(edges, func(a, b greedyEdge) int {
+		switch {
+		case a.w > b.w:
+			return -1
+		case a.w < b.w:
+			return 1
+		case a.row != b.row:
+			return int(a.row) - int(b.row)
+		default:
+			return int(a.col) - int(b.col)
 		}
-		if ea.row != eb.row {
-			return ea.row < eb.row
-		}
-		return ea.col < eb.col
 	})
 }
 

@@ -73,6 +73,35 @@ func (m *Mapping) WorkerOf(v int) int {
 	return q
 }
 
+// NumClasses returns |W|+1: the A-side vertices fall into one equivalence
+// class per worker clique plus one for the isolated (zero-degree) block.
+// Vertices of a class are interchangeable in every solver-facing quantity
+// (DegA, profits, assignment semantics), which is what lets the auxiliary
+// LSAP collapse its columns — see lsap.ColumnClassed.
+func (m *Mapping) NumClasses() int { return m.inst.NumWorkers() + 1 }
+
+// ClassOf returns the column class of A-vertex v: its worker index, or
+// NumWorkers for the isolated block (WorkerOf's -1).
+func (m *Mapping) ClassOf(v int) int {
+	if q := m.WorkerOf(v); q >= 0 {
+		return q
+	}
+	return m.inst.NumWorkers()
+}
+
+// ClassCapacities returns the vertex count of each class — Xmax per worker
+// clique and n − |W|·Xmax for the isolated block — i.e. the capacity vector
+// the class-collapsed LSAP solver needs. The slice is freshly allocated.
+func (m *Mapping) ClassCapacities() []int {
+	numWorkers := m.inst.NumWorkers()
+	caps := make([]int, numWorkers+1)
+	for q := 0; q < numWorkers; q++ {
+		caps[q] = m.inst.Xmax
+	}
+	caps[numWorkers] = m.n - numWorkers*m.inst.Xmax
+	return caps
+}
+
 // A returns a[k][l] per Equation 4: α_q when k and l are distinct vertices
 // of the same worker clique, 0 otherwise.
 func (m *Mapping) A(k, l int) float64 {

@@ -239,6 +239,45 @@ func TestWorkerOfAndDegA(t *testing.T) {
 	}
 }
 
+// TestClassMetadata: the column-class view of the A side — one class per
+// worker clique plus the isolated block — matches WorkerOf vertex by
+// vertex, and the capacities are the class sizes the collapsed LSAP needs.
+func TestClassMetadata(t *testing.T) {
+	in := tableIInstance(t, nil)
+	m := NewMapping(in) // 8 tasks, 2 workers × Xmax 3 → n = 8, isolated 2
+	if got, want := m.NumClasses(), 3; got != want {
+		t.Fatalf("NumClasses = %d, want %d", got, want)
+	}
+	caps := m.ClassCapacities()
+	if len(caps) != 3 || caps[0] != 3 || caps[1] != 3 || caps[2] != 2 {
+		t.Fatalf("ClassCapacities = %v, want [3 3 2]", caps)
+	}
+	sum := 0
+	for v := 0; v < m.N(); v++ {
+		cl := m.ClassOf(v)
+		if w := m.WorkerOf(v); w >= 0 {
+			if cl != w {
+				t.Errorf("ClassOf(%d) = %d, want worker %d", v, cl, w)
+			}
+		} else if cl != in.NumWorkers() {
+			t.Errorf("ClassOf(%d) = %d, want isolated class %d", v, cl, in.NumWorkers())
+		}
+	}
+	counts := make([]int, m.NumClasses())
+	for v := 0; v < m.N(); v++ {
+		counts[m.ClassOf(v)]++
+	}
+	for l, c := range counts {
+		if c != caps[l] {
+			t.Errorf("class %d has %d vertices, capacity says %d", l, c, caps[l])
+		}
+		sum += c
+	}
+	if sum != m.N() {
+		t.Errorf("class sizes sum to %d, want n = %d", sum, m.N())
+	}
+}
+
 // TestPermRoundTrip: translating a full assignment to a permutation and
 // back must reproduce the assignment (as sets).
 func TestPermRoundTrip(t *testing.T) {

@@ -58,9 +58,11 @@ func TestParallelParity(t *testing.T) {
 	}
 }
 
-// TestPrecomputeTimeReporting checks the phase-timing contract: the kernel
-// run reports a precompute phase, the serial run reports none, and an
-// instance that already carries a cache skips the phase.
+// TestPrecomputeTimeReporting checks the phase-timing contract under the
+// precomputeMinTasks gate: a small-instance GRE kernel run skips the eager
+// fill (no cache, no reported phase) yet stays bit-identical through the
+// lazy distance path; WithEagerPrecompute forces the fill; an instance that
+// already carries a cache skips the phase.
 func TestPrecomputeTimeReporting(t *testing.T) {
 	r := rand.New(rand.NewSource(5))
 	in := randInstance(t, r, 30, 3, 4, 24)
@@ -76,12 +78,28 @@ func TestPrecomputeTimeReporting(t *testing.T) {
 		t.Fatal("serial run populated the diversity cache")
 	}
 
-	first, err := HTAGRE(in, WithParallelism(2), WithRand(rand.New(rand.NewSource(5))))
+	// GRE-family below the size threshold: the gate skips the O(n²) fill
+	// the solver would never amortize (the BENCH_PR1 serial regression).
+	gated, err := HTAGRE(in, WithParallelism(2), WithRand(rand.New(rand.NewSource(5))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.HasDiversityCache() {
+		t.Fatal("gated kernel run populated the diversity cache below the threshold")
+	}
+	if gated.PrecomputeTime != 0 {
+		t.Errorf("gated run reported PrecomputeTime %v, want 0", gated.PrecomputeTime)
+	}
+	if gated.Objective != serial.Objective {
+		t.Errorf("gated kernel objective %v != serial %v", gated.Objective, serial.Objective)
+	}
+
+	first, err := HTAGRE(in, WithParallelism(2), WithEagerPrecompute(), WithRand(rand.New(rand.NewSource(5))))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !in.HasDiversityCache() {
-		t.Fatal("kernel run did not populate the diversity cache")
+		t.Fatal("eager kernel run did not populate the diversity cache")
 	}
 	if first.Objective != serial.Objective {
 		t.Errorf("kernel objective %v != serial %v", first.Objective, serial.Objective)

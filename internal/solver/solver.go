@@ -43,18 +43,23 @@ type Result struct {
 	TotalTime    time.Duration
 	// PrecomputeTime is the time spent materializing the pairwise distance
 	// matrix when WithParallelism enabled the diversity kernel. Zero when
-	// the kernel is off or the instance already carried a cache (e.g. the
-	// adaptive engine precomputed it across iterations).
+	// the kernel is off, when the instance already carried a cache (e.g.
+	// the adaptive engine precomputed it across iterations), or when the
+	// precomputeMinTasks gate decided the fill would not amortize (small
+	// instances and GRE-family solvers; see WithEagerPrecompute).
 	PrecomputeTime time.Duration
 }
 
 type config struct {
-	rng            *rand.Rand
-	skipFlip       bool
-	skipShuffle    bool
-	allowNonMetric bool
-	matcher        func(n int, w matching.WeightFunc) matching.Matching
-	parallel       int // 0 = serial legacy path; >= 1 = diversity kernel with that many goroutines
+	rng             *rand.Rand
+	skipFlip        bool
+	skipShuffle     bool
+	allowNonMetric  bool
+	matcher         func(n int, w matching.WeightFunc) matching.Matching
+	parallel        int // 0 = serial legacy path; >= 1 = diversity kernel with that many goroutines
+	denseLSAP       bool
+	eagerPrecompute bool
+	ws              *lsap.Workspace
 }
 
 // Option customizes a solver run.
@@ -105,10 +110,32 @@ func WithMatcher(m func(n int, w matching.WeightFunc) matching.Matching) Option 
 // pure time/memory trade: the cache costs O(|T|²/2) float64s (~400 MB at
 // the paper's 10k-task scale). The precompute cost is reported in
 // Result.PrecomputeTime; instances that already carry a cache (e.g. from
-// adaptive's cross-iteration kernel) skip it.
+// adaptive's cross-iteration kernel) skip it, and run skips the eager fill
+// when it would not amortize (see precomputeMinTasks / WithEagerPrecompute)
+// while still sharding the remaining phases across p.
 func WithParallelism(p int) Option {
 	return func(c *config) { c.parallel = par.N(p) }
 }
+
+// WithDenseLSAP forces HTAAPP's auxiliary LSAP through the dense O(|T|³)
+// Hungarian instead of the class-collapsed O(|T|²·|W|) solver the lsap.Auto
+// dispatcher picks by default. Both are exact — this is the escape hatch
+// for parity testing and before/after benchmarking, not a quality knob.
+func WithDenseLSAP() Option { return func(c *config) { c.denseLSAP = true } }
+
+// WithWorkspace supplies a reusable lsap.Workspace for the auxiliary LSAP
+// step, so repeated solves (e.g. the adaptive loop, one per iteration)
+// reuse scratch buffers instead of re-allocating O(|T|) slices every run.
+// The workspace is not safe for concurrent use: callers running solvers
+// concurrently need one workspace per goroutine (or none — a nil workspace
+// allocates privately, which is the default).
+func WithWorkspace(ws *lsap.Workspace) Option { return func(c *config) { c.ws = ws } }
+
+// WithEagerPrecompute forces the diversity-kernel precompute (full pairwise
+// distance materialization) whenever WithParallelism is active, regardless
+// of the instance-size/solver-family gate that run applies by default. See
+// the precomputeMinTasks commentary; DESIGN.md documents the threshold.
+func WithEagerPrecompute() Option { return func(c *config) { c.eagerPrecompute = true } }
 
 func newConfig(opts []Option) *config {
 	c := &config{
@@ -121,15 +148,28 @@ func newConfig(opts []Option) *config {
 }
 
 // HTAAPP runs Algorithm 1 (HTA-APP), the ¼-approximation that solves the
-// auxiliary LSAP exactly with the Hungarian algorithm. O(|T|³) time.
+// auxiliary LSAP exactly. The LSAP goes through lsap.Auto: the auxiliary
+// matrix exposes |W|+1 column classes, so the class-collapsed Hungarian
+// solves it in O(|T|²·|W|) instead of the dense O(|T|³) — same optimum,
+// same guarantee. WithDenseLSAP forces the dense path.
 func HTAAPP(in *core.Instance, opts ...Option) (*Result, error) {
-	return run(in, "hta-app", func(c lsap.Costs, _ int) lsap.Solution { return lsap.Hungarian(c) }, opts)
+	return run(in, "hta-app", false, func(c lsap.Costs, p int, cfg *config) lsap.Solution {
+		if cfg.denseLSAP {
+			return lsap.HungarianWS(c, cfg.ws)
+		}
+		return lsap.AutoWS(c, p, cfg.ws)
+	}, opts)
 }
 
 // HTAGRE runs Algorithm 2 (HTA-GRE), the ⅛-approximation that solves the
 // auxiliary LSAP with the ½-approximate greedy matching. O(|T|² log |T|).
 func HTAGRE(in *core.Instance, opts ...Option) (*Result, error) {
-	return run(in, "hta-gre", lsap.GreedyP, opts)
+	return run(in, "hta-gre", true, greedyAssign, opts)
+}
+
+// greedyAssign is the Line-11 step of every GRE-family solver.
+func greedyAssign(c lsap.Costs, p int, cfg *config) lsap.Solution {
+	return lsap.GreedyWS(c, p, cfg.ws)
 }
 
 // HTAWith runs the shared Algorithm 1/2 pipeline with a caller-supplied
@@ -145,7 +185,7 @@ func HTAWith(in *core.Instance, name string, assign func(lsap.Costs) lsap.Soluti
 	if name == "" {
 		name = "hta-custom"
 	}
-	return run(in, name, func(c lsap.Costs, _ int) lsap.Solution { return assign(c) }, opts)
+	return run(in, name, false, func(c lsap.Costs, _ int, _ *config) lsap.Solution { return assign(c) }, opts)
 }
 
 // HTAGREDiv runs HTA-GRE with every worker's weights forced to α=1, β=0 —
@@ -155,7 +195,7 @@ func HTAGREDiv(in *core.Instance, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(div, "hta-gre-div", lsap.GreedyP, opts)
+	res, err := run(div, "hta-gre-div", true, greedyAssign, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +211,7 @@ func HTAGRERel(in *core.Instance, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(rel, "hta-gre-rel", lsap.GreedyP, opts)
+	res, err := run(rel, "hta-gre-rel", true, greedyAssign, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -179,10 +219,25 @@ func HTAGRERel(in *core.Instance, opts ...Option) (*Result, error) {
 	return res, nil
 }
 
+// precomputeMinTasks gates the eager diversity precompute inside run: with
+// WithParallelism on, the full O(|T|²) distance materialization only pays
+// for itself when the downstream solver re-reads enough pairs. GRE-family
+// solvers read each pair at most a handful of times and small instances
+// finish before the cache fill amortizes — BENCH_PR1.json recorded exactly
+// that serial regression (GRE slower WITH the kernel at every size). So run
+// precomputes eagerly only for non-greedy solvers on instances of at least
+// this many tasks; everything else computes distances on demand (the lazy
+// path is pure and thread-safe, so parallel phases stay correct without the
+// cache). WithEagerPrecompute restores the old unconditional behavior, and
+// instances already carrying a cache (adaptive's cross-iteration kernel)
+// are unaffected. The threshold is documented in DESIGN.md.
+const precomputeMinTasks = 512
+
 // run is the shared pipeline of Algorithms 1 and 2; assign solves the
 // auxiliary LSAP (Line 11), the only step in which they differ, with the
-// run's parallelism level as second argument (1 when the kernel is off).
-func run(in *core.Instance, name string, assign func(lsap.Costs, int) lsap.Solution, opts []Option) (*Result, error) {
+// run's parallelism level (1 when the kernel is off) and the run config.
+// greFamily marks the greedy solvers for the precompute gate above.
+func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs, int, *config) lsap.Solution, opts []Option) (*Result, error) {
 	cfg := newConfig(opts)
 	if !in.Dist.Metric() && !cfg.allowNonMetric {
 		return nil, fmt.Errorf("solver: %s on %q distance: %w", name, in.Dist.Name(), core.ErrNonMetric)
@@ -196,7 +251,8 @@ func run(in *core.Instance, name string, assign func(lsap.Costs, int) lsap.Solut
 	// path would have computed.
 	p := cfg.parallel
 	var precomputeTime time.Duration
-	if p > 0 && !in.HasDiversityCache() {
+	if p > 0 && !in.HasDiversityCache() &&
+		(cfg.eagerPrecompute || (!greFamily && in.NumTasks() >= precomputeMinTasks)) {
 		preStart := time.Now()
 		in.Precompute(p)
 		precomputeTime = time.Since(preStart)
@@ -238,9 +294,10 @@ func run(in *core.Instance, name string, assign func(lsap.Costs, int) lsap.Solut
 	// f[k][l] = bM(t_k)·degA(l) + c[k][l].
 	costs := newAuxCosts(m, mb, p)
 
-	// Line 11: solve the LSAP (Hungarian for APP, greedy for GRE).
+	// Line 11: solve the LSAP (class-collapsed Hungarian for APP, greedy
+	// for GRE).
 	lsapStart := time.Now()
-	sol := assign(costs, p)
+	sol := assign(costs, p, cfg)
 	lsapTime := time.Since(lsapStart)
 	perm := sol.RowToCol
 
@@ -300,15 +357,10 @@ func (a *auxCosts) N() int { return a.n }
 func (a *auxCosts) At(k, l int) float64 { return a.AtClass(k, a.Class(l)) }
 
 // NumClasses returns |W|+1: one class per worker clique plus the isolated
-// (zero-profit) class.
-func (a *auxCosts) NumClasses() int { return a.numWorkers + 1 }
+// (zero-profit) class. Delegates to the mapping's class metadata.
+func (a *auxCosts) NumClasses() int { return a.m.NumClasses() }
 
-func (a *auxCosts) Class(l int) int {
-	if q := l / a.xmax; q < a.numWorkers {
-		return q
-	}
-	return a.numWorkers
-}
+func (a *auxCosts) Class(l int) int { return a.m.ClassOf(l) }
 
 func (a *auxCosts) AtClass(k, class int) float64 {
 	if class == a.numWorkers {

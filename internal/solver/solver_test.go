@@ -242,8 +242,12 @@ func TestWithoutFlipStillFeasible(t *testing.T) {
 	if err := res.Assignment.Validate(in); err != nil {
 		t.Fatal(err)
 	}
-	// Without the flip the run is fully deterministic regardless of seed.
-	res2, err := HTAAPP(in, WithoutFlip(), WithRand(rand.New(rand.NewSource(999))))
+	// Without the flip the run is fully deterministic for a fixed seed. (It
+	// is NOT seed-invariant: the task shuffle still picks among equally
+	// optimal LSAP solutions, and on degenerate instances — zero-relevance
+	// tasks tie several workers at profit 0 — different optima have
+	// different true objectives.)
+	res2, err := HTAAPP(in, WithoutFlip())
 	if err != nil {
 		t.Fatal(err)
 	}
