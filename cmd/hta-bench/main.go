@@ -19,10 +19,11 @@ import (
 	"time"
 
 	"github.com/htacs/ata/internal/experiments"
+	"github.com/htacs/ata/internal/obs"
 )
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg or pr2")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2 or pr3")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -31,8 +32,17 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonPath := flag.String("json", "", "with -fig pr2: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	jsonPath := flag.String("json", "", "with -fig pr2/pr3: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	metricsAddr := flag.String("metrics", "",
+		"serve the obs registry on this address (/metrics, /healthz) while the sweep runs; empty disables")
 	flag.Parse()
+	if *metricsAddr != "" {
+		go func() {
+			if err := obs.Default().ListenAndServe(*metricsAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "hta-bench: metrics:", err)
+			}
+		}()
+	}
 	if *format != "table" && *format != "csv" {
 		fmt.Fprintf(os.Stderr, "hta-bench: unknown format %q\n", *format)
 		os.Exit(2)
@@ -91,8 +101,27 @@ func main() {
 				}
 			}
 		}
+	case "pr3":
+		// Not a paper figure: the observability-layer overhead report —
+		// the -fig pr2 solver workload with telemetry enabled vs
+		// obs.SetEnabled(false), against the 2% budget.
+		fmt.Printf("PR 3 report: obs instrumentation overhead on the pr2 solver workload (Xmax = %d)\n\n", opts.Xmax)
+		var report *experiments.PR3Report
+		report, err = experiments.SweepPR3(opts)
+		if err == nil {
+			err = report.RenderPR3(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR3JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg or pr2)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2 or pr3)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

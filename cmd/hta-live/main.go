@@ -18,6 +18,7 @@ import (
 
 	"github.com/htacs/ata/internal/crowd"
 	"github.com/htacs/ata/internal/experiments"
+	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/plot"
 )
 
@@ -71,7 +72,16 @@ func main() {
 	sessionsOut := flag.String("out", "", "archive raw sessions as JSON lines to this file (analyze with hta-report)")
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism per session engine: 0 = serial, N > 0 = N goroutines, -1 = all cores; sessions are bit-identical")
+	metricsAddr := flag.String("metrics", "",
+		"serve the obs registry on this address (/metrics, /healthz) while the study runs; empty disables")
 	flag.Parse()
+	if *metricsAddr != "" {
+		go func() {
+			if err := obs.Default().ListenAndServe(*metricsAddr); err != nil {
+				fmt.Fprintln(os.Stderr, "hta-live: metrics:", err)
+			}
+		}()
+	}
 
 	params := crowd.DefaultParams()
 	params.SessionMinutes = *minutes

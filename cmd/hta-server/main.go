@@ -5,10 +5,18 @@
 // in-flight assignments, learned α/β) is restored at startup and saved on
 // SIGINT/SIGTERM, so the experiment survives restarts.
 //
+// The server is hardened for unattended operation: read/write/idle
+// timeouts on every connection, bounded request bodies, and a graceful
+// shutdown path — on SIGINT/SIGTERM the /healthz endpoint flips to 503
+// (so load balancers drain), in-flight requests finish within
+// -shutdown-grace, and only then is the snapshot written.
+//
 // Usage:
 //
 //	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
 //	           [-xmax 15] [-extra 5] [-universe 100]
+//	           [-read-timeout 10s] [-write-timeout 30s] [-shutdown-grace 15s]
+//	           [-max-body 8388608]
 //
 // Endpoints:
 //
@@ -18,9 +26,12 @@
 //	POST   /api/workers/{id}/complete {"task_id": "..."}
 //	DELETE /api/workers/{id}
 //	GET    /api/stats
+//	GET    /metrics                   Prometheus text (or ?format=json)
+//	GET    /healthz                   200 ok / 503 draining
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +49,39 @@ import (
 	"github.com/htacs/ata/internal/workload"
 )
 
+// serverParams are the hardening knobs of the HTTP listener.
+type serverParams struct {
+	readTimeout   time.Duration
+	writeTimeout  time.Duration
+	idleTimeout   time.Duration
+	shutdownGrace time.Duration
+}
+
+// newHTTPServer wires the hardened listener: header/body read deadlines,
+// write deadlines, idle connection reaping. Extracted from main so the
+// integration tests exercise the same configuration curl hits.
+func newHTTPServer(addr string, h http.Handler, p serverParams) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: p.readTimeout,
+		ReadTimeout:       p.readTimeout,
+		WriteTimeout:      p.writeTimeout,
+		IdleTimeout:       p.idleTimeout,
+	}
+}
+
+// shutdownGracefully drains the server: flip /healthz to 503, stop
+// accepting connections, wait up to grace for in-flight assignments to
+// finish. Returns the Shutdown error (context.DeadlineExceeded when the
+// grace period expired with requests still running).
+func shutdownGracefully(httpSrv *http.Server, srv *platform.Server, grace time.Duration) error {
+	srv.SetDraining(true)
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	return httpSrv.Shutdown(ctx)
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	tasksPath := flag.String("tasks", "", "optional JSON-lines task file to preload (see hta-gen)")
@@ -48,6 +92,11 @@ func main() {
 	seed := flag.Int64("seed", time.Now().UnixNano(), "random seed for the solver and extras")
 	perWorker := flag.Int("reassign-per-worker", 10, "completions per worker that trigger a new iteration")
 	total := flag.Int("reassign-total", 25, "total completions that trigger a new iteration")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "per-connection read deadline")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-connection write deadline")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle deadline")
+	grace := flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
+	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes (<0 disables)")
 	flag.Parse()
 
 	cfg := adaptive.Config{
@@ -83,27 +132,41 @@ func main() {
 		Universe:          *universe,
 		ReassignPerWorker: *perWorker,
 		ReassignTotal:     *total,
+		MaxBodyBytes:      *maxBody,
 	})
 	if err != nil {
 		log.Fatalf("hta-server: %v", err)
 	}
 
-	if *snapshotPath != "" {
-		sigs := make(chan os.Signal, 1)
-		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-		go func() {
-			<-sigs
-			if err := saveSnapshot(srv, *snapshotPath); err != nil {
-				log.Printf("hta-server: snapshot: %v", err)
-				os.Exit(1)
-			}
-			fmt.Printf("\nsaved engine state to %s\n", *snapshotPath)
-			os.Exit(0)
-		}()
-	}
+	httpSrv := newHTTPServer(*addr, srv, serverParams{
+		readTimeout:   *readTimeout,
+		writeTimeout:  *writeTimeout,
+		idleTimeout:   *idleTimeout,
+		shutdownGrace: *grace,
+	})
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 
 	fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", *addr, *xmax, *extra)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	select {
+	case err := <-errCh:
+		log.Fatalf("hta-server: %v", err)
+	case sig := <-sigs:
+		fmt.Printf("\n%s: draining (grace %s)\n", sig, *grace)
+		if err := shutdownGracefully(httpSrv, srv, *grace); err != nil {
+			log.Printf("hta-server: shutdown: %v", err)
+		}
+		if *snapshotPath != "" {
+			if err := saveSnapshot(srv, *snapshotPath); err != nil {
+				log.Fatalf("hta-server: snapshot: %v", err)
+			}
+			fmt.Printf("saved engine state to %s\n", *snapshotPath)
+		}
+	}
 }
 
 // buildEngine restores from the snapshot when it exists, otherwise starts

@@ -20,6 +20,7 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/lsap"
 	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/solver"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	// solver.WithParallelism to the configured Solve. Assignments are
 	// bit-identical to the serial path.
 	Parallelism int
+	// Metrics receives the engine's telemetry (iteration latency, pool
+	// size, α/β drift). Nil uses the process-wide instruments on
+	// obs.Default(); pass NewMetrics over a private registry for
+	// isolation.
+	Metrics *Metrics
 }
 
 // WorkerState tracks one worker across iterations.
@@ -101,6 +107,7 @@ type Engine struct {
 	iteration int
 	kernel    *core.DistKernel // cross-iteration distance cache; nil when Parallelism == 0
 	lsapWS    *lsap.Workspace  // scratch reused by every iteration's LSAP solve
+	metrics   *Metrics
 	// KernelReused/KernelComputed accumulate the pair counts the kernel
 	// carried forward vs computed fresh across all iterations — the
 	// incremental-invalidation win reported by the iteration benches.
@@ -141,6 +148,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 		// solve allocates nothing. NextIteration runs are sequential,
 		// matching the workspace's single-goroutine contract.
 		lsapWS: lsap.NewWorkspace(),
+	}
+	e.metrics = cfg.Metrics
+	if e.metrics == nil {
+		e.metrics = sharedMetrics()
 	}
 	if cfg.Parallelism != 0 {
 		e.kernel = core.NewDistKernel()
@@ -280,6 +291,7 @@ func (e *Engine) Complete(workerID, taskID string) error {
 	ws.Completed = append(ws.Completed, task)
 	ws.TotalCompleted++
 	e.refreshWeights(ws)
+	e.metrics.Completions.Inc()
 	return nil
 }
 
@@ -307,9 +319,12 @@ func (e *Engine) refreshWeights(ws *WorkerState) {
 	if len(ws.divGains) == 0 && len(ws.relGains) == 0 {
 		return
 	}
+	oldAlpha := ws.Worker.Alpha
 	ws.Worker.Alpha = mean(ws.divGains)
 	ws.Worker.Beta = mean(ws.relGains)
 	ws.Worker.NormalizeWeights()
+	e.recordDrift(oldAlpha, ws.Worker.Alpha)
+	e.publishWeightGauges()
 }
 
 func mean(xs []float64) float64 {
@@ -329,6 +344,7 @@ func mean(xs []float64) float64 {
 // receives ExtraRandomTasks random tasks. Assigned tasks leave the pool
 // permanently. It returns the per-worker display sets.
 func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
+	span := obs.StartSpan(e.metrics.IterationSeconds)
 	var cold, warm []*WorkerState
 	for _, id := range e.order {
 		ws := e.workers[id]
@@ -409,6 +425,10 @@ func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
 	}
 
 	e.iteration++
+	span.End()
+	e.metrics.Iterations.Inc()
+	e.metrics.PoolSize.Set(float64(len(e.pool)))
+	e.publishWeightGauges()
 	return out, nil
 }
 

@@ -1,0 +1,93 @@
+package adaptive
+
+import (
+	"math"
+	"sync"
+
+	"github.com/htacs/ata/internal/obs"
+)
+
+// Metrics are the engine's instruments. Engines sharing a Metrics (the
+// default: every engine without Config.Metrics shares the process-wide
+// set on obs.Default()) aggregate into the same series; tests and
+// multi-engine simulations that need isolation pass NewMetrics over a
+// private registry.
+type Metrics struct {
+	// IterationSeconds times NextIteration end to end — the latency the
+	// paper's Section V-A background-assignment claim is about.
+	IterationSeconds *obs.Histogram
+	// Iterations counts completed NextIteration calls.
+	Iterations *obs.Counter
+	// PoolSize tracks the tasks still available after the last iteration.
+	PoolSize *obs.Gauge
+	// AlphaMean/BetaMean are the mean (α, β) over all registered workers
+	// after the most recent weight refresh — the adaptive state at a
+	// glance.
+	AlphaMean *obs.Gauge
+	BetaMean  *obs.Gauge
+	// AlphaDrift accumulates |Δα| over every weight refresh: how far the
+	// learned preferences have moved in total. A live system settles to a
+	// near-flat drift rate once estimates converge; a persistent slope
+	// means the population (or a bug) keeps shifting the weights.
+	AlphaDrift *obs.Counter
+	// Completions counts Complete calls that recorded an observation.
+	Completions *obs.Counter
+}
+
+// NewMetrics registers the engine instruments on r (obs.Default() when
+// nil).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &Metrics{
+		IterationSeconds: r.Histogram("hta_adaptive_iteration_seconds",
+			"NextIteration latency", obs.DurationBuckets()),
+		Iterations: r.Counter("hta_adaptive_iterations_total",
+			"assignment iterations completed"),
+		PoolSize: r.Gauge("hta_adaptive_pool_size",
+			"tasks remaining in the assignment pool"),
+		AlphaMean: r.Gauge("hta_adaptive_alpha_mean",
+			"mean diversity weight alpha over registered workers"),
+		BetaMean: r.Gauge("hta_adaptive_beta_mean",
+			"mean relevance weight beta over registered workers"),
+		AlphaDrift: r.Counter("hta_adaptive_alpha_drift_total",
+			"cumulative absolute alpha movement across weight refreshes"),
+		Completions: r.Counter("hta_adaptive_completions_total",
+			"task completions recorded by the engine"),
+	}
+}
+
+var (
+	defaultMetricsOnce sync.Once
+	defaultMetrics     *Metrics
+)
+
+// sharedMetrics lazily builds the process-wide instrument set, so merely
+// importing the package does not register anything.
+func sharedMetrics() *Metrics {
+	defaultMetricsOnce.Do(func() { defaultMetrics = NewMetrics(obs.Default()) })
+	return defaultMetrics
+}
+
+// publishWeightGauges refreshes the alpha/beta mean gauges from the
+// current worker population.
+func (e *Engine) publishWeightGauges() {
+	if len(e.order) == 0 {
+		return
+	}
+	var sumA, sumB float64
+	for _, id := range e.order {
+		w := e.workers[id].Worker
+		sumA += w.Alpha
+		sumB += w.Beta
+	}
+	n := float64(len(e.order))
+	e.metrics.AlphaMean.Set(sumA / n)
+	e.metrics.BetaMean.Set(sumB / n)
+}
+
+// recordDrift accumulates the absolute alpha movement of one refresh.
+func (e *Engine) recordDrift(oldAlpha, newAlpha float64) {
+	e.metrics.AlphaDrift.Add(math.Abs(newAlpha - oldAlpha))
+}

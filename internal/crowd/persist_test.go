@@ -2,6 +2,8 @@ package crowd
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -59,5 +61,58 @@ func TestReadSessionsRejectsGarbage(t *testing.T) {
 	}
 	if study, err := ReadSessions(strings.NewReader("")); err != nil || len(study.Sessions) != 0 {
 		t.Fatalf("empty archive: %v", err)
+	}
+}
+
+// TestReadSessionsCorruption hardens ReadSessions against damaged archives:
+// truncation at every byte offset of a real archive must yield either a
+// valid prefix or an error — never a panic — and decode failures must wrap
+// the underlying json error so callers can errors.As into it.
+func TestReadSessionsCorruption(t *testing.T) {
+	sim := newSim(t, shortParams(), liveCorpus(t, 61))
+	study, err := sim.RunStudy([]Strategy{StrategyGRE}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := study.WriteSessions(&buf); err != nil {
+		t.Fatal(err)
+	}
+	archive := buf.Bytes()
+	full, err := ReadSessions(bytes.NewReader(archive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := len(full.Sessions[StrategyGRE])
+
+	for cut := 0; cut < len(archive); cut++ {
+		got, err := ReadSessions(bytes.NewReader(archive[:cut]))
+		if err != nil {
+			continue // corruption detected — the acceptable outcome
+		}
+		// A clean parse of a truncated archive is only legal when the cut
+		// lands exactly after a complete JSON value (a '}' or the newline
+		// that follows it), and then it yields a prefix of the sessions.
+		if n := len(got.Sessions[StrategyGRE]); n > total {
+			t.Fatalf("cut=%d: parsed %d sessions from prefix, full archive has %d", cut, n, total)
+		}
+		if cut > 0 && archive[cut-1] != '\n' && archive[cut-1] != '}' {
+			t.Fatalf("cut=%d: truncation mid-value parsed cleanly", cut)
+		}
+	}
+
+	// Bit-flip corruption inside the JSON must surface as a wrapped json
+	// error, not a panic or a silent partial result.
+	flipped := append([]byte(nil), archive...)
+	flipped[len(flipped)/2] = 0x00
+	if _, err := ReadSessions(bytes.NewReader(flipped)); err == nil {
+		t.Fatal("corrupted archive accepted")
+	}
+
+	var syn *json.SyntaxError
+	if _, err := ReadSessions(strings.NewReader("\x00\x01garbage{{{")); err == nil {
+		t.Fatal("binary garbage accepted")
+	} else if !errors.As(err, &syn) {
+		t.Fatalf("garbage error does not wrap *json.SyntaxError: %v", err)
 	}
 }

@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/solver"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// PR3Point is one obs-overhead measurement: the same solver workload run
+// with the telemetry layer recording (the shipped default) and with
+// obs.SetEnabled(false) (every instrument write reduced to one atomic
+// load). Times are averaged ns/op over the sweep's runs on identical
+// instances and seeds.
+type PR3Point struct {
+	Algorithm string `json:"algorithm"`
+	NumTasks  int    `json:"tasks"`
+	Workers   int    `json:"workers"`
+
+	EnabledNs  int64 `json:"enabled_ns"`
+	DisabledNs int64 `json:"disabled_ns"`
+	// OverheadPct = 100·(EnabledNs − DisabledNs)/DisabledNs. Negative
+	// values are measurement noise — the true overhead is a handful of
+	// atomic operations per solver run.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// PR3Report is the payload of BENCH_PR3.json: the observability layer's
+// cost on the hta-bench -fig pr2 solver workload, with the acceptance
+// budget of 2%.
+type PR3Report struct {
+	Note           string     `json:"note"`
+	Points         []PR3Point `json:"points"`
+	MaxOverheadPct float64    `json:"max_overhead_pct"`
+	BudgetPct      float64    `json:"budget_pct"`
+	WithinBudget   bool       `json:"within_budget"`
+}
+
+// SweepPR3 measures the obs instrumentation overhead on the PR 2 solver
+// workload points (hta-app and hta-gre at |T| ∈ {400, 700, 1000},
+// |W| = 20): each point solved o.Runs times with telemetry enabled and
+// o.Runs times disabled, interleaved so drift hits both sides equally.
+func SweepPR3(o Options) (*PR3Report, error) {
+	o.applyDefaults()
+	defer obs.SetEnabled(true)
+	report := &PR3Report{
+		Note:      "obs overhead on the -fig pr2 solver workload: enabled = shipped default, disabled = obs.SetEnabled(false). Identical instances and seeds, WithoutFlip.",
+		BudgetPct: 2.0,
+	}
+	for _, numTasks := range []int{400, 700, 1000} {
+		const numGroups, numWorkers = 20, 20
+		for _, algo := range []string{"hta-app", "hta-gre"} {
+			point, err := measurePR3(o, algo, numTasks, numGroups, numWorkers)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: pr3 %s |T|=%d: %w", algo, numTasks, err)
+			}
+			report.Points = append(report.Points, point)
+			if point.OverheadPct > report.MaxOverheadPct {
+				report.MaxOverheadPct = point.OverheadPct
+			}
+		}
+	}
+	report.WithinBudget = report.MaxOverheadPct < report.BudgetPct
+	return report, nil
+}
+
+// measurePR3 times one algorithm with telemetry on and off. The enabled
+// and disabled runs alternate (on, off, on, off, …) so thermal and cache
+// drift does not bias one side.
+func measurePR3(o Options, algo string, numTasks, numGroups, numWorkers int) (PR3Point, error) {
+	point := PR3Point{Algorithm: algo, NumTasks: numTasks, Workers: numWorkers}
+	solve := solver.HTAGRE
+	if algo == "hta-app" {
+		solve = solver.HTAAPP
+	}
+	perGroup := numTasks / numGroups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	var onRuns, offRuns []time.Duration
+	for run := 0; run < o.Runs; run++ {
+		gen, err := workload.NewGenerator(workload.Config{Seed: o.Seed + int64(run)})
+		if err != nil {
+			return point, err
+		}
+		tasks := gen.Tasks(numGroups, perGroup)
+		workers := gen.Workers(numWorkers)
+		seed := o.Seed + int64(run)
+
+		measureOne := func(enabled bool) (time.Duration, error) {
+			in, err := core.NewInstance(tasks, workers, o.Xmax, metric.Jaccard{})
+			if err != nil {
+				return 0, err
+			}
+			obs.SetEnabled(enabled)
+			start := time.Now()
+			_, err = solve(in, solver.WithoutFlip(),
+				solver.WithRand(rand.New(rand.NewSource(seed))))
+			elapsed := time.Since(start)
+			obs.SetEnabled(true)
+			return elapsed, err
+		}
+
+		if run == 0 {
+			// Warm-up: the first solve of a point pays one-time costs
+			// (allocator growth, branch training) that must not land on
+			// either side of the comparison.
+			if _, err := measureOne(true); err != nil {
+				return point, err
+			}
+		}
+		// Alternate which side goes first so per-run drift cancels.
+		order := []bool{true, false}
+		if run%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, enabled := range order {
+			d, err := measureOne(enabled)
+			if err != nil {
+				return point, err
+			}
+			if enabled {
+				onRuns = append(onRuns, d)
+			} else {
+				offRuns = append(offRuns, d)
+			}
+		}
+	}
+	// Median, not mean: the true per-solve cost is a handful of atomic
+	// operations, far below the run-to-run noise (GC pauses, scheduler
+	// jitter) that a mean would let a single outlier dominate.
+	point.EnabledNs = medianNs(onRuns)
+	point.DisabledNs = medianNs(offRuns)
+	if point.DisabledNs > 0 {
+		point.OverheadPct = 100 * float64(point.EnabledNs-point.DisabledNs) / float64(point.DisabledNs)
+	}
+	return point, nil
+}
+
+// medianNs returns the median of the samples in nanoseconds.
+func medianNs(ds []time.Duration) int64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		return sorted[mid].Nanoseconds()
+	}
+	return (sorted[mid-1].Nanoseconds() + sorted[mid].Nanoseconds()) / 2
+}
+
+// RenderPR3 prints the report as an aligned table.
+func (r *PR3Report) RenderPR3(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %7s %7s %14s %14s %10s\n",
+		"algorithm", "|T|", "|W|", "obs on (ms)", "obs off (ms)", "overhead"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%-10s %7d %7d %14.3f %14.3f %9.2f%%\n",
+			p.Algorithm, p.NumTasks, p.Workers,
+			float64(p.EnabledNs)/1e6, float64(p.DisabledNs)/1e6, p.OverheadPct); err != nil {
+			return err
+		}
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	_, err := fmt.Fprintf(w, "\nmax overhead %.2f%% — %s the %.0f%% budget\n",
+		r.MaxOverheadPct, verdict, r.BudgetPct)
+	return err
+}
+
+// WritePR3JSON writes the BENCH_PR3.json payload.
+func (r *PR3Report) WritePR3JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4), families in registration order,
+// series sorted by label set within a family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			var err error
+			switch m := s.metric.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(m.Value()))
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(m.Value()))
+			case *Histogram:
+				err = writePromHistogram(w, f.name, s.labels, m.Snapshot())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writePromHistogram renders one histogram series: cumulative _bucket
+// lines, then _sum and _count.
+func writePromHistogram(w io.Writer, name, labels string, s HistSnapshot) error {
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = fmtFloat(s.Bounds[i])
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+	return err
+}
+
+// mergeLabels splices an extra label into an existing rendered label set.
+func mergeLabels(labels, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if labels == "" {
+		return "{" + extra + "}"
+	}
+	return labels[:len(labels)-1] + "," + extra + "}"
+}
+
+// fmtFloat renders floats the way Prometheus expects (shortest exact
+// representation, Inf/NaN spelled out).
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// JSONSeries is one series in the JSON exposition.
+type JSONSeries struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	// Value is set for counters and gauges.
+	Value *float64 `json:"value,omitempty"`
+	// Histogram summary fields (quantiles interpolated from buckets).
+	Count *uint64  `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+	Mean  *float64 `json:"mean,omitempty"`
+	Min   *float64 `json:"min,omitempty"`
+	Max   *float64 `json:"max,omitempty"`
+	P50   *float64 `json:"p50,omitempty"`
+	P90   *float64 `json:"p90,omitempty"`
+	P99   *float64 `json:"p99,omitempty"`
+}
+
+// JSONFamily is one metric family in the JSON exposition.
+type JSONFamily struct {
+	Name   string       `json:"name"`
+	Type   MetricType   `json:"type"`
+	Help   string       `json:"help,omitempty"`
+	Series []JSONSeries `json:"series"`
+}
+
+// WriteJSON renders the registry as a JSON document — the
+// machine-friendly twin of WritePrometheus, with histogram quantile
+// summaries instead of raw buckets.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	fams := r.snapshotFamilies()
+	out := make([]JSONFamily, 0, len(fams))
+	for _, f := range fams {
+		jf := JSONFamily{Name: f.name, Type: f.typ, Help: f.help, Series: []JSONSeries{}}
+		for _, s := range f.series {
+			js := JSONSeries{Labels: parseLabels(s.labels)}
+			switch m := s.metric.(type) {
+			case *Counter:
+				v := m.Value()
+				js.Value = &v
+			case *Gauge:
+				v := m.Value()
+				js.Value = &v
+			case *Histogram:
+				snap := m.Snapshot()
+				js.Count = &snap.Count
+				js.Sum = &snap.Sum
+				if snap.Count > 0 {
+					mean, mn, mx := snap.Mean(), snap.Min, snap.Max
+					p50, p90, p99 := snap.Quantile(0.50), snap.Quantile(0.90), snap.Quantile(0.99)
+					js.Mean, js.Min, js.Max, js.P50, js.P90, js.P99 = &mean, &mn, &mx, &p50, &p90, &p99
+				}
+			}
+			jf.Series = append(jf.Series, js)
+		}
+		out = append(out, jf)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{"metrics": out})
+}
+
+// parseLabels inverts labelKey's canonical fragment back into a map.
+func parseLabels(s string) map[string]string {
+	if s == "" {
+		return nil
+	}
+	out := make(map[string]string)
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			break
+		}
+		key := s[:eq]
+		rest := s[eq+1:]
+		val, n := unquotePrefix(rest)
+		out[key] = val
+		s = strings.TrimPrefix(rest[n:], ",")
+	}
+	return out
+}
+
+// unquotePrefix unquotes the leading Go-quoted string of s, returning the
+// value and the number of bytes consumed.
+func unquotePrefix(s string) (string, int) {
+	for i := 1; i < len(s); i++ {
+		if s[i] == '"' && s[i-1] != '\\' {
+			v, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return s[:i+1], i + 1
+			}
+			return v, i + 1
+		}
+	}
+	return s, len(s)
+}
+
+// Handler serves the registry: Prometheus text by default, JSON when the
+// request asks for it (?format=json or an Accept header preferring
+// application/json).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		wantJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if wantJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.WriteJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// ListenAndServe serves /metrics and /healthz for the registry on addr —
+// the sidecar endpoint the CLI tools (hta-bench, hta-live) expose behind
+// their -metrics flags so long runs can be watched live. Blocks like
+// http.ListenAndServe; callers run it in a goroutine.
+func (r *Registry) ListenAndServe(addr string) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/healthz", HealthzHandler(nil))
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// HealthzHandler answers liveness probes: 200 "ok" while ready() is true
+// (or always, when ready is nil), 503 "draining" otherwise — the signal a
+// load balancer needs to stop routing to an instance that entered graceful
+// shutdown.
+func HealthzHandler(ready func() bool) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = io.WriteString(w, "draining\n")
+			return
+		}
+		_, _ = io.WriteString(w, "ok\n")
+	})
+}

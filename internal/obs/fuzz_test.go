@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzHistogramQuantiles drives Histogram.Observe and the quantile
+// estimator with arbitrary inputs and checks the structural invariants:
+// no panics, Count/Sum bookkeeping exact, every quantile inside the
+// observed [Min, Max], and quantiles monotone in q.
+func FuzzHistogramQuantiles(f *testing.F) {
+	f.Add(0.001, 0.5, 12.0, 0.5, uint8(8))
+	f.Add(-3.0, 0.0, 1e9, 0.25, uint8(3))
+	f.Add(1e-12, 1e12, -1e12, 0.99, uint8(64))
+	f.Fuzz(func(t *testing.T, a, b, c, q float64, n uint8) {
+		h := newHistogram(DurationBuckets())
+		values := []float64{a, b, c}
+		// Replay a deterministic mix of the three seeds to fill buckets
+		// unevenly; NaN observations must be dropped, everything else
+		// (negative, zero, ±Inf) must be bucketed without panic.
+		var want uint64
+		var wantSum float64
+		for i := 0; i < int(n); i++ {
+			v := values[i%3] * float64(1+i/3)
+			h.Observe(v)
+			if !math.IsNaN(v) {
+				want++
+				wantSum += v
+			}
+		}
+		s := h.Snapshot()
+		if s.Count != want {
+			t.Fatalf("count = %d, want %d", s.Count, want)
+		}
+		var bucketTotal uint64
+		for _, c := range s.Counts {
+			bucketTotal += c
+		}
+		if bucketTotal != want {
+			t.Fatalf("bucket total = %d, want %d", bucketTotal, want)
+		}
+		if want > 0 && !math.IsInf(wantSum, 0) && math.Abs(s.Sum-wantSum) > 1e-6*math.Max(1, math.Abs(wantSum)) {
+			t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+		}
+
+		if s.Count == 0 {
+			if !math.IsNaN(s.Quantile(0.5)) {
+				t.Fatal("empty histogram must return NaN quantiles")
+			}
+			return
+		}
+		// Bounds respected: every valid quantile lies in [Min, Max].
+		probe := math.Abs(q)
+		probe -= math.Floor(probe) // fold into [0,1)
+		if math.IsNaN(probe) {
+			probe = 0.5
+		}
+		for _, qq := range []float64{0, probe, 0.5, 1} {
+			v := s.Quantile(qq)
+			if math.IsNaN(v) {
+				t.Fatalf("Quantile(%v) = NaN on non-empty histogram", qq)
+			}
+			if v < s.Min || v > s.Max {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", qq, v, s.Min, s.Max)
+			}
+		}
+		// Monotone in q.
+		prev := math.Inf(-1)
+		for qq := 0.0; qq <= 1.0; qq += 1.0 / 64 {
+			v := s.Quantile(qq)
+			if v < prev {
+				t.Fatalf("quantiles not monotone at q=%v: %v < %v", qq, v, prev)
+			}
+			prev = v
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MetricType tags a family in the exposition output.
+type MetricType string
+
+// The three metric types the layer supports.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels string // canonical render fragment, "" or `{k="v",...}`
+	metric any    // *Counter, *Gauge or *Histogram
+}
+
+// family groups all label variants of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	bounds []float64 // histogram families only
+	series []series  // insertion order
+	byKey  map[string]int
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; call NewRegistry (or use Default). Getter methods are idempotent
+// and safe for concurrent use; the write path of the returned metrics
+// never touches the registry again.
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family // insertion order
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// defaultRegistry is the process-wide registry that package-level
+// instrumentation (solver phases, engine iterations, …) registers into and
+// that hta-server exposes on /metrics.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns the counter for name+labels, creating (and registering)
+// it on first use. Panics if name is invalid or already registered with a
+// different type — both are programming errors caught by any test that
+// touches the package.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.metric(name, help, TypeCounter, nil, labels)
+	return m.(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.metric(name, help, TypeGauge, nil, labels)
+	return m.(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use with the given bucket upper bounds (nil → DurationBuckets). Bounds
+// are fixed at family creation; later calls for the same name reuse them.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets()
+	}
+	m := r.metric(name, help, TypeHistogram, bounds, labels)
+	return m.(*Histogram)
+}
+
+// metric is the shared idempotent lookup-or-create.
+func (r *Registry) metric(name, help string, typ MetricType, bounds []float64, labels []Label) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on %q", l.Key, name))
+		}
+	}
+	key := labelKey(labels)
+
+	r.mu.RLock()
+	if f, ok := r.byName[name]; ok {
+		if f.typ != typ {
+			r.mu.RUnlock()
+			panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, f.typ, typ))
+		}
+		if i, ok := f.byKey[key]; ok {
+			m := f.series[i].metric
+			r.mu.RUnlock()
+			return m
+		}
+	}
+	r.mu.RUnlock()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, bounds: bounds, byKey: make(map[string]int)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	if i, ok := f.byKey[key]; ok {
+		return f.series[i].metric
+	}
+	var m any
+	switch typ {
+	case TypeCounter:
+		m = &Counter{}
+	case TypeGauge:
+		m = &Gauge{}
+	case TypeHistogram:
+		m = newHistogram(f.bounds)
+	}
+	f.byKey[key] = len(f.series)
+	f.series = append(f.series, series{labels: key, metric: m})
+	return m
+}
+
+// snapshotFamilies copies the family/series structure under the read lock
+// so rendering can proceed without holding it.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*family, len(r.families))
+	for i, f := range r.families {
+		cp := &family{name: f.name, help: f.help, typ: f.typ, bounds: f.bounds}
+		cp.series = append(cp.series, f.series...)
+		sort.Slice(cp.series, func(a, b int) bool { return cp.series[a].labels < cp.series[b].labels })
+		out[i] = cp
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+package obs
+
+import "time"
+
+// Span times one phase of work and records the elapsed seconds into a
+// latency histogram on End. The zero Span (and a Span over a nil
+// histogram) is inert, so call sites can be written unconditionally:
+//
+//	sp := obs.StartSpan(phaseHist)
+//	...work...
+//	sp.End()
+//
+// Span is a value type — no allocation, safe to pass around, but End
+// records only once per StartSpan.
+type Span struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartSpan begins timing against h (nil h → inert span).
+func StartSpan(h *Histogram) Span {
+	if h == nil || !enabled.Load() {
+		return Span{}
+	}
+	return Span{h: h, start: time.Now()}
+}
+
+// End records the elapsed time (in seconds) into the span's histogram and
+// returns it. Inert spans return 0.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.h.Observe(d.Seconds())
+	return d
+}
+
+// ObserveDuration records an externally measured duration (in seconds)
+// into h — for call sites that already hold a time.Duration, like the
+// solver's phase timings that also feed Result fields.
+func ObserveDuration(h *Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}

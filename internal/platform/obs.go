@@ -1,0 +1,59 @@
+package platform
+
+import (
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/htacs/ata/internal/obs"
+)
+
+// statusRecorder captures the response code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps one endpoint handler with the serving telemetry:
+// request counter by endpoint+code, latency histogram by endpoint, and
+// the shared in-flight gauge. The endpoint label is the mux pattern, so
+// path parameters ({id}) do not explode the series cardinality.
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.cfg.Metrics
+	latency := reg.Histogram("hta_http_request_seconds",
+		"request latency by endpoint", obs.DurationBuckets(), obs.L("endpoint", endpoint))
+	inFlight := reg.Gauge("hta_http_in_flight", "requests currently being served")
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		inFlight.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		latency.Observe(time.Since(start).Seconds())
+		inFlight.Add(-1)
+		reg.Counter("hta_http_requests_total", "requests served by endpoint and status code",
+			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(rec.status))).Inc()
+	}
+}
+
+// draining flips when the process enters graceful shutdown; /healthz
+// reports 503 from then on so load balancers stop routing here while
+// in-flight assignments finish.
+type drainState struct {
+	flag atomic.Bool
+}
+
+// SetDraining marks the server as (un)draining; /healthz returns 503 while
+// set. Safe to call from a signal handler goroutine.
+func (s *Server) SetDraining(v bool) { s.drain.flag.Store(v) }
+
+// Ready reports whether the server is accepting new work (not draining).
+func (s *Server) Ready() bool { return !s.drain.flag.Load() }

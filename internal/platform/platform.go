@@ -24,7 +24,9 @@ import (
 	"github.com/htacs/ata/internal/adaptive"
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/question"
+	"github.com/htacs/ata/internal/stream"
 )
 
 // ServerConfig parameterizes the assignment service.
@@ -44,6 +46,14 @@ type ServerConfig struct {
 	// platform grades them against the bank's ground truth — the paper's
 	// quality measurement (Figure 5a).
 	Questions *question.Bank
+	// Metrics is the registry the server instruments itself on and exposes
+	// at GET /metrics. Defaults to obs.Default(), which also carries the
+	// solver/engine/stream telemetry — one scrape sees the whole pipeline.
+	Metrics *obs.Registry
+	// MaxBodyBytes bounds every request body (http.MaxBytesReader);
+	// oversized bodies fail the JSON decode with HTTP 400. Default 8 MiB
+	// (a 10k-task upload is ~1 MiB); negative disables the limit.
+	MaxBodyBytes int64
 }
 
 // Server implements the assignment service. All handlers serialize on a
@@ -65,6 +75,7 @@ type Server struct {
 	graded         int            // questions graded so far
 	correct        int            // of which answered correctly
 	mux            *http.ServeMux
+	drain          drainState
 }
 
 // NewServer validates the configuration and builds the HTTP handler.
@@ -84,14 +95,32 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.ReassignPerWorker < 1 || cfg.ReassignTotal < 1 {
 		return nil, errors.New("platform: reassignment thresholds must be >= 1")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	if cfg.MaxBodyBytes == 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	// Pre-register the rest of the pipeline's metric families (the
+	// streaming assigner's; the solver's register at package init, the
+	// engine's in NewEngine) so the /metrics surface is stable: one scrape
+	// shows every family, zero-valued until exercised, instead of series
+	// popping into existence mid-run.
+	stream.NewMetrics(cfg.Metrics)
 	s := &Server{cfg: cfg, perWorker: make(map[string]int)}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /api/tasks", s.handleAddTasks)
-	mux.HandleFunc("POST /api/workers", s.handleRegister)
-	mux.HandleFunc("GET /api/workers/{id}/tasks", s.handleTasks)
-	mux.HandleFunc("POST /api/workers/{id}/complete", s.handleComplete)
-	mux.HandleFunc("DELETE /api/workers/{id}", s.handleLeave)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	for pattern, h := range map[string]http.HandlerFunc{
+		"POST /api/tasks":                 s.handleAddTasks,
+		"POST /api/workers":               s.handleRegister,
+		"GET /api/workers/{id}/tasks":     s.handleTasks,
+		"POST /api/workers/{id}/complete": s.handleComplete,
+		"DELETE /api/workers/{id}":        s.handleLeave,
+		"GET /api/stats":                  s.handleStats,
+	} {
+		mux.HandleFunc(pattern, s.instrument(pattern, h))
+	}
+	mux.Handle("GET /metrics", cfg.Metrics.Handler())
+	mux.Handle("GET /healthz", obs.HealthzHandler(s.Ready))
 	s.mux = mux
 	return s, nil
 }

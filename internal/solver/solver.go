@@ -24,6 +24,7 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/lsap"
 	"github.com/htacs/ata/internal/matching"
+	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/par"
 	"github.com/htacs/ata/internal/qap"
 )
@@ -304,6 +305,7 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 	// Lines 12–16: for each matched pair, flip the two assigned vertices
 	// with probability ½. The flip is the randomized rounding that yields
 	// the expected approximation factor.
+	flipSpan := obs.StartSpan(phaseFlip)
 	if !cfg.skipFlip {
 		for _, e := range mb.Edges() {
 			if cfg.rng.Intn(2) == 0 {
@@ -311,6 +313,7 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 			}
 		}
 	}
+	flipSpan.End()
 
 	// Lines 17–18: translate the permutation into per-worker task sets,
 	// mapping shuffled task indices back to the caller's.
@@ -331,6 +334,7 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 		TotalTime:      time.Since(start),
 		PrecomputeTime: precomputeTime,
 	}
+	recordRunMetrics(in, res)
 	return res, nil
 }
 

@@ -1,0 +1,214 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"github.com/htacs/ata/internal/obs"
+)
+
+// TestQueueGaugeTracksBacklogConcurrent is the property test of the
+// satellite checklist: under concurrent producers and consumers (the
+// Assigner wrapped in a mutex, per its documented contract) the queue
+// gauge equals the actual backlog at every quiescent observation, and
+// once the buffer is drained the drop counter equals submitted −
+// delivered.
+func TestQueueGaugeTracksBacklogConcurrent(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	a := mustAssigner(t, Config{Xmax: 2, BufferLimit: 16, Metrics: m})
+	for i := 0; i < 3; i++ {
+		if _, err := a.AddWorker(wrk(fmt.Sprintf("w%d", i), 0.5, i, i+1, i+2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	const producers, perProducer = 4, 200
+	var workers, observer sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Observer: under the lock every point is quiescent, so the gauge must
+	// equal the real backlog on each check.
+	observer.Add(1)
+	go func() {
+		defer observer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			gauge, backlog := m.QueueDepth.Value(), a.BufferLen()
+			mu.Unlock()
+			if int(gauge) != backlog {
+				t.Errorf("queue gauge = %v, backlog = %d", gauge, backlog)
+				return
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	// Producers offer unique tasks; full-buffer rejections are expected.
+	for p := 0; p < producers; p++ {
+		workers.Add(1)
+		go func(p int) {
+			defer workers.Done()
+			for i := 0; i < perProducer; i++ {
+				mu.Lock()
+				_, err := a.OfferTask(task(fmt.Sprintf("p%d-t%d", p, i), p%8, i%8, (p+i)%8))
+				mu.Unlock()
+				if err != nil && !errors.Is(err, ErrBufferFull) {
+					t.Errorf("OfferTask: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+
+	// Consumers complete random active tasks, freeing slots that pull
+	// from the buffer.
+	for c := 0; c < 2; c++ {
+		workers.Add(1)
+		go func(c int) {
+			defer workers.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for i := 0; i < 300; i++ {
+				w := fmt.Sprintf("w%d", rng.Intn(3))
+				mu.Lock()
+				if active, err := a.Active(w); err == nil && len(active) > 0 {
+					if _, err := a.Complete(w, active[rng.Intn(len(active))]); err != nil {
+						t.Errorf("Complete: %v", err)
+					}
+				}
+				mu.Unlock()
+				runtime.Gosched()
+			}
+		}(c)
+	}
+
+	workers.Wait()
+	close(stop)
+	observer.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Drain the backlog completely: fresh workers with ample capacity.
+	drainCfgWorkers := 0
+	for a.BufferLen() > 0 {
+		if _, err := a.AddWorker(wrk(fmt.Sprintf("drain%d", drainCfgWorkers), 0.5, 1, 2, 3)); err != nil {
+			t.Fatal(err)
+		}
+		drainCfgWorkers++
+		if drainCfgWorkers > 1000 {
+			t.Fatal("buffer refuses to drain")
+		}
+	}
+	if got := int(m.QueueDepth.Value()); got != 0 {
+		t.Fatalf("drained queue gauge = %d, want 0", got)
+	}
+
+	// Conservation law: with no worker removal, every submitted task was
+	// either delivered exactly once or dropped at offer time.
+	submitted, delivered, dropped := m.Submitted.Value(), m.Delivered.Value(), m.Dropped.Value()
+	if submitted != float64(producers*perProducer) {
+		t.Fatalf("submitted = %v, want %d", submitted, producers*perProducer)
+	}
+	if dropped != submitted-delivered {
+		t.Fatalf("dropped = %v, want submitted − delivered = %v", dropped, submitted-delivered)
+	}
+	if m.Requeued.Value() != 0 {
+		t.Fatalf("requeued = %v without worker removal", m.Requeued.Value())
+	}
+}
+
+// TestRemovalAccounting pins the worker-churn flows: RemoveWorker requeues
+// unfinished tasks up to the buffer limit and drops the overflow, with the
+// counters and the queue gauge tracking exactly.
+func TestRemovalAccounting(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	a := mustAssigner(t, Config{Xmax: 4, BufferLimit: 2, Metrics: m})
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.OfferTask(task(fmt.Sprintf("t%d", i), i, i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Delivered.Value(); got != 4 {
+		t.Fatalf("delivered = %v, want 4", got)
+	}
+
+	dropped, err := a.RemoveWorker("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 active tasks, buffer holds 2 → 2 requeued, 2 dropped.
+	if len(dropped) != 2 {
+		t.Fatalf("RemoveWorker returned %d dropped, want 2", len(dropped))
+	}
+	if got := m.Requeued.Value(); got != 2 {
+		t.Fatalf("requeued = %v, want 2", got)
+	}
+	if got := m.Dropped.Value(); got != 2 {
+		t.Fatalf("dropped = %v, want 2", got)
+	}
+	if got, backlog := int(m.QueueDepth.Value()), a.BufferLen(); got != backlog || got != 2 {
+		t.Fatalf("queue gauge = %d, backlog = %d, want 2", got, backlog)
+	}
+
+	// A new worker re-delivers the requeued tasks: delivery counter moves,
+	// gauge returns to zero.
+	assigned, err := a.AddWorker(wrk("w2", 0.5, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assigned) != 2 {
+		t.Fatalf("drain assigned %d, want 2", len(assigned))
+	}
+	if got := m.Delivered.Value(); got != 6 {
+		t.Fatalf("delivered = %v, want 6 (4 + 2 re-deliveries)", got)
+	}
+	if got := int(m.QueueDepth.Value()); got != 0 {
+		t.Fatalf("queue gauge = %d, want 0", got)
+	}
+	// Drain batch histogram saw one batch of size 2.
+	snap := m.DrainBatch.Snapshot()
+	if snap.Count != 1 || snap.Sum != 2 {
+		t.Fatalf("drain batch snapshot = %+v, want one batch of 2", snap)
+	}
+}
+
+// TestOfferRejectionCounts pins the drop counter on ErrBufferFull
+// rejections and checks rejected IDs stay offerable.
+func TestOfferRejectionCounts(t *testing.T) {
+	m := NewMetrics(obs.NewRegistry())
+	a := mustAssigner(t, Config{Xmax: 1, BufferLimit: 1, Metrics: m})
+	// No workers: first offer buffers, second bounces.
+	if q, err := a.OfferTask(task("t1", 1)); err != nil || q != "" {
+		t.Fatalf("offer t1 = %q, %v", q, err)
+	}
+	if _, err := a.OfferTask(task("t2", 2)); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("offer t2 err = %v, want ErrBufferFull", err)
+	}
+	if m.Submitted.Value() != 2 || m.Dropped.Value() != 1 {
+		t.Fatalf("submitted/dropped = %v/%v, want 2/1", m.Submitted.Value(), m.Dropped.Value())
+	}
+	// The rejected ID must remain offerable after capacity frees up: the
+	// new worker's single slot drains t1, so the re-offer buffers.
+	if _, err := a.AddWorker(wrk("w1", 0.5, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if q, err := a.OfferTask(task("t2", 2)); err != nil || q != "" {
+		t.Fatalf("re-offer t2 = %q, %v; want buffered", q, err)
+	}
+	if got := m.Submitted.Value(); got != 3 {
+		t.Fatalf("submitted = %v, want 3", got)
+	}
+}

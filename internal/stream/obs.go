@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"sync"
+
+	"github.com/htacs/ata/internal/obs"
+)
+
+// Metrics are the streaming assigner's instruments. The accounting model
+// is a task-flow conservation law the property tests pin down:
+//
+//	Submitted  = every well-formed OfferTask attempt (duplicates and nil
+//	             tasks error out before counting);
+//	Delivered  = every hand-off of a task to a worker (direct offer,
+//	             buffer pull on Complete/AddWorker, including
+//	             re-deliveries of requeued tasks);
+//	Dropped    = offers rejected with ErrBufferFull plus active tasks
+//	             discarded on RemoveWorker when the buffer is full;
+//	Requeued   = active tasks returned to the buffer on RemoveWorker.
+//
+// With no worker churn, once the buffer drains: Dropped = Submitted −
+// Delivered. QueueDepth always equals BufferLen().
+type Metrics struct {
+	QueueDepth *obs.Gauge
+	Submitted  *obs.Counter
+	Delivered  *obs.Counter
+	Dropped    *obs.Counter
+	Requeued   *obs.Counter
+	Completed  *obs.Counter
+	// DrainBatch is the number of tasks handed to a newly arrived worker
+	// out of the buffer — the batch-size distribution of AddWorker.
+	DrainBatch *obs.Histogram
+}
+
+// NewMetrics registers the streaming instruments on r (obs.Default() when
+// nil).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &Metrics{
+		QueueDepth: r.Gauge("hta_stream_queue_depth",
+			"tasks buffered waiting for a free worker slot"),
+		Submitted: r.Counter("hta_stream_tasks_submitted_total",
+			"well-formed task offers (accepted or rejected)"),
+		Delivered: r.Counter("hta_stream_tasks_delivered_total",
+			"task hand-offs to workers (including re-deliveries after requeue)"),
+		Dropped: r.Counter("hta_stream_tasks_dropped_total",
+			"tasks lost to a full buffer (offer rejections + removal overflow)"),
+		Requeued: r.Counter("hta_stream_tasks_requeued_total",
+			"active tasks returned to the buffer by RemoveWorker"),
+		Completed: r.Counter("hta_stream_tasks_completed_total",
+			"task completions recorded"),
+		DrainBatch: r.Histogram("hta_stream_drain_batch_size",
+			"buffered tasks drained per arriving worker", obs.SizeBuckets()),
+	}
+}
+
+var (
+	sharedOnce    sync.Once
+	sharedMetrics *Metrics
+)
+
+// defaultMetrics lazily builds the process-wide instrument set.
+func defaultMetrics() *Metrics {
+	sharedOnce.Do(func() { sharedMetrics = NewMetrics(obs.Default()) })
+	return sharedMetrics
+}
+
+// syncQueueGauge publishes the current backlog. Called after every buffer
+// mutation; the Assigner is single-goroutine by contract, so the gauge is
+// exact at every quiescent point.
+func (a *Assigner) syncQueueGauge() {
+	a.metrics.QueueDepth.Set(float64(len(a.buffer)))
+}

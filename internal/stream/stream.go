@@ -41,6 +41,11 @@ type Config struct {
 	BufferLimit int
 	// Dist is the diversity metric; defaults to Jaccard.
 	Dist metric.Distance
+	// Metrics receives the assigner's telemetry (queue depth, delivery and
+	// drop counters, drain batch sizes). Nil uses the process-wide
+	// instruments on obs.Default(); pass NewMetrics over a private
+	// registry for isolation.
+	Metrics *Metrics
 }
 
 // workerState is one worker's streaming state.
@@ -60,6 +65,7 @@ type Assigner struct {
 	order   []string
 	buffer  []*core.Task
 	seen    map[string]bool // task IDs ever accepted, to reject duplicates
+	metrics *Metrics
 }
 
 // NewAssigner validates the configuration.
@@ -76,10 +82,15 @@ func NewAssigner(cfg Config) (*Assigner, error) {
 	if cfg.Dist == nil {
 		cfg.Dist = metric.Jaccard{}
 	}
+	m := cfg.Metrics
+	if m == nil {
+		m = defaultMetrics()
+	}
 	return &Assigner{
 		cfg:     cfg,
 		workers: make(map[string]*workerState),
 		seen:    make(map[string]bool),
+		metrics: m,
 	}, nil
 }
 
@@ -122,6 +133,9 @@ func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
 		}
 		assigned = append(assigned, t)
 	}
+	if len(assigned) > 0 {
+		a.metrics.DrainBatch.Observe(float64(len(assigned)))
+	}
 	return assigned, nil
 }
 
@@ -143,10 +157,13 @@ func (a *Assigner) RemoveWorker(id string) (dropped []*core.Task, err error) {
 	for _, t := range ws.active {
 		if len(a.buffer) < a.cfg.BufferLimit {
 			a.buffer = append(a.buffer, t)
+			a.metrics.Requeued.Inc()
 		} else {
 			dropped = append(dropped, t)
+			a.metrics.Dropped.Inc()
 		}
 	}
+	a.syncQueueGauge()
 	return dropped, nil
 }
 
@@ -166,6 +183,7 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 	if a.seen[t.ID] {
 		return "", fmt.Errorf("stream: duplicate task %q", t.ID)
 	}
+	a.metrics.Submitted.Inc()
 	// Primary criterion: marginal motivation gain. Ties — in particular
 	// the first task of an empty set, whose singleton motiv is 0 by
 	// Equation 3 — break toward the more relevant worker, so cold workers
@@ -186,9 +204,11 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 	if bestQ == "" {
 		if len(a.buffer) >= a.cfg.BufferLimit {
 			delete(a.seen, t.ID)
+			a.metrics.Dropped.Inc()
 			return "", ErrBufferFull
 		}
 		a.buffer = append(a.buffer, t)
+		a.syncQueueGauge()
 		return "", nil
 	}
 	a.assign(a.workers[bestQ], t)
@@ -216,6 +236,7 @@ func (a *Assigner) Complete(workerID, taskID string) (*core.Task, error) {
 	ws.sumRel -= metric.Relevance(a.cfg.Dist, ws.active[idx].Keywords, ws.worker.Keywords)
 	ws.active = append(ws.active[:idx], ws.active[idx+1:]...)
 	ws.done++
+	a.metrics.Completed.Inc()
 	return a.pullBest(ws), nil
 }
 
@@ -276,6 +297,7 @@ func (a *Assigner) pullBest(ws *workerState) *core.Task {
 	last := len(a.buffer) - 1
 	a.buffer[bestI] = a.buffer[last]
 	a.buffer = a.buffer[:last]
+	a.syncQueueGauge()
 	a.assign(ws, t)
 	return t
 }
@@ -283,4 +305,5 @@ func (a *Assigner) pullBest(ws *workerState) *core.Task {
 func (a *Assigner) assign(ws *workerState, t *core.Task) {
 	ws.active = append(ws.active, t)
 	ws.sumRel += metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+	a.metrics.Delivered.Inc()
 }
