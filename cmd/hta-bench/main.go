@@ -6,13 +6,24 @@
 // Usage:
 //
 //	hta-bench -fig 2a [-scale 0.1] [-runs 3] [-seed 1] [-xmax 20] [-skip-app]
+//	hta-bench -compare [-threshold 0.10] BENCH_old.json BENCH_new.json
 //
 // Scale 1.0 reproduces the paper's sizes (|T| up to 10,000); the default
 // 0.1 finishes each sweep in seconds on a laptop while preserving the
 // curves' shapes.
+//
+// -compare diffs every *_ns measurement shared by two bench report JSON
+// files and exits non-zero if any slowed down by more than -threshold
+// (relative, default 0.10 = +10%) — the CI regression gate.
+//
+// -fig pr4 measures the request-scoped tracing layer's overhead (off vs
+// 1/16 head sampling vs always-on) on the pr2 solver workload; with
+// -trace-out the sweep also writes one fully-recorded solve as Chrome
+// trace-event JSON, loadable in Perfetto.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +31,36 @@ import (
 
 	"github.com/htacs/ata/internal/experiments"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/trace"
 )
 
+// runCompare is the -compare mode: exit 0 when new stays within
+// threshold of old on every shared *_ns measurement, 1 on regression.
+func runCompare(oldPath, newPath string, threshold float64) error {
+	oldData, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newData, err := os.ReadFile(newPath)
+	if err != nil {
+		return err
+	}
+	deltas, missing, regressed, err := experiments.CompareBenchJSON(oldData, newData, threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench comparison: %s -> %s (threshold +%.0f%%)\n\n", oldPath, newPath, 100*threshold)
+	if err := experiments.RenderBenchDeltas(os.Stdout, deltas, missing, threshold); err != nil {
+		return err
+	}
+	if regressed {
+		os.Exit(1)
+	}
+	return nil
+}
+
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2 or pr3")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3 or pr4")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -32,13 +69,35 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonPath := flag.String("json", "", "with -fig pr2/pr3: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	jsonPath := flag.String("json", "", "with -fig pr2/pr3/pr4: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	traceOut := flag.String("trace-out", "", "with -fig pr4: write a sample solver trace as Chrome trace-event JSON to this path")
+	compareMode := flag.Bool("compare", false, "compare two bench report JSON files (old new); exit 1 on regression beyond -threshold")
+	threshold := flag.Float64("threshold", 0.10, "with -compare: relative slowdown tolerated per *_ns measurement")
 	metricsAddr := flag.String("metrics", "",
-		"serve the obs registry on this address (/metrics, /healthz) while the sweep runs; empty disables")
+		"serve the obs registry on this address (/metrics, /healthz, /debug/pprof) while the sweep runs; empty disables")
 	flag.Parse()
+
+	if *compareMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "hta-bench: -compare needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		if err := runCompare(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, "hta-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	// The side listener is tied to main's lifetime: cancelling the context
+	// shuts the server down and releases the port (no leaked goroutine).
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *metricsAddr != "" {
+		mux := obs.Default().SideMux()
+		trace.RegisterDebug(mux, trace.Default())
 		go func() {
-			if err := obs.Default().ListenAndServe(*metricsAddr); err != nil {
+			if err := obs.Default().ServeUntil(ctx, *metricsAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "hta-bench: metrics:", err)
 			}
 		}()
@@ -120,8 +179,44 @@ func main() {
 				}
 			}
 		}
+	case "pr4":
+		// Not a paper figure: the tracing-layer overhead report — the
+		// -fig pr2 solver workload under a disabled recorder, 1/16 head
+		// sampling, and always-on tracing, against the 2% budget.
+		fmt.Printf("PR 4 report: request-scoped tracing overhead on the pr2 solver workload (Xmax = %d)\n\n", opts.Xmax)
+		var report *experiments.PR4Report
+		var sample []*trace.Trace
+		report, sample, err = experiments.SweepPR4(opts)
+		if err == nil {
+			err = report.RenderPR4(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR4JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *traceOut != "" {
+			if len(sample) == 0 {
+				err = fmt.Errorf("pr4 sweep retained no sample trace for -trace-out")
+			} else {
+				var f *os.File
+				if f, err = os.Create(*traceOut); err == nil {
+					err = trace.WriteChrome(f, sample)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+					if err == nil {
+						fmt.Printf("\nwrote sample solver trace to %s (load it in Perfetto)\n", *traceOut)
+					}
+				}
+			}
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2 or pr3)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3 or pr4)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"github.com/htacs/ata/internal/experiments"
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/plot"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // renderCharts draws the three Figure 5 panels as ASCII line charts.
@@ -73,11 +75,18 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism per session engine: 0 = serial, N > 0 = N goroutines, -1 = all cores; sessions are bit-identical")
 	metricsAddr := flag.String("metrics", "",
-		"serve the obs registry on this address (/metrics, /healthz) while the study runs; empty disables")
+		"serve the obs registry on this address (/metrics, /healthz, /debug/pprof) while the study runs; empty disables")
 	flag.Parse()
+
+	// The side listener shuts down — and releases the port — when main's
+	// context is cancelled, instead of leaking a goroutine until exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	if *metricsAddr != "" {
+		mux := obs.Default().SideMux()
+		trace.RegisterDebug(mux, trace.Default())
 		go func() {
-			if err := obs.Default().ListenAndServe(*metricsAddr); err != nil {
+			if err := obs.Default().ServeUntil(ctx, *metricsAddr, mux); err != nil {
 				fmt.Fprintln(os.Stderr, "hta-live: metrics:", err)
 			}
 		}()

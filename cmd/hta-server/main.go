@@ -17,6 +17,17 @@
 //	           [-xmax 15] [-extra 5] [-universe 100]
 //	           [-read-timeout 10s] [-write-timeout 30s] [-shutdown-grace 15s]
 //	           [-max-body 8388608]
+//	           [-log-level info] [-log-format text]
+//	           [-trace-sample 1] [-trace-capacity 256]
+//
+// Every request opens a root trace span (1 in -trace-sample requests;
+// 0 disables tracing) that propagates through the adaptive engine into
+// the solver phases; sampled responses carry an X-Trace-Id header, and
+// the retained traces are served at GET /debug/trace — as Chrome
+// trace-event JSON by default (load the file in Perfetto), or as a text
+// tree with ?format=tree. Logs are structured (log/slog) and
+// trace-correlated: lines emitted while serving a sampled request carry
+// its trace_id/span_id.
 //
 // Endpoints:
 //
@@ -28,6 +39,8 @@
 //	GET    /api/stats
 //	GET    /metrics                   Prometheus text (or ?format=json)
 //	GET    /healthz                   200 ok / 503 draining
+//	GET    /debug/trace?n=K           last K retained traces (&format=tree for text)
+//	GET    /debug/pprof/              net/http/pprof profiling suite
 package main
 
 import (
@@ -46,6 +59,7 @@ import (
 
 	"github.com/htacs/ata/internal/adaptive"
 	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/trace"
 	"github.com/htacs/ata/internal/workload"
 )
 
@@ -97,12 +111,23 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute, "keep-alive idle deadline")
 	grace := flag.Duration("shutdown-grace", 15*time.Second, "drain window for in-flight requests on SIGINT/SIGTERM")
 	maxBody := flag.Int64("max-body", 8<<20, "request body limit in bytes (<0 disables)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn or error")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	traceSample := flag.Int("trace-sample", 1, "trace 1 in N requests (0 disables tracing)")
+	traceCap := flag.Int("trace-capacity", 256, "traces retained for GET /debug/trace")
 	flag.Parse()
+
+	logger, err := trace.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		log.Fatalf("hta-server: %v", err)
+	}
+	tracer := trace.NewRecorder(*traceCap, *traceSample)
 
 	cfg := adaptive.Config{
 		Xmax:             *xmax,
 		ExtraRandomTasks: *extra,
 		Rand:             rand.New(rand.NewSource(*seed)),
+		Logger:           logger,
 	}
 	engine, restored, err := buildEngine(cfg, *snapshotPath)
 	if err != nil {
@@ -133,6 +158,8 @@ func main() {
 		ReassignPerWorker: *perWorker,
 		ReassignTotal:     *total,
 		MaxBodyBytes:      *maxBody,
+		Tracer:            tracer,
+		Logger:            logger,
 	})
 	if err != nil {
 		log.Fatalf("hta-server: %v", err)

@@ -13,8 +13,10 @@
 package adaptive
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 
 	"github.com/htacs/ata/internal/core"
@@ -22,6 +24,7 @@ import (
 	"github.com/htacs/ata/internal/metric"
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/solver"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // SolveFunc solves one HTA instance. solver.HTAGRE is the default, matching
@@ -66,6 +69,10 @@ type Config struct {
 	// obs.Default(); pass NewMetrics over a private registry for
 	// isolation.
 	Metrics *Metrics
+	// Logger receives structured debug logs (iteration summaries, weight
+	// re-estimations), trace-correlated when the caller passes a traced
+	// context to the Ctx entry points. Nil disables logging.
+	Logger *slog.Logger
 }
 
 // WorkerState tracks one worker across iterations.
@@ -243,6 +250,14 @@ func (e *Engine) SetAvailable(id string, available bool) error {
 // assignment, whose marginal diversity is always 0) are skipped — there is
 // no signal in them.
 func (e *Engine) Complete(workerID, taskID string) error {
+	return e.CompleteCtx(context.Background(), workerID, taskID)
+}
+
+// CompleteCtx is Complete with trace propagation: the marginal-gain
+// computation and (α, β) re-estimation run under an "adaptive.reestimate"
+// span joined to ctx's trace, and the engine's Logger (if any) emits a
+// trace-correlated debug line with the refreshed weights.
+func (e *Engine) CompleteCtx(ctx context.Context, workerID, taskID string) error {
 	ws, err := e.Worker(workerID)
 	if err != nil {
 		return err
@@ -264,6 +279,8 @@ func (e *Engine) Complete(workerID, taskID string) error {
 	}
 
 	// Marginal gains of the chosen task against the completed prefix.
+	_, reSpan := trace.Start(ctx, "adaptive.reestimate",
+		trace.Str("worker", workerID), trace.Str("task", taskID))
 	gainDiv := e.marginalDiversity(task, ws.Completed)
 	gainRel := metric.Relevance(e.cfg.Dist, task.Keywords, ws.Worker.Keywords)
 
@@ -291,6 +308,17 @@ func (e *Engine) Complete(workerID, taskID string) error {
 	ws.Completed = append(ws.Completed, task)
 	ws.TotalCompleted++
 	e.refreshWeights(ws)
+	reSpan.SetAttrs(
+		trace.Float("alpha", ws.Worker.Alpha),
+		trace.Float("beta", ws.Worker.Beta),
+		trace.Int("observations", ws.Observations()))
+	reSpan.End()
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.LogAttrs(ctx, slog.LevelDebug, "adaptive: reestimated weights",
+			slog.String("worker", workerID), slog.String("task", taskID),
+			slog.Float64("alpha", ws.Worker.Alpha), slog.Float64("beta", ws.Worker.Beta),
+			slog.Int("observations", ws.Observations()))
+	}
 	e.metrics.Completions.Inc()
 	return nil
 }
@@ -344,6 +372,18 @@ func mean(xs []float64) float64 {
 // receives ExtraRandomTasks random tasks. Assigned tasks leave the pool
 // permanently. It returns the per-worker display sets.
 func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
+	return e.NextIterationCtx(context.Background())
+}
+
+// NextIterationCtx is NextIteration with trace propagation: the round
+// runs under an "adaptive.iteration" span joined to ctx's trace, the
+// cross-iteration kernel precompute gets its own child span, and the
+// context flows into the solver (solver.WithContext) so the trace shows
+// the full endpoint → iteration → solver-phase hierarchy.
+func (e *Engine) NextIterationCtx(ctx context.Context) (map[string][]*core.Task, error) {
+	ctx, iterSpan := trace.Start(ctx, "adaptive.iteration",
+		trace.Int("iteration", e.iteration), trace.Int("pool", len(e.pool)))
+	defer iterSpan.End()
 	span := obs.StartSpan(e.metrics.IterationSeconds)
 	var cold, warm []*WorkerState
 	for _, id := range e.order {
@@ -380,13 +420,18 @@ func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
 		if err != nil {
 			return nil, fmt.Errorf("adaptive: building instance: %w", err)
 		}
-		solveOpts := []solver.Option{solver.WithRand(e.cfg.Rand), solver.WithWorkspace(e.lsapWS)}
+		solveOpts := []solver.Option{
+			solver.WithContext(ctx), solver.WithRand(e.cfg.Rand), solver.WithWorkspace(e.lsapWS),
+		}
 		if e.kernel != nil {
 			// Materialize this iteration's distance matrix, carrying
 			// forward every pair whose tasks both survive from the last
 			// iteration; assigned tasks dropped out of the pool and are
 			// invalidated simply by not being carried forward.
+			_, preSpan := trace.Start(ctx, "adaptive.precompute")
 			reused, computed := e.kernel.Precompute(in, e.cfg.Parallelism)
+			preSpan.SetAttrs(trace.Int("reused", reused), trace.Int("computed", computed))
+			preSpan.End()
 			e.KernelReused += reused
 			e.KernelComputed += computed
 			solveOpts = append(solveOpts, solver.WithParallelism(e.cfg.Parallelism))
@@ -426,9 +471,17 @@ func (e *Engine) NextIteration() (map[string][]*core.Task, error) {
 
 	e.iteration++
 	span.End()
+	iterSpan.SetAttrs(
+		trace.Int("cold", len(cold)), trace.Int("warm", len(warm)),
+		trace.Int("pool_after", len(e.pool)))
 	e.metrics.Iterations.Inc()
 	e.metrics.PoolSize.Set(float64(len(e.pool)))
 	e.publishWeightGauges()
+	if e.cfg.Logger != nil {
+		e.cfg.Logger.LogAttrs(ctx, slog.LevelDebug, "adaptive: iteration complete",
+			slog.Int("iteration", e.iteration), slog.Int("cold", len(cold)),
+			slog.Int("warm", len(warm)), slog.Int("pool", len(e.pool)))
+	}
 	return out, nil
 }
 

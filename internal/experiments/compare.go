@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// FlattenNumbers decodes a JSON document and returns every numeric leaf
+// keyed by its dotted path ("points.0.enabled_ns"). Booleans and strings
+// are skipped — the bench comparison only cares about measurements.
+func FlattenNumbers(data []byte) (map[string]float64, error) {
+	var doc any
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.UseNumber()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("experiments: parsing bench JSON: %w", err)
+	}
+	out := make(map[string]float64)
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, val := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				walk(p, val)
+			}
+		case []any:
+			for i, val := range x {
+				walk(prefix+"."+strconv.Itoa(i), val)
+			}
+		case json.Number:
+			if f, err := x.Float64(); err == nil {
+				out[prefix] = f
+			}
+		}
+	}
+	walk("", doc)
+	return out, nil
+}
+
+// BenchDelta is one compared measurement between two bench reports.
+type BenchDelta struct {
+	Key       string
+	OldNs     float64
+	NewNs     float64
+	DeltaPct  float64 // 100·(new−old)/old; positive = slower
+	Regressed bool
+}
+
+// CompareBenchJSON diffs two bench report JSON documents (any of the
+// BENCH_PR*.json payloads — the format is discovered, not hard-coded):
+// every numeric leaf whose path ends in "_ns" and exists in both files is
+// compared, and a relative slowdown beyond threshold (e.g. 0.10 = +10%)
+// counts as a regression. Returns the per-key deltas sorted by path and
+// whether any key regressed. Keys present in only one file are reported
+// via the missing slices, not treated as regressions — reports grow
+// fields across PRs.
+func CompareBenchJSON(oldData, newData []byte, threshold float64) (deltas []BenchDelta, missing []string, regressed bool, err error) {
+	oldNums, err := FlattenNumbers(oldData)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	newNums, err := FlattenNumbers(newData)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	for k, ov := range oldNums {
+		if !strings.HasSuffix(k, "_ns") {
+			continue
+		}
+		nv, ok := newNums[k]
+		if !ok {
+			missing = append(missing, k)
+			continue
+		}
+		d := BenchDelta{Key: k, OldNs: ov, NewNs: nv}
+		if ov > 0 {
+			d.DeltaPct = 100 * (nv - ov) / ov
+			d.Regressed = (nv-ov)/ov > threshold
+		}
+		if d.Regressed {
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Key < deltas[j].Key })
+	sort.Strings(missing)
+	return deltas, missing, regressed, nil
+}
+
+// RenderBenchDeltas prints the comparison as an aligned table with a
+// final verdict line.
+func RenderBenchDeltas(w io.Writer, deltas []BenchDelta, missing []string, threshold float64) error {
+	if len(deltas) == 0 {
+		if _, err := fmt.Fprintln(w, "no *_ns measurements shared between the two reports"); err != nil {
+			return err
+		}
+	} else {
+		if _, err := fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "measurement", "old (ms)", "new (ms)", "delta"); err != nil {
+			return err
+		}
+		for _, d := range deltas {
+			mark := ""
+			if d.Regressed {
+				mark = "  REGRESSION"
+			}
+			if _, err := fmt.Fprintf(w, "%-44s %14.3f %14.3f %+8.2f%%%s\n",
+				d.Key, d.OldNs/1e6, d.NewNs/1e6, d.DeltaPct, mark); err != nil {
+				return err
+			}
+		}
+	}
+	for _, k := range missing {
+		if _, err := fmt.Fprintf(w, "%-44s (absent from new report, skipped)\n", k); err != nil {
+			return err
+		}
+	}
+	worst := 0.0
+	regressions := 0
+	for _, d := range deltas {
+		if d.DeltaPct > worst {
+			worst = d.DeltaPct
+		}
+		if d.Regressed {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		_, err := fmt.Fprintf(w, "\n%d regression(s) beyond the +%.0f%% threshold (worst %+.2f%%)\n",
+			regressions, 100*threshold, worst)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nno regressions beyond the +%.0f%% threshold (worst %+.2f%%)\n",
+		100*threshold, worst)
+	return err
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFlattenNumbers(t *testing.T) {
+	doc := []byte(`{"note":"x","points":[{"solve_ns":100,"ok":true},{"solve_ns":250.5}],"budget_pct":2}`)
+	nums, err := FlattenNumbers(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"points.0.solve_ns": 100,
+		"points.1.solve_ns": 250.5,
+		"budget_pct":        2,
+	}
+	if len(nums) != len(want) {
+		t.Fatalf("flattened %d keys, want %d: %v", len(nums), len(want), nums)
+	}
+	for k, v := range want {
+		if nums[k] != v {
+			t.Fatalf("key %s = %v, want %v", k, nums[k], v)
+		}
+	}
+}
+
+func TestCompareBenchJSONDetectsRegression(t *testing.T) {
+	oldDoc := []byte(`{"points":[{"algorithm":"hta-app","solve_ns":1000000},{"algorithm":"hta-gre","solve_ns":2000000}]}`)
+	// First point +50% (injected regression), second point within noise.
+	newDoc := []byte(`{"points":[{"algorithm":"hta-app","solve_ns":1500000},{"algorithm":"hta-gre","solve_ns":2050000}]}`)
+
+	deltas, missing, regressed, err := CompareBenchJSON(oldDoc, newDoc, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("injected +50% slowdown not flagged as regression")
+	}
+	if len(missing) != 0 {
+		t.Fatalf("unexpected missing keys: %v", missing)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("compared %d keys, want 2", len(deltas))
+	}
+	if !deltas[0].Regressed || deltas[0].Key != "points.0.solve_ns" {
+		t.Fatalf("first delta = %+v, want points.0.solve_ns regressed", deltas[0])
+	}
+	if deltas[1].Regressed {
+		t.Fatalf("+2.5%% flagged as regression: %+v", deltas[1])
+	}
+
+	var buf bytes.Buffer
+	if err := RenderBenchDeltas(&buf, deltas, missing, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "1 regression(s)") {
+		t.Fatalf("rendered table lacks regression verdict:\n%s", out)
+	}
+}
+
+func TestCompareBenchJSONCleanAndMissing(t *testing.T) {
+	oldDoc := []byte(`{"a_ns":100,"gone_ns":5,"label":"x"}`)
+	newDoc := []byte(`{"a_ns":95,"fresh_ns":7}`)
+	deltas, missing, regressed, err := CompareBenchJSON(oldDoc, newDoc, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatal("a 5% speedup flagged as regression")
+	}
+	if len(deltas) != 1 || deltas[0].Key != "a_ns" {
+		t.Fatalf("deltas = %+v, want just a_ns", deltas)
+	}
+	if len(missing) != 1 || missing[0] != "gone_ns" {
+		t.Fatalf("missing = %v, want [gone_ns]", missing)
+	}
+	var buf bytes.Buffer
+	if err := RenderBenchDeltas(&buf, deltas, missing, 0.10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no regressions") {
+		t.Fatalf("clean comparison verdict missing:\n%s", buf.String())
+	}
+
+	if _, _, _, err := CompareBenchJSON([]byte("{oops"), newDoc, 0.10); err == nil {
+		t.Fatal("malformed old report accepted")
+	}
+}

@@ -1,0 +1,192 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/solver"
+	"github.com/htacs/ata/internal/trace"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// PR4Point is one tracing-overhead measurement: the same solver workload
+// run against a disabled recorder (every solve pays exactly one atomic
+// load at the root), a 1/16 head-sampled recorder (the recommended
+// production setting), and an always-on recorder. Times are median ns/op
+// over the sweep's runs on identical instances and seeds.
+type PR4Point struct {
+	Algorithm string `json:"algorithm"`
+	NumTasks  int    `json:"tasks"`
+	Workers   int    `json:"workers"`
+
+	OffNs     int64 `json:"off_ns"`
+	SampledNs int64 `json:"sampled_ns"` // 1/16 head sampling
+	AlwaysNs  int64 `json:"always_ns"`  // every root sampled
+	// Overheads are relative to OffNs; negative values are noise.
+	SampledOverheadPct float64 `json:"sampled_overhead_pct"`
+	AlwaysOverheadPct  float64 `json:"always_overhead_pct"`
+}
+
+// PR4Report is the payload of BENCH_PR4.json: the request-scoped tracing
+// layer's cost on the hta-bench -fig pr2 solver workload, with the
+// acceptance budget of 2% at 1/16 sampling.
+type PR4Report struct {
+	Note                  string     `json:"note"`
+	Points                []PR4Point `json:"points"`
+	MaxSampledOverheadPct float64    `json:"max_sampled_overhead_pct"`
+	MaxAlwaysOverheadPct  float64    `json:"max_always_overhead_pct"`
+	BudgetPct             float64    `json:"budget_pct"`
+	WithinBudget          bool       `json:"within_budget"`
+}
+
+// SweepPR4 measures tracing overhead on the PR 2 solver workload points
+// (hta-app and hta-gre at |T| ∈ {400, 700, 1000}, |W| = 20). Each point
+// is solved o.Runs times per recorder mode — off, 1/16 head-sampled,
+// always-on — interleaved so drift hits every side equally. It also
+// returns one fully-recorded trace from the sweep, suitable for
+// trace.WriteChrome (the BENCH artifact a reviewer loads in Perfetto).
+func SweepPR4(o Options) (*PR4Report, []*trace.Trace, error) {
+	o.applyDefaults()
+	report := &PR4Report{
+		Note: "tracing overhead on the -fig pr2 solver workload: off = disabled recorder (one atomic load per solve), sampled = 1/16 head sampling, always = every solve traced. Identical instances and seeds, WithoutFlip.",
+		// Same acceptance budget as the obs layer (BENCH_PR3.json): the
+		// production setting must stay under 2%.
+		BudgetPct: 2.0,
+	}
+	var sample []*trace.Trace
+	for _, numTasks := range []int{400, 700, 1000} {
+		const numGroups, numWorkers = 20, 20
+		for _, algo := range []string{"hta-app", "hta-gre"} {
+			point, traces, err := measurePR4(o, algo, numTasks, numGroups, numWorkers)
+			if err != nil {
+				return nil, nil, fmt.Errorf("experiments: pr4 %s |T|=%d: %w", algo, numTasks, err)
+			}
+			report.Points = append(report.Points, point)
+			if point.SampledOverheadPct > report.MaxSampledOverheadPct {
+				report.MaxSampledOverheadPct = point.SampledOverheadPct
+			}
+			if point.AlwaysOverheadPct > report.MaxAlwaysOverheadPct {
+				report.MaxAlwaysOverheadPct = point.AlwaysOverheadPct
+			}
+			if len(traces) > 0 {
+				sample = traces
+			}
+		}
+	}
+	report.WithinBudget = report.MaxSampledOverheadPct < report.BudgetPct
+	return report, sample, nil
+}
+
+// pr4Modes are the recorder configurations under comparison.
+var pr4Modes = []struct {
+	name  string
+	every int
+}{
+	{"off", 0},
+	{"sampled", 16},
+	{"always", 1},
+}
+
+// measurePR4 times one algorithm under the three recorder modes. Each
+// mode keeps one recorder for the whole point (so 1/16 sampling actually
+// skips 15 of 16 roots), and the mode order rotates per run so thermal
+// and cache drift does not bias one side.
+func measurePR4(o Options, algo string, numTasks, numGroups, numWorkers int) (PR4Point, []*trace.Trace, error) {
+	point := PR4Point{Algorithm: algo, NumTasks: numTasks, Workers: numWorkers}
+	solve := solver.HTAGRE
+	if algo == "hta-app" {
+		solve = solver.HTAAPP
+	}
+	perGroup := numTasks / numGroups
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	recorders := make(map[string]*trace.Recorder, len(pr4Modes))
+	for _, m := range pr4Modes {
+		recorders[m.name] = trace.NewRecorder(32, m.every)
+	}
+	samples := make(map[string][]time.Duration, len(pr4Modes))
+	for run := 0; run < o.Runs; run++ {
+		gen, err := workload.NewGenerator(workload.Config{Seed: o.Seed + int64(run)})
+		if err != nil {
+			return point, nil, err
+		}
+		tasks := gen.Tasks(numGroups, perGroup)
+		workers := gen.Workers(numWorkers)
+		seed := o.Seed + int64(run)
+
+		measureOne := func(rec *trace.Recorder) (time.Duration, error) {
+			in, err := core.NewInstance(tasks, workers, o.Xmax, metric.Jaccard{})
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			ctx, root := rec.Start(context.Background(), "bench.solve",
+				trace.Str("algorithm", algo), trace.Int("tasks", numTasks))
+			_, err = solve(in, solver.WithContext(ctx), solver.WithoutFlip(),
+				solver.WithRand(rand.New(rand.NewSource(seed))))
+			root.End()
+			return time.Since(start), err
+		}
+
+		if run == 0 {
+			// Warm-up: one-time costs (allocator growth, branch training)
+			// must not land on any side of the comparison.
+			if _, err := measureOne(recorders["off"]); err != nil {
+				return point, nil, err
+			}
+		}
+		for i := range pr4Modes {
+			m := pr4Modes[(i+run)%len(pr4Modes)]
+			d, err := measureOne(recorders[m.name])
+			if err != nil {
+				return point, nil, err
+			}
+			samples[m.name] = append(samples[m.name], d)
+		}
+	}
+	point.OffNs = medianNs(samples["off"])
+	point.SampledNs = medianNs(samples["sampled"])
+	point.AlwaysNs = medianNs(samples["always"])
+	if point.OffNs > 0 {
+		point.SampledOverheadPct = 100 * float64(point.SampledNs-point.OffNs) / float64(point.OffNs)
+		point.AlwaysOverheadPct = 100 * float64(point.AlwaysNs-point.OffNs) / float64(point.OffNs)
+	}
+	return point, recorders["always"].Snapshot(1), nil
+}
+
+// RenderPR4 prints the report as an aligned table.
+func (r *PR4Report) RenderPR4(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-10s %7s %7s %12s %12s %12s %10s %10s\n",
+		"algorithm", "|T|", "|W|", "off (ms)", "1/16 (ms)", "1/1 (ms)", "ovh 1/16", "ovh 1/1"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		if _, err := fmt.Fprintf(w, "%-10s %7d %7d %12.3f %12.3f %12.3f %9.2f%% %9.2f%%\n",
+			p.Algorithm, p.NumTasks, p.Workers,
+			float64(p.OffNs)/1e6, float64(p.SampledNs)/1e6, float64(p.AlwaysNs)/1e6,
+			p.SampledOverheadPct, p.AlwaysOverheadPct); err != nil {
+			return err
+		}
+	}
+	verdict := "within"
+	if !r.WithinBudget {
+		verdict = "OVER"
+	}
+	_, err := fmt.Fprintf(w, "\nmax 1/16-sampling overhead %.2f%% — %s the %.0f%% budget (1/1: %.2f%%)\n",
+		r.MaxSampledOverheadPct, verdict, r.BudgetPct, r.MaxAlwaysOverheadPct)
+	return err
+}
+
+// WritePR4JSON writes the BENCH_PR4.json payload.
+func (r *PR4Report) WritePR4JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,15 +1,59 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// escapeHelp escapes a HELP comment per the Prometheus text format:
+// backslash and newline are escaped (a raw newline would split the
+// comment into a garbage line the scraper rejects).
+func escapeHelp(s string) string {
+	return helpEscaper.Replace(s)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote and newline.
+func escapeLabelValue(s string) string {
+	return labelEscaper.Replace(s)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// renderLabels renders a sorted label set (plus optional extras, appended
+// after) as an exposition fragment: `{k="v",...}`, or "" when empty.
+func renderLabels(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	n := 0
+	for _, set := range [2][]Label{labels, extra} {
+		for _, l := range set {
+			if n > 0 {
+				b.WriteByte(',')
+			}
+			n++
+			b.WriteString(l.Key)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabelValue(l.Value))
+			b.WriteByte('"')
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}
 
 // WritePrometheus renders every registered family in the Prometheus text
 // exposition format (version 0.0.4), families in registration order,
@@ -17,7 +61,7 @@ import (
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	for _, f := range r.snapshotFamilies() {
 		if f.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " ")); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
 				return err
 			}
 		}
@@ -28,9 +72,9 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			var err error
 			switch m := s.metric.(type) {
 			case *Counter:
-				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(m.Value()))
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), fmtFloat(m.Value()))
 			case *Gauge:
-				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, fmtFloat(m.Value()))
+				_, err = fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(s.labels), fmtFloat(m.Value()))
 			case *Histogram:
 				err = writePromHistogram(w, f.name, s.labels, m.Snapshot())
 			}
@@ -44,7 +88,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writePromHistogram renders one histogram series: cumulative _bucket
 // lines, then _sum and _count.
-func writePromHistogram(w io.Writer, name, labels string, s HistSnapshot) error {
+func writePromHistogram(w io.Writer, name string, labels []Label, s HistSnapshot) error {
 	var cum uint64
 	for i, c := range s.Counts {
 		cum += c
@@ -52,24 +96,15 @@ func writePromHistogram(w io.Writer, name, labels string, s HistSnapshot) error 
 		if i < len(s.Bounds) {
 			le = fmtFloat(s.Bounds[i])
 		}
-		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, mergeLabels(labels, "le", le), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, renderLabels(labels, L("le", le)), cum); err != nil {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labels, fmtFloat(s.Sum)); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, renderLabels(labels), fmtFloat(s.Sum)); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labels, cum)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(labels), cum)
 	return err
-}
-
-// mergeLabels splices an extra label into an existing rendered label set.
-func mergeLabels(labels, key, value string) string {
-	extra := fmt.Sprintf("%s=%q", key, value)
-	if labels == "" {
-		return "{" + extra + "}"
-	}
-	return labels[:len(labels)-1] + "," + extra + "}"
 }
 
 // fmtFloat renders floats the way Prometheus expects (shortest exact
@@ -119,7 +154,7 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	for _, f := range fams {
 		jf := JSONFamily{Name: f.name, Type: f.typ, Help: f.help, Series: []JSONSeries{}}
 		for _, s := range f.series {
-			js := JSONSeries{Labels: parseLabels(s.labels)}
+			js := JSONSeries{Labels: labelMap(s.labels)}
 			switch m := s.metric.(type) {
 			case *Counter:
 				v := m.Value()
@@ -146,40 +181,16 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(map[string]any{"metrics": out})
 }
 
-// parseLabels inverts labelKey's canonical fragment back into a map.
-func parseLabels(s string) map[string]string {
-	if s == "" {
+// labelMap converts a label set to the JSON exposition's map form.
+func labelMap(labels []Label) map[string]string {
+	if len(labels) == 0 {
 		return nil
 	}
-	out := make(map[string]string)
-	s = strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
-	for len(s) > 0 {
-		eq := strings.Index(s, "=")
-		if eq < 0 {
-			break
-		}
-		key := s[:eq]
-		rest := s[eq+1:]
-		val, n := unquotePrefix(rest)
-		out[key] = val
-		s = strings.TrimPrefix(rest[n:], ",")
+	out := make(map[string]string, len(labels))
+	for _, l := range labels {
+		out[l.Key] = l.Value
 	}
 	return out
-}
-
-// unquotePrefix unquotes the leading Go-quoted string of s, returning the
-// value and the number of bytes consumed.
-func unquotePrefix(s string) (string, int) {
-	for i := 1; i < len(s); i++ {
-		if s[i] == '"' && s[i-1] != '\\' {
-			v, err := strconv.Unquote(s[:i+1])
-			if err != nil {
-				return s[:i+1], i + 1
-			}
-			return v, i + 1
-		}
-	}
-	return s, len(s)
 }
 
 // Handler serves the registry: Prometheus text by default, JSON when the
@@ -199,16 +210,55 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
-// ListenAndServe serves /metrics and /healthz for the registry on addr —
-// the sidecar endpoint the CLI tools (hta-bench, hta-live) expose behind
-// their -metrics flags so long runs can be watched live. Blocks like
-// http.ListenAndServe; callers run it in a goroutine.
-func (r *Registry) ListenAndServe(addr string) error {
+// SideMux builds the sidecar mux the CLI tools expose behind their
+// -metrics flags: /metrics and /healthz for the registry. Callers may
+// mount extra debug handlers (trace.RegisterDebug) before serving it.
+func (r *Registry) SideMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/healthz", HealthzHandler(nil))
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	return srv.ListenAndServe()
+	return mux
+}
+
+// ServeUntil serves h (or, when h is nil, the registry's SideMux) on addr
+// until ctx is cancelled, then shuts the server down gracefully and
+// releases the port. It blocks like http.ListenAndServe; callers run it
+// in a goroutine. Returns nil on a ctx-triggered shutdown.
+func (r *Registry) ServeUntil(ctx context.Context, addr string, h http.Handler) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return r.ServeListener(ctx, l, h)
+}
+
+// ServeListener is ServeUntil over an already-bound listener — the form
+// tests use to grab an ephemeral port before serving.
+func (r *Registry) ServeListener(ctx context.Context, l net.Listener, h http.Handler) error {
+	if h == nil {
+		h = r.SideMux()
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-ctx.Done()
+		shctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shctx)
+	}()
+	err := srv.Serve(l)
+	<-done // Shutdown owns closing the listener; wait so the port is free on return.
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// ListenAndServe serves the sidecar endpoint on addr forever — the
+// pre-context form, kept for callers without a lifecycle to tie to.
+func (r *Registry) ListenAndServe(addr string) error {
+	return r.ServeUntil(context.Background(), addr, nil)
 }
 
 // HealthzHandler answers liveness probes: 200 "ok" while ready() is true

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPrometheusEscaping pins the exposition escaping rules: HELP text
+// escapes backslash and newline; label values escape backslash, quote and
+// newline. Without these, a single awkward help string or label value
+// corrupts the whole scrape.
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "line one\nline two with back\\slash").Inc()
+	r.Gauge("esc_gauge", "g", L("path", `C:\tmp`), L("msg", "say \"hi\"\nnow")).Set(1)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `# HELP esc_total line one\nline two with back\\slash`) {
+		t.Fatalf("HELP not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `msg="say \"hi\"\nnow"`) {
+		t.Fatalf("label value quote/newline not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `path="C:\\tmp"`) {
+		t.Fatalf("label value backslash not escaped:\n%s", out)
+	}
+	// No raw newlines may survive inside any single line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "line two") && !strings.HasPrefix(line, "# HELP") {
+			t.Fatalf("help text leaked onto its own line: %q", line)
+		}
+	}
+}
+
+// TestPrometheusHistogramLabelEscaping covers the _bucket path, which
+// splices the le label next to escaped user labels.
+func TestPrometheusHistogramLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("esc_seconds", "h", []float64{0.1, 1}, L("op", "a\"b")).Observe(0.05)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `esc_seconds_bucket{op="a\"b",le="0.1"} 1`) {
+		t.Fatalf("bucket line mis-rendered:\n%s", out)
+	}
+	if !strings.Contains(out, `esc_seconds_count{op="a\"b"} 1`) {
+		t.Fatalf("count line mis-rendered:\n%s", out)
+	}
+}
+
+// TestJSONLabelsRoundTrip: the JSON exposition reports the original,
+// unescaped label values.
+func TestJSONLabelsRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rt_total", "c", L("msg", "a\"b\nc\\d")).Inc()
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"msg": "a\"b\nc\\d"`) {
+		t.Fatalf("JSON labels lost the raw value:\n%s", b.String())
+	}
+}
+
+// TestServeListenerShutdown: cancelling the context stops the sidecar
+// server and releases its port — the -metrics listener must not leak.
+func TestServeListenerShutdown(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("srv_total", "c").Inc()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- r.ServeListener(ctx, l, nil) }()
+
+	// The server answers while the context is live.
+	var resp *http.Response
+	for i := 0; i < 50; i++ {
+		resp, err = http.Get("http://" + addr + "/metrics")
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("GET /metrics never succeeded: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("ServeListener returned %v after cancel, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeListener did not return after cancel")
+	}
+	// The port is free again: a fresh listener can bind the same address.
+	l2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	l2.Close()
+}

@@ -135,14 +135,26 @@ func validName(name string) bool {
 	return true
 }
 
-// labelKey serializes a label set into a canonical (sorted) map key and
-// render fragment: `{k1="v1",k2="v2"}`, or "" for no labels.
-func labelKey(labels []Label) string {
+// sortLabels returns a key-sorted copy of labels (nil for an empty set) —
+// the canonical order used for both series identity and rendering.
+func sortLabels(labels []Label) []Label {
 	if len(labels) == 0 {
-		return ""
+		return nil
 	}
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// labelKey serializes a label set into a canonical (sorted) map key:
+// `{k1="v1",k2="v2"}`, or "" for no labels. This is an identity string
+// (Go %q quoting), not exposition output — rendering escapes per the
+// Prometheus rules instead.
+func labelKey(labels []Label) string {
+	ls := sortLabels(labels)
+	if len(ls) == 0 {
+		return ""
+	}
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, l := range ls {

@@ -18,8 +18,9 @@ const (
 
 // series is one labeled instance inside a family.
 type series struct {
-	labels string // canonical render fragment, "" or `{k="v",...}`
-	metric any    // *Counter, *Gauge or *Histogram
+	key    string  // canonical identity fragment from labelKey
+	labels []Label // sorted label set, escaped at render time
+	metric any     // *Counter, *Gauge or *Histogram
 }
 
 // family groups all label variants of one metric name.
@@ -131,7 +132,7 @@ func (r *Registry) metric(name, help string, typ MetricType, bounds []float64, l
 		m = newHistogram(f.bounds)
 	}
 	f.byKey[key] = len(f.series)
-	f.series = append(f.series, series{labels: key, metric: m})
+	f.series = append(f.series, series{key: key, labels: sortLabels(labels), metric: m})
 	return m
 }
 
@@ -144,7 +145,7 @@ func (r *Registry) snapshotFamilies() []*family {
 	for i, f := range r.families {
 		cp := &family{name: f.name, help: f.help, typ: f.typ, bounds: f.bounds}
 		cp.series = append(cp.series, f.series...)
-		sort.Slice(cp.series, func(a, b int) bool { return cp.series[a].labels < cp.series[b].labels })
+		sort.Slice(cp.series, func(a, b int) bool { return cp.series[a].key < cp.series[b].key })
 		out[i] = cp
 	}
 	return out

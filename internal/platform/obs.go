@@ -1,12 +1,14 @@
 package platform
 
 import (
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // statusRecorder captures the response code written by a handler.
@@ -21,9 +23,13 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps one endpoint handler with the serving telemetry:
-// request counter by endpoint+code, latency histogram by endpoint, and
-// the shared in-flight gauge. The endpoint label is the mux pattern, so
-// path parameters ({id}) do not explode the series cardinality.
+// request counter by endpoint+code, latency histogram by endpoint, the
+// shared in-flight gauge, and — when the request wins the tracer's
+// sampling draw — a root span propagated through the request context into
+// the engine and solver, with the trace ID echoed in X-Trace-Id so a
+// client can pull its own trace from /debug/trace. The endpoint label is
+// the mux pattern, so path parameters ({id}) do not explode the series
+// cardinality.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	reg := s.cfg.Metrics
 	latency := reg.Histogram("hta_http_request_seconds",
@@ -33,14 +39,32 @@ func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFun
 		if s.cfg.MaxBodyBytes > 0 && r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
+		ctx, span := s.cfg.Tracer.Start(r.Context(), endpoint,
+			trace.Str("method", r.Method), trace.Str("path", r.URL.Path))
+		if ctx != r.Context() {
+			// Propagate even an unsampled decision: the sentinel in ctx
+			// keeps downstream layers from opening fresh roots of their own.
+			r = r.WithContext(ctx)
+		}
+		if span.Recorded() {
+			w.Header().Set("X-Trace-Id", span.TraceID().String())
+		}
 		inFlight.Add(1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
-		latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		span.SetAttrs(trace.Int("code", rec.status))
+		span.End()
+		latency.Observe(elapsed.Seconds())
 		inFlight.Add(-1)
 		reg.Counter("hta_http_requests_total", "requests served by endpoint and status code",
 			obs.L("endpoint", endpoint), obs.L("code", strconv.Itoa(rec.status))).Inc()
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("endpoint", endpoint), slog.Int("code", rec.status),
+				slog.Duration("duration", elapsed))
+		}
 	}
 }
 

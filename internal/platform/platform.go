@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/question"
 	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // ServerConfig parameterizes the assignment service.
@@ -54,6 +56,17 @@ type ServerConfig struct {
 	// oversized bodies fail the JSON decode with HTTP 400. Default 8 MiB
 	// (a 10k-task upload is ~1 MiB); negative disables the limit.
 	MaxBodyBytes int64
+	// Tracer records request-scoped traces: every endpoint opens a root
+	// span (subject to the recorder's sampling), propagated through the
+	// engine into the solver phases, and sampled responses carry an
+	// X-Trace-Id header. The retained traces are served at GET
+	// /debug/trace alongside net/http/pprof. Defaults to trace.Default(),
+	// which is disabled until given a sampling rate.
+	Tracer *trace.Recorder
+	// Logger emits one structured, trace-correlated line per request
+	// (endpoint, status, duration) plus the engine's debug logs. Nil
+	// disables request logging.
+	Logger *slog.Logger
 }
 
 // Server implements the assignment service. All handlers serialize on a
@@ -101,6 +114,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.MaxBodyBytes == 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default()
+	}
 	// Pre-register the rest of the pipeline's metric families (the
 	// streaming assigner's; the solver's register at package init, the
 	// engine's in NewEngine) so the /metrics surface is stable: one scrape
@@ -121,6 +137,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
 	mux.Handle("GET /healthz", obs.HealthzHandler(s.Ready))
+	trace.RegisterDebug(mux, cfg.Tracer)
 	s.mux = mux
 	return s, nil
 }
@@ -262,7 +279,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	// A new worker notifies the assignment service, which assigns a fresh
 	// T_w immediately (Figure 4).
-	if _, err := s.cfg.Engine.NextIteration(); err != nil {
+	if _, err := s.cfg.Engine.NextIterationCtx(r.Context()); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -349,7 +366,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if err := s.cfg.Engine.Complete(id, req.TaskID); err != nil {
+	if err := s.cfg.Engine.CompleteCtx(r.Context(), id, req.TaskID); err != nil {
 		status := http.StatusConflict
 		if strings.Contains(err.Error(), "not assigned") {
 			status = http.StatusNotFound
@@ -368,7 +385,7 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		s.sinceIteration >= s.cfg.ReassignTotal ||
 		len(ws.Completed) == len(ws.Assigned)
 	if reassign {
-		if _, err := s.cfg.Engine.NextIteration(); err != nil {
+		if _, err := s.cfg.Engine.NextIterationCtx(r.Context()); err != nil {
 			writeErr(w, http.StatusInternalServerError, err)
 			return
 		}

@@ -1,8 +1,12 @@
 package solver
 
 import (
+	"context"
+	"time"
+
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // Solver telemetry, registered on the process-wide obs registry. The
@@ -43,15 +47,33 @@ func phaseHist(phase string) *obs.Histogram {
 		"time per solver phase", obs.DurationBuckets(), obs.L("phase", phase))
 }
 
-// recordRunMetrics publishes one finished run into the registry.
+// startPhase couples one pipeline phase to both telemetry sinks: a trace
+// span joining the caller's context (inert when the context carries no
+// sampled trace — one nil check) and the phase-latency histogram. The
+// returned func ends the phase, optionally attaching result attributes,
+// and returns the measured wall-clock duration for Result bookkeeping.
+func startPhase(ctx context.Context, name string, h *obs.Histogram, attrs ...trace.Attr) func(extra ...trace.Attr) time.Duration {
+	_, sp := trace.Start(ctx, name, attrs...)
+	start := time.Now()
+	return func(extra ...trace.Attr) time.Duration {
+		if len(extra) > 0 {
+			sp.SetAttrs(extra...)
+		}
+		sp.End()
+		d := time.Since(start)
+		obs.ObserveDuration(h, d)
+		return d
+	}
+}
+
+// recordRunMetrics publishes one finished run into the registry. Phase
+// histograms (precompute/matching/lsap/flip) are fed by startPhase at
+// each call site; this records the run-level totals and sanity gauges.
 func recordRunMetrics(in *core.Instance, res *Result) {
 	if !obs.Enabled() {
 		return
 	}
 	solverRuns(res.Algorithm).Inc()
-	obs.ObserveDuration(phasePrecompute, res.PrecomputeTime)
-	obs.ObserveDuration(phaseMatching, res.MatchingTime)
-	obs.ObserveDuration(phaseLSAP, res.LSAPTime)
 	obs.ObserveDuration(phaseTotal, res.TotalTime)
 	lastObjective(res.Algorithm).Set(res.Objective)
 	if res.Objective < 0 {

@@ -15,6 +15,7 @@
 package solver
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -24,9 +25,9 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/lsap"
 	"github.com/htacs/ata/internal/matching"
-	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/par"
 	"github.com/htacs/ata/internal/qap"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // Result is the outcome of one solver run.
@@ -52,6 +53,7 @@ type Result struct {
 }
 
 type config struct {
+	ctx             context.Context
 	rng             *rand.Rand
 	skipFlip        bool
 	skipShuffle     bool
@@ -65,6 +67,12 @@ type config struct {
 
 // Option customizes a solver run.
 type Option func(*config)
+
+// WithContext propagates ctx into the run so the pipeline's phase spans
+// join the caller's trace (see internal/trace). A context without a
+// sampled span — or no WithContext at all — costs one nil check per
+// phase; the solver never starts a fresh trace root on its own.
+func WithContext(ctx context.Context) Option { return func(c *config) { c.ctx = ctx } }
 
 // WithRand supplies the random source for the pairwise flip step (Lines
 // 12–14 of Algorithm 1). Runs are deterministic for a fixed seed. The
@@ -140,6 +148,7 @@ func WithEagerPrecompute() Option { return func(c *config) { c.eagerPrecompute =
 
 func newConfig(opts []Option) *config {
 	c := &config{
+		ctx: context.Background(),
 		rng: rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
@@ -244,19 +253,31 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 		return nil, fmt.Errorf("solver: %s on %q distance: %w", name, in.Dist.Name(), core.ErrNonMetric)
 	}
 	start := time.Now()
+	ctx, runSpan := trace.Start(cfg.ctx, "solver.run",
+		trace.Str("algorithm", name),
+		trace.Int("tasks", in.NumTasks()),
+		trace.Int("workers", in.NumWorkers()),
+		trace.Int("xmax", in.Xmax))
+	defer runSpan.End()
 
 	// Kernel phase: materialize the pairwise distance matrix once, before
 	// the permuted view is taken so the view reads through the base cache.
 	// Every later Diversity read — matching weights, bM profits, the flip's
 	// objective — becomes an O(1) lookup of the exact float64 the serial
-	// path would have computed.
+	// path would have computed. The span is emitted even when the
+	// precomputeMinTasks gate skips the fill, so every trace shows all four
+	// pipeline phases.
 	p := cfg.parallel
+	doPrecompute := p > 0 && !in.HasDiversityCache() &&
+		(cfg.eagerPrecompute || (!greFamily && in.NumTasks() >= precomputeMinTasks))
 	var precomputeTime time.Duration
-	if p > 0 && !in.HasDiversityCache() &&
-		(cfg.eagerPrecompute || (!greFamily && in.NumTasks() >= precomputeMinTasks)) {
-		preStart := time.Now()
+	endPrecompute := startPhase(ctx, "solver.precompute", phasePrecompute,
+		trace.Bool("skipped", !doPrecompute))
+	if doPrecompute {
 		in.Precompute(p)
-		precomputeTime = time.Since(preStart)
+		precomputeTime = endPrecompute()
+	} else {
+		endPrecompute()
 	}
 	if p < 1 {
 		p = 1
@@ -287,9 +308,9 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 			return matching.AutoP(n, w, p)
 		}
 	}
-	matchStart := time.Now()
+	endMatching := startPhase(ctx, "solver.matching", phaseMatching)
 	mb := matcher(m.NumReal(), solveIn.Diversity)
-	matchingTime := time.Since(matchStart)
+	matchingTime := endMatching(trace.Int("edges", len(mb.Edges())))
 
 	// Lines 3–10: auxiliary LSAP profits
 	// f[k][l] = bM(t_k)·degA(l) + c[k][l].
@@ -297,15 +318,16 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 
 	// Line 11: solve the LSAP (class-collapsed Hungarian for APP, greedy
 	// for GRE).
-	lsapStart := time.Now()
+	endLSAP := startPhase(ctx, "solver.lsap", phaseLSAP)
 	sol := assign(costs, p, cfg)
-	lsapTime := time.Since(lsapStart)
+	lsapTime := endLSAP()
 	perm := sol.RowToCol
 
 	// Lines 12–16: for each matched pair, flip the two assigned vertices
 	// with probability ½. The flip is the randomized rounding that yields
 	// the expected approximation factor.
-	flipSpan := obs.StartSpan(phaseFlip)
+	endFlip := startPhase(ctx, "solver.flip", phaseFlip,
+		trace.Bool("skipped", cfg.skipFlip))
 	if !cfg.skipFlip {
 		for _, e := range mb.Edges() {
 			if cfg.rng.Intn(2) == 0 {
@@ -313,7 +335,7 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 			}
 		}
 	}
-	flipSpan.End()
+	endFlip()
 
 	// Lines 17–18: translate the permutation into per-worker task sets,
 	// mapping shuffled task indices back to the caller's.
@@ -334,6 +356,7 @@ func run(in *core.Instance, name string, greFamily bool, assign func(lsap.Costs,
 		TotalTime:      time.Since(start),
 		PrecomputeTime: precomputeTime,
 	}
+	runSpan.SetAttrs(trace.Float("objective", res.Objective))
 	recordRunMetrics(in, res)
 	return res, nil
 }

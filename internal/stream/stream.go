@@ -25,11 +25,13 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/metric"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // Config parameterizes an Assigner.
@@ -139,6 +141,19 @@ func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
 	return assigned, nil
 }
 
+// AddWorkerCtx is AddWorker with trace annotation: the buffer drain into
+// the new worker is recorded as an instantaneous event with the
+// post-drain queue depth.
+func (a *Assigner) AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Task, error) {
+	assigned, err := a.AddWorker(w)
+	if err == nil {
+		trace.Event(ctx, "stream.add_worker",
+			trace.Str("worker", w.ID), trace.Int("drained", len(assigned)),
+			trace.Int("queue_depth", len(a.buffer)))
+	}
+	return assigned, err
+}
+
 // RemoveWorker deregisters a worker; its unfinished active tasks return to
 // the buffer (subject to the buffer limit; overflow tasks are dropped and
 // returned so the caller can decide their fate).
@@ -215,6 +230,21 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 	return bestQ, nil
 }
 
+// OfferTaskCtx is OfferTask with trace annotation: when ctx carries a
+// sampled trace, the routing decision is recorded as an instantaneous
+// event with the post-decision queue depth. A buffered task shows
+// worker=""; a full buffer still returns ErrBufferFull.
+func (a *Assigner) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error) {
+	workerID, err := a.OfferTask(t)
+	if err == nil {
+		trace.Event(ctx, "stream.offer",
+			trace.Str("task", t.ID), trace.Str("worker", workerID),
+			trace.Bool("buffered", workerID == ""),
+			trace.Int("queue_depth", len(a.buffer)))
+	}
+	return workerID, err
+}
+
 // Complete marks an active task finished; the freed slot immediately pulls
 // the best buffered task for that worker, which is returned (nil if the
 // buffer is empty).
@@ -238,6 +268,23 @@ func (a *Assigner) Complete(workerID, taskID string) (*core.Task, error) {
 	ws.done++
 	a.metrics.Completed.Inc()
 	return a.pullBest(ws), nil
+}
+
+// CompleteCtx is Complete with trace annotation: the completion (and any
+// buffered task the freed slot pulled) is recorded as an instantaneous
+// event with the post-dequeue queue depth.
+func (a *Assigner) CompleteCtx(ctx context.Context, workerID, taskID string) (*core.Task, error) {
+	next, err := a.Complete(workerID, taskID)
+	if err == nil {
+		pulled := ""
+		if next != nil {
+			pulled = next.ID
+		}
+		trace.Event(ctx, "stream.complete",
+			trace.Str("worker", workerID), trace.Str("task", taskID),
+			trace.Str("pulled", pulled), trace.Int("queue_depth", len(a.buffer)))
+	}
+	return next, err
 }
 
 // Objective returns the current total motivation over all active sets —

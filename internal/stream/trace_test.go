@@ -1,0 +1,66 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/trace"
+)
+
+// TestCtxVariantsAnnotateTrace: the Ctx entry points record queue-depth
+// events on a sampled trace and stay silent on a plain context.
+func TestCtxVariantsAnnotateTrace(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 1, BufferLimit: 4, Metrics: NewMetrics(obs.NewRegistry())})
+	rec := trace.NewRecorder(4, 1)
+	ctx, root := rec.Start(context.Background(), "root")
+
+	if _, err := a.AddWorkerCtx(ctx, wrk("w1", 0.5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// First offer fills w1's single slot; second buffers.
+	if _, err := a.OfferTaskCtx(ctx, task("t1", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.OfferTaskCtx(ctx, task("t2", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.CompleteCtx(ctx, "w1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	spans := rec.Snapshot(0)[0].Spans()
+	names := map[string]int{}
+	var depths []int64
+	for _, sd := range spans[1:] {
+		names[sd.Name]++
+		for _, at := range sd.Attrs {
+			if at.Key == "queue_depth" {
+				depths = append(depths, at.Value().(int64))
+			}
+		}
+	}
+	if names["stream.add_worker"] != 1 || names["stream.offer"] != 2 || names["stream.complete"] != 1 {
+		t.Fatalf("event counts = %v", names)
+	}
+	// add_worker drains nothing (depth 0); offers leave depth 0 then 1;
+	// the completion pulls t2 back out (depth 0).
+	want := []int64{0, 0, 1, 0}
+	if len(depths) != len(want) {
+		t.Fatalf("queue depths = %v, want %v", depths, want)
+	}
+	for i, d := range depths {
+		if d != want[i] {
+			t.Fatalf("queue depths = %v, want %v", depths, want)
+		}
+	}
+
+	// An untraced context records nothing and changes no behavior.
+	if _, err := a.OfferTaskCtx(context.Background(), task("t3", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rec.Snapshot(0)[0].Spans()); got != 5 {
+		t.Fatalf("untraced call appended a span: %d spans", got)
+	}
+}

@@ -1,0 +1,23 @@
+package trace
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// RegisterDebug mounts the debug surface on mux: GET /debug/trace (the
+// recorder's retained traces, see Recorder.Handler) and the full
+// net/http/pprof suite under /debug/pprof/. hta-server attaches this to
+// its serving mux; hta-bench and hta-live attach it to their -metrics
+// side listener so a long sweep can be profiled and traced live.
+func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
+	if rec == nil {
+		rec = Default()
+	}
+	mux.Handle("/debug/trace", rec.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

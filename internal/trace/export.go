@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// chromeEvent is one complete ("ph":"X") event in the Chrome trace-event
+// format. The field set is exactly what Perfetto requires to lay a span
+// out on the timeline: ph, ts, dur, pid, tid, name.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`  // microseconds since the Unix epoch
+	Dur  int64          `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON-object envelope Perfetto and chrome://tracing
+// accept (the bare-array form is also legal, but the object form lets us
+// pin the display unit).
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders traces as Chrome trace-event JSON. Each trace gets
+// its own tid so Perfetto draws one request per row; span hierarchy is
+// conveyed both by ts/dur nesting and by the span_id/parent_id args.
+func WriteChrome(w io.Writer, traces []*Trace) error {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for ti, tr := range traces {
+		for _, sd := range tr.Spans() {
+			ev := chromeEvent{
+				Name: sd.Name,
+				Cat:  "hta",
+				Ph:   "X",
+				Ts:   sd.Start.UnixMicro(),
+				Dur:  sd.Dur.Microseconds(),
+				Pid:  1,
+				Tid:  ti + 1,
+				Args: map[string]any{
+					"trace_id": tr.ID.String(),
+					"span_id":  sd.ID.String(),
+				},
+			}
+			if sd.Parent != 0 {
+				ev.Args["parent_id"] = sd.Parent.String()
+			}
+			for _, a := range sd.Attrs {
+				ev.Args[a.Key] = a.Value()
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// WriteTree renders one trace as a compact indented text tree — the
+// terminal-friendly view of /debug/trace?format=tree.
+func WriteTree(w io.Writer, tr *Trace) error {
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		_, err := fmt.Fprintf(w, "trace %s (empty)\n", tr.ID)
+		return err
+	}
+	children := make(map[SpanID][]int, len(spans))
+	for i, sd := range spans {
+		if i > 0 {
+			children[sd.Parent] = append(children[sd.Parent], i)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "trace %s (%d spans, %s)\n",
+		tr.ID, len(spans), fmtDur(spans[0].Dur)); err != nil {
+		return err
+	}
+	var walk func(idx int, prefix string) error
+	walk = func(idx int, prefix string) error {
+		sd := spans[idx]
+		if _, err := fmt.Fprintf(w, "%s%s  %s%s\n",
+			prefix, sd.Name, fmtDur(sd.Dur), fmtAttrs(sd.Attrs)); err != nil {
+			return err
+		}
+		for _, c := range children[sd.ID] {
+			if err := walk(c, prefix+"  "); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(0, "")
+}
+
+// fmtDur rounds durations to a readable precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// fmtAttrs renders attributes as " {k=v k=v}", sorted by key.
+func fmtAttrs(attrs []Attr) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	parts := make([]string, len(attrs))
+	for i, a := range attrs {
+		switch v := a.Value().(type) {
+		case string:
+			parts[i] = a.Key + "=" + strconv.Quote(v)
+		case float64:
+			parts[i] = a.Key + "=" + strconv.FormatFloat(v, 'g', 6, 64)
+		default:
+			parts[i] = fmt.Sprintf("%s=%v", a.Key, v)
+		}
+	}
+	sort.Strings(parts)
+	return " {" + strings.Join(parts, " ") + "}"
+}
+
+// Handler serves the recorder's retained traces:
+//
+//	GET /debug/trace?n=K            last K traces as Chrome trace-event JSON
+//	GET /debug/trace?n=K&format=tree  the same as a text tree
+//
+// n defaults to 1 (the most recent trace); n=0 returns everything
+// retained. The JSON form loads directly in Perfetto (ui.perfetto.dev)
+// or chrome://tracing.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 1
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		traces := r.Snapshot(n)
+		if req.URL.Query().Get("format") == "tree" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if len(traces) == 0 {
+				fmt.Fprintln(w, "no traces recorded (is sampling enabled?)")
+				return
+			}
+			for _, tr := range traces {
+				_ = WriteTree(w, tr)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteChrome(w, traces)
+	})
+}

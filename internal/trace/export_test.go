@@ -1,0 +1,177 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func newTestRequest(target string) (*http.Request, *httptest.ResponseRecorder) {
+	return httptest.NewRequest(http.MethodGet, target, nil), httptest.NewRecorder()
+}
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixedClock makes span timestamps and durations deterministic: every
+// timeNow call advances one millisecond from a fixed base.
+func fixedClock(t *testing.T) {
+	t.Helper()
+	prev := timeNow
+	prevID := idState.Load()
+	base := time.Unix(1700000000, 0).UTC()
+	step := 0
+	timeNow = func() time.Time {
+		step++
+		return base.Add(time.Duration(step) * time.Millisecond)
+	}
+	idState.Store(0)
+	t.Cleanup(func() {
+		timeNow = prev
+		idState.Store(prevID)
+	})
+}
+
+// buildSampleTrace records the span tree the golden file pins: an
+// endpoint root, an adaptive iteration, and a solver phase, with typed
+// attributes of every kind.
+func buildSampleTrace(rec *Recorder) {
+	ctx, root := rec.Start(context.Background(), "POST /api/workers/{id}/complete",
+		Str("method", "POST"))
+	ictx, iter := rec.Start(ctx, "adaptive.iteration", Int("iteration", 2), Int("pool", 85))
+	_, lsap := rec.Start(ictx, "solver.lsap", Float("xmax_frac", 0.75), Bool("greedy", true))
+	lsap.End()
+	iter.End()
+	root.SetAttrs(Int("code", 200))
+	root.End()
+}
+
+// TestChromeGolden pins the exact exported bytes for a fixed span tree,
+// so accidental format drift (field renames, unit changes) fails loudly.
+func TestChromeGolden(t *testing.T) {
+	fixedClock(t)
+	rec := NewRecorder(4, 1)
+	buildSampleTrace(rec)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/trace -run TestChromeGolden -update` to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome export drifted from golden file.\n-- got --\n%s\n-- want --\n%s",
+			buf.Bytes(), want)
+	}
+}
+
+// TestChromePerfettoRequiredFields verifies every exported event carries
+// the fields Perfetto requires to render it — ph, ts, dur, pid, tid,
+// name — and that the hierarchy args are consistent.
+func TestChromePerfettoRequiredFields(t *testing.T) {
+	rec := NewRecorder(4, 1)
+	buildSampleTrace(rec)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, rec.Snapshot(0)); err != nil {
+		t.Fatal(err)
+	}
+	events := parseChromeEvents(t, buf.Bytes())
+	if len(events) != 3 {
+		t.Fatalf("%d events, want 3", len(events))
+	}
+	var traceID string
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("ph = %v, want X", ev["ph"])
+		}
+		if ev["name"] == "" || ev["name"] == nil {
+			t.Fatal("event with empty name")
+		}
+		for _, k := range []string{"ts", "dur", "pid", "tid"} {
+			if _, ok := ev[k].(float64); !ok {
+				t.Fatalf("event %v: field %q missing or non-numeric", ev["name"], k)
+			}
+		}
+		args, ok := ev["args"].(map[string]any)
+		if !ok {
+			t.Fatalf("event %v has no args", ev["name"])
+		}
+		id, _ := args["trace_id"].(string)
+		if len(id) != 16 {
+			t.Fatalf("event %v trace_id = %q", ev["name"], id)
+		}
+		if traceID == "" {
+			traceID = id
+		} else if id != traceID {
+			t.Fatalf("trace_id mismatch within one trace: %s vs %s", id, traceID)
+		}
+	}
+	// The root has no parent_id; children do.
+	if _, ok := events[0]["args"].(map[string]any)["parent_id"]; ok {
+		t.Fatal("root event carries parent_id")
+	}
+	if _, ok := events[1]["args"].(map[string]any)["parent_id"]; !ok {
+		t.Fatal("child event missing parent_id")
+	}
+}
+
+// parseChromeEvents decodes the traceEvents array of an export.
+func parseChromeEvents(t *testing.T, b []byte) []map[string]any {
+	t.Helper()
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	return out.TraceEvents
+}
+
+// TestHandlerServesChromeAndTree exercises GET /debug/trace end to end
+// against the recorder handler.
+func TestHandlerServesChromeAndTree(t *testing.T) {
+	rec := NewRecorder(4, 1)
+	buildSampleTrace(rec)
+	buildSampleTrace(rec)
+
+	get := func(query string) (int, string, string) {
+		req, w := newTestRequest("/debug/trace" + query)
+		rec.Handler().ServeHTTP(w, req)
+		return w.Code, w.Header().Get("Content-Type"), w.Body.String()
+	}
+
+	code, ct, body := get("?n=1")
+	if code != 200 || ct != "application/json" {
+		t.Fatalf("chrome form: code %d, content-type %s", code, ct)
+	}
+	if events := parseChromeEvents(t, []byte(body)); len(events) != 3 {
+		t.Fatalf("n=1 returned %d events, want 3 (one trace)", len(events))
+	}
+	_, _, body = get("?n=0")
+	if events := parseChromeEvents(t, []byte(body)); len(events) != 6 {
+		t.Fatalf("n=0 returned %d events, want 6 (both traces)", len(events))
+	}
+	code, ct, body = get("?n=1&format=tree")
+	if code != 200 || ct != "text/plain; charset=utf-8" {
+		t.Fatalf("tree form: code %d, content-type %s", code, ct)
+	}
+	if body == "" || body[:6] != "trace " {
+		t.Fatalf("tree body = %q", body)
+	}
+	if code, _, _ = get("?n=bogus"); code != 400 {
+		t.Fatalf("bad n: code %d, want 400", code)
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWriteChrome drives the exporter with fuzz-shaped span trees —
+// arbitrary nesting, names and attribute payloads including invalid
+// UTF-8 — and requires the output to always be parseable JSON whose
+// events carry the Perfetto-required fields.
+func FuzzWriteChrome(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 5, 0, 'a', 1, 'b', 2, 2, 0})
+	f.Add([]byte{3, 9, 0xff, 0xfe, '"', '\\', '\n', 0, 1, 2, 0, 1, 2, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		nextStr := func() string {
+			n := int(next()) % 8
+			if n > len(data) {
+				n = len(data)
+			}
+			s := string(data[:n])
+			data = data[n:]
+			return s
+		}
+
+		rec := NewRecorder(8, 1)
+		roots := int(next())%3 + 1
+		for r := 0; r < roots; r++ {
+			ctx, root := rec.Start(context.Background(), nextStr(), Str(nextStr(), nextStr()))
+			ctxs := []context.Context{ctx}
+			stack := []*Span{root}
+			for ops := int(next()) % 24; ops > 0; ops-- {
+				switch next() % 4 {
+				case 0: // push a child span
+					cctx, sp := rec.Start(ctxs[len(ctxs)-1], nextStr())
+					ctxs = append(ctxs, cctx)
+					stack = append(stack, sp)
+				case 1: // pop (keep the root open until the end)
+					if len(stack) > 1 {
+						stack[len(stack)-1].End()
+						stack = stack[:len(stack)-1]
+						ctxs = ctxs[:len(ctxs)-1]
+					}
+				case 2: // attach attrs of every kind
+					stack[len(stack)-1].SetAttrs(
+						Int(nextStr(), int(int8(next()))),
+						Float(nextStr(), float64(next())/3),
+						Bool(nextStr(), next()%2 == 0),
+					)
+				case 3: // instantaneous event
+					Event(ctxs[len(ctxs)-1], nextStr(), Str(nextStr(), nextStr()))
+				}
+			}
+			for i := len(stack) - 1; i >= 0; i-- {
+				stack[i].End()
+			}
+		}
+
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, rec.Snapshot(0)); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		if !json.Valid(buf.Bytes()) {
+			t.Fatalf("export is not valid JSON:\n%s", buf.String())
+		}
+		var out struct {
+			TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("export does not decode: %v", err)
+		}
+		for _, ev := range out.TraceEvents {
+			for _, k := range []string{"ph", "ts", "dur", "pid", "tid", "name"} {
+				if _, ok := ev[k]; !ok {
+					t.Fatalf("event missing required field %q: %v", k, ev)
+				}
+			}
+		}
+		// The tree renderer must hold up under the same inputs.
+		for _, tr := range rec.Snapshot(0) {
+			if err := WriteTree(&buf, tr); err != nil {
+				t.Fatalf("WriteTree: %v", err)
+			}
+		}
+	})
+}

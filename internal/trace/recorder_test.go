@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"context"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestRecorderNoLostRootsAtCapacity pins the ring's claim: after exactly
+// capacity concurrent root-span completions, a snapshot returns capacity
+// distinct traces — concurrent pushes claim distinct slots, so none is
+// lost.
+func TestRecorderNoLostRootsAtCapacity(t *testing.T) {
+	const capacity = 32
+	rec := NewRecorder(capacity, 1)
+	var wg sync.WaitGroup
+	for i := 0; i < capacity; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, root := rec.Start(context.Background(), "root")
+			_, child := rec.Start(ctx, "child")
+			child.End()
+			root.End()
+		}()
+	}
+	wg.Wait()
+
+	traces := rec.Snapshot(0)
+	if len(traces) != capacity {
+		t.Fatalf("Snapshot = %d traces, want %d", len(traces), capacity)
+	}
+	seen := make(map[TraceID]bool)
+	for _, tr := range traces {
+		if seen[tr.ID] {
+			t.Fatalf("duplicate trace %s in snapshot", tr.ID)
+		}
+		seen[tr.ID] = true
+		if spans := tr.Spans(); len(spans) != 2 || spans[0].Parent != 0 {
+			t.Fatalf("trace %s has spans %+v, want root+child", tr.ID, spans)
+		}
+	}
+}
+
+// TestRecorderOverwriteKeepsNewest: past capacity the ring overwrites
+// oldest-first, and the retained set is the most recent capacity traces.
+func TestRecorderOverwriteKeepsNewest(t *testing.T) {
+	rec := NewRecorder(8, 1)
+	var ids []TraceID
+	for i := 0; i < 50; i++ {
+		_, sp := rec.Start(context.Background(), "root")
+		ids = append(ids, sp.TraceID())
+		sp.End()
+	}
+	traces := rec.Snapshot(0)
+	if len(traces) != rec.Capacity() {
+		t.Fatalf("Snapshot = %d, want capacity %d", len(traces), rec.Capacity())
+	}
+	want := ids[len(ids)-rec.Capacity():]
+	for i, tr := range traces {
+		if tr.ID != want[i] {
+			t.Fatalf("slot %d = %s, want %s (oldest-first of the newest %d)",
+				i, tr.ID, want[i], rec.Capacity())
+		}
+	}
+	if rec.Sampled() != 50 {
+		t.Fatalf("Sampled = %d, want 50", rec.Sampled())
+	}
+}
+
+// TestRecorderConcurrentSpansAndExport runs writers (nested span
+// start/end), within-trace concurrent children, and readers (Snapshot +
+// Chrome export) at once; under -race this is the memory-safety proof
+// for the lock-free ring and the per-trace records. It then verifies the
+// structural invariants on every exported trace: timestamps are monotone
+// in record order, and every span's parent precedes it.
+func TestRecorderConcurrentSpansAndExport(t *testing.T) {
+	rec := NewRecorder(16, 1)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				traces := rec.Snapshot(0)
+				_ = WriteChrome(io.Discard, traces)
+				for _, tr := range traces {
+					_ = WriteTree(io.Discard, tr)
+				}
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := rec.Start(context.Background(), "root")
+				// Concurrent children of the same trace.
+				var kids sync.WaitGroup
+				for c := 0; c < 3; c++ {
+					kids.Add(1)
+					go func() {
+						defer kids.Done()
+						cctx, child := rec.Start(ctx, "child")
+						_, grand := rec.Start(cctx, "grand", Int("i", i))
+						grand.End()
+						child.End()
+					}()
+				}
+				kids.Wait()
+				root.SetAttrs(Int("iter", i))
+				root.End()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	for _, tr := range rec.Snapshot(0) {
+		spans := tr.Spans()
+		if len(spans) == 0 || spans[0].Parent != 0 {
+			t.Fatalf("trace %s: malformed root: %+v", tr.ID, spans)
+		}
+		index := make(map[SpanID]int, len(spans))
+		for i, sd := range spans {
+			index[sd.ID] = i
+			if i > 0 {
+				if sd.Start.Before(spans[i-1].Start) {
+					t.Fatalf("trace %s: span %d starts before span %d", tr.ID, i, i-1)
+				}
+				p, ok := index[sd.Parent]
+				if !ok {
+					t.Fatalf("trace %s: span %s has unknown parent %s", tr.ID, sd.ID, sd.Parent)
+				}
+				if p >= i {
+					t.Fatalf("trace %s: parent at %d does not precede child at %d", tr.ID, p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotLimit: n selects the most recent n, still oldest-first.
+func TestSnapshotLimit(t *testing.T) {
+	rec := NewRecorder(8, 1)
+	var last TraceID
+	for i := 0; i < 5; i++ {
+		_, sp := rec.Start(context.Background(), "root")
+		last = sp.TraceID()
+		sp.End()
+	}
+	got := rec.Snapshot(2)
+	if len(got) != 2 {
+		t.Fatalf("Snapshot(2) = %d traces", len(got))
+	}
+	if got[1].ID != last {
+		t.Fatalf("Snapshot(2) newest = %s, want %s", got[1].ID, last)
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// logHandler decorates an slog.Handler with trace correlation: records
+// logged with a context carrying a sampled span gain trace_id and
+// span_id attributes, so one grep joins a log line to its full trace.
+type logHandler struct {
+	inner slog.Handler
+}
+
+// WithTraceIDs wraps h so every record logged through a traced context
+// carries trace_id/span_id attributes.
+func WithTraceIDs(h slog.Handler) slog.Handler { return logHandler{inner: h} }
+
+func (h logHandler) Enabled(ctx context.Context, level slog.Level) bool {
+	return h.inner.Enabled(ctx, level)
+}
+
+func (h logHandler) Handle(ctx context.Context, rec slog.Record) error {
+	if sp := FromContext(ctx); sp != nil {
+		rec.AddAttrs(
+			slog.String("trace_id", sp.TraceID().String()),
+			slog.String("span_id", sp.SpanID().String()),
+		)
+	}
+	return h.inner.Handle(ctx, rec)
+}
+
+func (h logHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return logHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h logHandler) WithGroup(name string) slog.Handler {
+	return logHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds the standard CLI logger behind the -log-level and
+// -log-format flags: level one of debug/info/warn/error, format text or
+// json, always trace-correlated via WithTraceIDs.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("trace: unknown log level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "text", "":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("trace: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(WithTraceIDs(h)), nil
+}
