@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race vet bench experiments live crowd clean
+.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 experiments live crowd clean
 
 all: build vet test
 
@@ -21,6 +21,15 @@ test-short:
 # Race-check the parallel diversity kernel and everything it touches.
 test-race:
 	$(GO) test -race ./internal/...
+
+# The sharded-engine conservation and determinism properties, repeated
+# under the race detector (mirrors the dedicated CI step).
+test-shard:
+	$(GO) test -race -count 2 ./internal/shard -run 'TestConservationUnderConcurrentChurn|TestOneShardDeterminism'
+
+# Regenerate the shard throughput report (BENCH_PR5.json).
+bench-pr5:
+	$(GO) run ./cmd/hta-bench -fig pr5 -json BENCH_PR5.json
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...

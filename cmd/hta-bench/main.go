@@ -20,6 +20,10 @@
 // 1/16 head sampling vs always-on) on the pr2 solver workload; with
 // -trace-out the sweep also writes one fully-recorded solve as Chrome
 // trace-event JSON, loadable in Perfetto.
+//
+// -fig pr5 measures the sharded streaming engine's event throughput at
+// 1/2/4/8 shards on a churn-laden complete-dominated workload with the
+// total buffer capacity fixed across shard counts (BENCH_PR5.json).
 package main
 
 import (
@@ -60,7 +64,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3 or pr4")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4 or pr5")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -69,7 +73,7 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonPath := flag.String("json", "", "with -fig pr2/pr3/pr4: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	jsonPath := flag.String("json", "", "with -fig pr2/pr3/pr4/pr5: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
 	traceOut := flag.String("trace-out", "", "with -fig pr4: write a sample solver trace as Chrome trace-event JSON to this path")
 	compareMode := flag.Bool("compare", false, "compare two bench report JSON files (old new); exit 1 on regression beyond -threshold")
 	threshold := flag.Float64("threshold", 0.10, "with -compare: relative slowdown tolerated per *_ns measurement")
@@ -215,8 +219,27 @@ func main() {
 				}
 			}
 		}
+	case "pr5":
+		// Not a paper figure: the sharded streaming engine's throughput
+		// scaling — the same churn workload at 1/2/4/8 shards with total
+		// buffer capacity held constant, against the 2.5x target.
+		fmt.Printf("PR 5 report: sharded streaming engine event throughput (total buffer fixed across shard counts)\n\n")
+		var report *experiments.PR5Report
+		report, err = experiments.SweepPR5(opts)
+		if err == nil {
+			err = report.RenderPR5(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR5JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3 or pr4)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4 or pr5)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -8,6 +8,12 @@
 //
 //	hta-gen -groups 200 -per-group 20 -tasks-out tasks.jsonl
 //	hta-gen -workers 200 -workers-out workers.jsonl
+//	hta-gen -workers 200 -churn 4000 -churn-out churn.jsonl
+//
+// With -churn N the generator also emits a worker arrival/departure trace
+// over a horizon of N logical event steps (see workload.ChurnEvent); the
+// pr5 shard benchmark replays such traces to exercise assignment under
+// worker churn.
 package main
 
 import (
@@ -30,6 +36,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	tasksOut := flag.String("tasks-out", "", "write tasks to this file ('-' for stdout)")
 	workersOut := flag.String("workers-out", "", "write workers to this file ('-' for stdout)")
+	churn := flag.Int("churn", 0, "emit a worker churn trace over this many logical steps")
+	churnDepart := flag.Float64("churn-depart", 0.5, "fraction of churning workers that also depart")
+	churnOut := flag.String("churn-out", "", "write the churn trace to this file ('-' for stdout)")
 	flag.Parse()
 
 	gen, err := workload.NewGenerator(workload.Config{
@@ -42,8 +51,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("hta-gen: %v", err)
 	}
-	if *tasksOut == "" && *workersOut == "" {
-		log.Fatal("hta-gen: nothing to do; pass -tasks-out and/or -workers-out")
+	if *tasksOut == "" && *workersOut == "" && *churnOut == "" {
+		log.Fatal("hta-gen: nothing to do; pass -tasks-out, -workers-out, and/or -churn-out")
 	}
 	if *tasksOut != "" {
 		tasks := gen.Tasks(*groups, *perGroup)
@@ -66,6 +75,38 @@ func main() {
 			log.Fatalf("hta-gen: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d workers to %s\n", len(ws), *workersOut)
+	}
+	if *churnOut != "" {
+		if *workers <= 0 {
+			log.Fatal("hta-gen: -workers must be positive with -churn-out")
+		}
+		if *churn <= 0 {
+			log.Fatal("hta-gen: -churn must be positive with -churn-out")
+		}
+		// The churn trace references the same worker IDs Workers(n) emits;
+		// regenerate from a derived seed so -workers-out and -churn-out
+		// agree whether or not both were requested in one invocation.
+		churnGen, err := workload.NewGenerator(workload.Config{
+			Universe:          *universe,
+			KeywordsPerGroup:  *kwGroup,
+			KeywordsPerWorker: *kwWorker,
+			ZipfS:             *zipf,
+			Seed:              *seed + 1,
+		})
+		if err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		events, err := churnGen.Churn(gen.Workers(*workers), *churn, *churnDepart)
+		if err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		if err := writeTo(*churnOut, func(f *os.File) error {
+			return workload.WriteChurn(f, events)
+		}); err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d churn events over %d steps to %s\n",
+			len(events), *churn, *churnOut)
 	}
 }
 

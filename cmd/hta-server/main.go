@@ -11,9 +11,19 @@
 // (so load balancers drain), in-flight requests finish within
 // -shutdown-grace, and only then is the snapshot written.
 //
+// With -shards N (N >= 1) the service runs the sharded streaming engine
+// instead of batch iterations: workers are partitioned across N shard
+// actors by consistent hashing, uploaded tasks are routed to the worker
+// with the best marginal motivation gain across all shards (or buffered),
+// and completions immediately pull buffered work. The HTTP surface is
+// unchanged; /api/stats reports the engine-wide conservation accounting.
+// Snapshots in this mode are the consistent merge of per-shard snapshots
+// and can be restored at a different -shards count.
+//
 // Usage:
 //
 //	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
+//	           [-shards 0] [-buffer 1024]
 //	           [-xmax 15] [-extra 5] [-universe 100]
 //	           [-read-timeout 10s] [-write-timeout 30s] [-shutdown-grace 15s]
 //	           [-max-body 8388608]
@@ -58,7 +68,10 @@ import (
 	"time"
 
 	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 	"github.com/htacs/ata/internal/workload"
 )
@@ -100,6 +113,8 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	tasksPath := flag.String("tasks", "", "optional JSON-lines task file to preload (see hta-gen)")
 	snapshotPath := flag.String("snapshot", "", "engine state file: restored at startup, written on SIGINT/SIGTERM")
+	shards := flag.Int("shards", 0, "run the sharded streaming engine with N shards instead of batch iterations (0 = batch)")
+	buffer := flag.Int("buffer", 1024, "per-shard task buffer limit (sharded mode only)")
 	xmax := flag.Int("xmax", 15, "per-worker capacity Xmax (paper live setting: 15)")
 	extra := flag.Int("extra", 5, "extra random tasks per display set (paper: 5)")
 	universe := flag.Int("universe", 100, "keyword universe size")
@@ -123,44 +138,84 @@ func main() {
 	}
 	tracer := trace.NewRecorder(*traceCap, *traceSample)
 
-	cfg := adaptive.Config{
-		Xmax:             *xmax,
-		ExtraRandomTasks: *extra,
-		Rand:             rand.New(rand.NewSource(*seed)),
-		Logger:           logger,
-	}
-	engine, restored, err := buildEngine(cfg, *snapshotPath)
-	if err != nil {
-		log.Fatalf("hta-server: %v", err)
-	}
-	if restored {
-		fmt.Printf("restored engine state from %s (iteration %d, %d pooled tasks)\n",
-			*snapshotPath, engine.Iteration(), engine.PoolSize())
-	}
-	if *tasksPath != "" {
-		f, err := os.Open(*tasksPath)
-		if err != nil {
-			log.Fatalf("hta-server: %v", err)
-		}
-		tasks, err := workload.ReadTasks(f)
-		f.Close()
-		if err != nil {
-			log.Fatalf("hta-server: reading %s: %v", *tasksPath, err)
-		}
-		if err := engine.AddTasks(tasks...); err != nil {
-			log.Fatalf("hta-server: loading tasks: %v", err)
-		}
-		fmt.Printf("loaded %d tasks from %s\n", len(tasks), *tasksPath)
-	}
-	srv, err := platform.NewServer(platform.ServerConfig{
-		Engine:            engine,
+	srvCfg := platform.ServerConfig{
 		Universe:          *universe,
 		ReassignPerWorker: *perWorker,
 		ReassignTotal:     *total,
 		MaxBodyBytes:      *maxBody,
 		Tracer:            tracer,
 		Logger:            logger,
-	})
+	}
+	var preload []*core.Task
+	if *tasksPath != "" {
+		f, err := os.Open(*tasksPath)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		preload, err = workload.ReadTasks(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("hta-server: reading %s: %v", *tasksPath, err)
+		}
+	}
+	if *shards > 0 {
+		scfg := shard.Config{
+			Shards: *shards,
+			Stream: stream.Config{Xmax: *xmax, BufferLimit: *buffer},
+			Tracer: tracer,
+		}
+		eng, restored, err := buildShardEngine(scfg, *snapshotPath)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		defer eng.Close()
+		if restored {
+			st := eng.Stats()
+			fmt.Printf("restored sharded engine state from %s (%d shards, %d workers, %d buffered)\n",
+				*snapshotPath, st.Shards, st.Workers, st.Buffered)
+		}
+		if len(preload) > 0 {
+			var assigned, buffered, dropped int
+			for _, t := range preload {
+				switch wid, err := eng.OfferTask(t); {
+				case err == nil && wid != "":
+					assigned++
+				case err == nil:
+					buffered++
+				case errors.Is(err, stream.ErrBufferFull):
+					dropped++
+				default:
+					log.Fatalf("hta-server: loading tasks: %v", err)
+				}
+			}
+			fmt.Printf("streamed %d tasks from %s (%d assigned, %d buffered, %d dropped)\n",
+				len(preload), *tasksPath, assigned, buffered, dropped)
+		}
+		srvCfg.Shards = eng
+	} else {
+		cfg := adaptive.Config{
+			Xmax:             *xmax,
+			ExtraRandomTasks: *extra,
+			Rand:             rand.New(rand.NewSource(*seed)),
+			Logger:           logger,
+		}
+		engine, restored, err := buildEngine(cfg, *snapshotPath)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		if restored {
+			fmt.Printf("restored engine state from %s (iteration %d, %d pooled tasks)\n",
+				*snapshotPath, engine.Iteration(), engine.PoolSize())
+		}
+		if len(preload) > 0 {
+			if err := engine.AddTasks(preload...); err != nil {
+				log.Fatalf("hta-server: loading tasks: %v", err)
+			}
+			fmt.Printf("loaded %d tasks from %s\n", len(preload), *tasksPath)
+		}
+		srvCfg.Engine = engine
+	}
+	srv, err := platform.NewServer(srvCfg)
 	if err != nil {
 		log.Fatalf("hta-server: %v", err)
 	}
@@ -178,7 +233,12 @@ func main() {
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 
-	fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", *addr, *xmax, *extra)
+	if *shards > 0 {
+		fmt.Printf("assignment service listening on %s (streaming, %d shards, Xmax=%d, buffer=%d/shard)\n",
+			*addr, *shards, *xmax, *buffer)
+	} else {
+		fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", *addr, *xmax, *extra)
+	}
 	select {
 	case err := <-errCh:
 		log.Fatalf("hta-server: %v", err)
@@ -194,6 +254,30 @@ func main() {
 			fmt.Printf("saved engine state to %s\n", *snapshotPath)
 		}
 	}
+}
+
+// buildShardEngine restores the sharded streaming engine from the
+// snapshot when it exists, otherwise starts fresh. The snapshot's shard
+// count need not match -shards: workers are re-partitioned by the ring.
+func buildShardEngine(cfg shard.Config, snapshotPath string) (*shard.Engine, bool, error) {
+	if snapshotPath == "" {
+		e, err := shard.New(cfg)
+		return e, false, err
+	}
+	f, err := os.Open(snapshotPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		e, err := shard.New(cfg)
+		return e, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	e, err := shard.Restore(f, cfg)
+	if err != nil {
+		return nil, false, fmt.Errorf("restoring %s: %w", snapshotPath, err)
+	}
+	return e, true, nil
 }
 
 // buildEngine restores from the snapshot when it exists, otherwise starts

@@ -1,0 +1,290 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// PR5Point is one shard-count measurement of the streaming event loop:
+// a complete-dominated steady state (full workers, deep backlog) where
+// every Complete pays a pullBest scan over its shard's buffer. Total
+// buffer capacity is fixed across shard counts (per-shard limit =
+// TotalBuffer/Shards), so the contrast isolates the backlog-partitioning
+// win rather than handing more memory to larger configurations.
+type PR5Point struct {
+	Shards      int `json:"shards"`
+	Workers     int `json:"workers"`
+	Churners    int `json:"churn_workers"`
+	TotalBuffer int `json:"total_buffer"`
+	Events      int `json:"events"`
+
+	PerEventNs   int64   `json:"per_event_ns"` // median over runs
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+	Conserved bool  `json:"conserved"`
+}
+
+// PR5Report is the payload of BENCH_PR5.json: event throughput of the
+// sharded engine at 1/2/4/8 shards on one churn-laden streaming workload,
+// with the acceptance target of >= 2.5x at 8 shards over 1.
+type PR5Report struct {
+	Note          string     `json:"note"`
+	Points        []PR5Point `json:"points"`
+	SpeedupAt8    float64    `json:"speedup_at_8"`
+	TargetSpeedup float64    `json:"target_speedup"`
+	MeetsTarget   bool       `json:"meets_target"`
+}
+
+// pr5Shape fixes the workload the shard sweep replays at every shard
+// count: enough buffered backlog that pullBest dominates, a worker pool
+// saturated at Xmax so offers stream into the buffer, and a churn trace
+// (workload.Churn) arriving/departing extra workers mid-run.
+type pr5Shape struct {
+	workers     int
+	churners    int
+	xmax        int
+	totalBuffer int
+	events      int // loop iterations; each is one Complete + one Offer
+	departFrac  float64
+}
+
+var defaultPR5Shape = pr5Shape{
+	workers:     40,
+	churners:    16,
+	xmax:        4,
+	totalBuffer: 2048,
+	events:      1500,
+	departFrac:  0.6,
+}
+
+// SweepPR5 measures event throughput at 1, 2, 4 and 8 shards on the
+// fixed-capacity churn workload. Each shard count is measured o.Runs
+// times with per-run seeds and the median per-event time is reported;
+// conservation (submitted = active + completed + buffered + dropped) is
+// asserted on every run's final Stats.
+func SweepPR5(o Options) (*PR5Report, error) {
+	o.applyDefaults()
+	report := &PR5Report{
+		Note: "sharded engine event throughput: complete-dominated steady state (workers full at Xmax, deep backlog) with worker churn; total buffer capacity fixed across shard counts, background stealing replaced by one StealOnce per 100 events for deterministic accounting.",
+		// Acceptance bar from the PR issue: 8 shards must clear 2.5x the
+		// single-shard event rate on the same workload.
+		TargetSpeedup: 2.5,
+	}
+	shape := defaultPR5Shape
+	var oneShard int64
+	for _, shards := range []int{1, 2, 4, 8} {
+		point, err := measurePR5(o, shards, shape)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pr5 shards=%d: %w", shards, err)
+		}
+		report.Points = append(report.Points, point)
+		if shards == 1 {
+			oneShard = point.PerEventNs
+		}
+		if shards == 8 && oneShard > 0 && point.PerEventNs > 0 {
+			report.SpeedupAt8 = float64(oneShard) / float64(point.PerEventNs)
+		}
+	}
+	report.MeetsTarget = report.SpeedupAt8 >= report.TargetSpeedup
+	return report, nil
+}
+
+// measurePR5 times the event loop at one shard count, o.Runs times.
+func measurePR5(o Options, shards int, shape pr5Shape) (PR5Point, error) {
+	point := PR5Point{
+		Shards:      shards,
+		Workers:     shape.workers,
+		Churners:    shape.churners,
+		TotalBuffer: shape.totalBuffer,
+		Events:      shape.events,
+	}
+	var samples []time.Duration
+	for run := 0; run < o.Runs; run++ {
+		d, completed, dropped, conserved, err := runPR5(o.Seed+int64(run), shards, shape)
+		if err != nil {
+			return point, err
+		}
+		if !conserved {
+			return point, fmt.Errorf("conservation violated on run %d", run)
+		}
+		samples = append(samples, d)
+		point.Completed, point.Dropped, point.Conserved = completed, dropped, conserved
+	}
+	totalEvents := 2 * shape.events
+	point.PerEventNs = medianNs(samples) / int64(totalEvents)
+	if point.PerEventNs > 0 {
+		point.EventsPerSec = 1e9 / float64(point.PerEventNs)
+	}
+	return point, nil
+}
+
+// runPR5 executes one seeded run: fill to steady state (untimed), then
+// drive the timed loop of Complete+Offer pairs with churn arrivals and
+// departures interleaved by logical step.
+func runPR5(seed int64, shards int, shape pr5Shape) (elapsed time.Duration, completed, dropped int64, conserved bool, err error) {
+	gen, err := workload.NewGenerator(workload.Config{Seed: seed})
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	pool := gen.Workers(shape.workers + shape.churners)
+	base, churners := pool[:shape.workers], pool[shape.workers:]
+	byID := make(map[string]*core.Worker, len(churners))
+	for _, w := range churners {
+		byID[w.ID] = w
+	}
+	churn, err := gen.Churn(churners, shape.events, shape.departFrac)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+
+	// Task supply: initial fill (every slot + every buffer space) plus one
+	// fresh task per loop iteration, with slack for requeue-induced drops.
+	need := shape.workers*shape.xmax + shape.totalBuffer + shape.events + 64
+	tasks := gen.Tasks(need/8+1, 8)[:need]
+
+	eng, err := shard.New(shard.Config{
+		Shards:        shards,
+		StealInterval: -1, // stolen mid-flight tasks would escape Stats; steal explicitly below
+		Registry:      obs.NewRegistry(),
+		Stream: stream.Config{
+			Xmax:        shape.xmax,
+			BufferLimit: shape.totalBuffer / shards,
+		},
+	})
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	defer eng.Close()
+
+	// active tracks each base worker's assignments so the loop can issue
+	// Complete calls without querying the engine on the hot path.
+	active := make(map[string][]string, len(base))
+	for _, w := range base {
+		drained, err := eng.AddWorker(w)
+		if err != nil {
+			return 0, 0, 0, false, err
+		}
+		active[w.ID] = []string{}
+		for _, t := range drained {
+			active[w.ID] = append(active[w.ID], t.ID)
+		}
+	}
+	record := func(wid, tid string) {
+		if _, ok := active[wid]; ok {
+			active[wid] = append(active[wid], tid)
+		}
+	}
+
+	// Fill phase (untimed): saturate every worker slot, then the buffers.
+	next := 0
+	for ; next < shape.workers*shape.xmax+shape.totalBuffer; next++ {
+		wid, err := eng.OfferTask(tasks[next])
+		if err != nil {
+			if errors.Is(err, stream.ErrBufferFull) {
+				continue
+			}
+			return 0, 0, 0, false, err
+		}
+		if wid != "" {
+			record(wid, tasks[next].ID)
+		}
+	}
+
+	churnIdx := 0
+	start := time.Now()
+	for step := 0; step < shape.events; step++ {
+		for churnIdx < len(churn) && churn[churnIdx].At <= step {
+			ev := churn[churnIdx]
+			churnIdx++
+			if ev.Arrive {
+				if _, err := eng.AddWorker(byID[ev.Worker]); err != nil {
+					return 0, 0, 0, false, err
+				}
+			} else if _, err := eng.RemoveWorker(ev.Worker); err != nil {
+				return 0, 0, 0, false, err
+			}
+		}
+
+		// Complete: round-robin over base workers; pullBest refills the
+		// freed slot from the worker's shard buffer.
+		w := base[step%len(base)]
+		if ids := active[w.ID]; len(ids) > 0 {
+			tid := ids[0]
+			nextTask, err := eng.Complete(w.ID, tid)
+			if err != nil {
+				return 0, 0, 0, false, err
+			}
+			active[w.ID] = ids[1:]
+			if nextTask != nil {
+				active[w.ID] = append(active[w.ID], nextTask.ID)
+			}
+		}
+
+		// Offer: with workers saturated this lands in a buffer, keeping
+		// the backlog deep; after churn departures it may assign directly.
+		wid, err := eng.OfferTask(tasks[next])
+		next++
+		if err != nil && !errors.Is(err, stream.ErrBufferFull) {
+			return 0, 0, 0, false, err
+		}
+		if err == nil && wid != "" {
+			record(wid, tasks[next-1].ID)
+		}
+
+		if step%100 == 99 {
+			eng.StealOnce()
+		}
+	}
+	elapsed = time.Since(start)
+
+	st := eng.Stats()
+	return elapsed, st.Completed, st.Dropped, st.Conserved(), nil
+}
+
+// RenderPR5 prints the report as an aligned table.
+func (r *PR5Report) RenderPR5(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%7s %8s %7s %8s %13s %12s %10s %9s\n",
+		"shards", "workers", "buffer", "events", "per-event", "events/s", "completed", "dropped"); err != nil {
+		return err
+	}
+	base := int64(0)
+	if len(r.Points) > 0 {
+		base = r.Points[0].PerEventNs
+	}
+	for _, p := range r.Points {
+		speed := ""
+		if base > 0 && p.PerEventNs > 0 {
+			speed = fmt.Sprintf("  (%.2fx)", float64(base)/float64(p.PerEventNs))
+		}
+		if _, err := fmt.Fprintf(w, "%7d %8d %7d %8d %11dns %12.0f %10d %9d%s\n",
+			p.Shards, p.Workers+p.Churners, p.TotalBuffer, 2*p.Events,
+			p.PerEventNs, p.EventsPerSec, p.Completed, p.Dropped, speed); err != nil {
+			return err
+		}
+	}
+	verdict := "meets"
+	if !r.MeetsTarget {
+		verdict = "MISSES"
+	}
+	_, err := fmt.Fprintf(w, "\n8-shard speedup %.2fx — %s the %.1fx target (total buffer fixed, conservation checked per run)\n",
+		r.SpeedupAt8, verdict, r.TargetSpeedup)
+	return err
+}
+
+// WritePR5JSON writes the BENCH_PR5.json payload.
+func (r *PR5Report) WritePR5JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunPR5Small drives one pr5 run at a toy size: the event loop must
+// complete tasks (the hot path under measurement), conserve globally, and
+// finish without engine errors at both ends of the shard range.
+func TestRunPR5Small(t *testing.T) {
+	shape := pr5Shape{
+		workers:     8,
+		churners:    4,
+		xmax:        2,
+		totalBuffer: 64,
+		events:      120,
+		departFrac:  0.5,
+	}
+	for _, shards := range []int{1, 4} {
+		elapsed, completed, _, conserved, err := runPR5(7, shards, shape)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if elapsed <= 0 {
+			t.Fatalf("shards=%d: elapsed %v", shards, elapsed)
+		}
+		if completed == 0 {
+			t.Fatalf("shards=%d: no completes — the loop never hit the hot path", shards)
+		}
+		if !conserved {
+			t.Fatalf("shards=%d: conservation violated", shards)
+		}
+	}
+}
+
+func TestPR5ReportJSONAndRender(t *testing.T) {
+	report := &PR5Report{
+		Note: "test",
+		Points: []PR5Point{
+			{Shards: 1, Workers: 8, Churners: 4, TotalBuffer: 64, Events: 100,
+				PerEventNs: 4000, EventsPerSec: 250000, Completed: 90, Conserved: true},
+			{Shards: 8, Workers: 8, Churners: 4, TotalBuffer: 64, Events: 100,
+				PerEventNs: 1000, EventsPerSec: 1000000, Completed: 90, Conserved: true},
+		},
+		SpeedupAt8: 4.0, TargetSpeedup: 2.5, MeetsTarget: true,
+	}
+	var buf bytes.Buffer
+	if err := report.WritePR5JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back PR5Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.SpeedupAt8 != 4.0 || len(back.Points) != 2 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	// The compare gate only diffs *_ns keys: the per-point measurement
+	// must surface with that suffix.
+	nums, err := FlattenNumbers(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nums["points.0.per_event_ns"]; !ok {
+		t.Fatalf("per_event_ns missing from flattened keys: %v", nums)
+	}
+	var tbl strings.Builder
+	if err := report.RenderPR5(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "meets the 2.5x target") {
+		t.Fatalf("render verdict missing:\n%s", tbl.String())
+	}
+}

@@ -13,6 +13,8 @@
 package platform
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -27,14 +29,22 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/question"
+	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
 
 // ServerConfig parameterizes the assignment service.
 type ServerConfig struct {
-	// Engine is the adaptive assignment engine to drive. Required.
+	// Engine is the adaptive (batch-iteration) assignment engine to drive.
+	// Exactly one of Engine and Shards must be set.
 	Engine *adaptive.Engine
+	// Shards serves the same HTTP API from the sharded streaming engine
+	// instead: registrations, completions and departures become immediate
+	// per-event decisions routed across shard actors, with no global
+	// iterations. Tasks uploaded via POST /api/tasks are offered to the
+	// stream one by one. Graded questions are not supported in this mode.
+	Shards *shard.Engine
 	// Universe is the keyword universe size workers' vectors live in.
 	Universe int
 	// ReassignPerWorker triggers a new iteration once some worker has
@@ -93,8 +103,14 @@ type Server struct {
 
 // NewServer validates the configuration and builds the HTTP handler.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Engine == nil {
+	if cfg.Engine == nil && cfg.Shards == nil {
 		return nil, errors.New("platform: nil engine")
+	}
+	if cfg.Engine != nil && cfg.Shards != nil {
+		return nil, errors.New("platform: exactly one of Engine and Shards may be set")
+	}
+	if cfg.Shards != nil && cfg.Questions != nil {
+		return nil, errors.New("platform: graded questions are not supported with the sharded streaming engine")
 	}
 	if cfg.Universe < 1 {
 		return nil, fmt.Errorf("platform: Universe = %d", cfg.Universe)
@@ -124,15 +140,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	// popping into existence mid-run.
 	stream.NewMetrics(cfg.Metrics)
 	s := &Server{cfg: cfg, perWorker: make(map[string]int)}
-	mux := http.NewServeMux()
-	for pattern, h := range map[string]http.HandlerFunc{
+	handlers := map[string]http.HandlerFunc{
 		"POST /api/tasks":                 s.handleAddTasks,
 		"POST /api/workers":               s.handleRegister,
 		"GET /api/workers/{id}/tasks":     s.handleTasks,
 		"POST /api/workers/{id}/complete": s.handleComplete,
 		"DELETE /api/workers/{id}":        s.handleLeave,
 		"GET /api/stats":                  s.handleStats,
-	} {
+	}
+	if cfg.Shards != nil {
+		// Same surface, streaming semantics — see sharded.go.
+		handlers = map[string]http.HandlerFunc{
+			"POST /api/tasks":                 s.handleShardAddTasks,
+			"POST /api/workers":               s.handleShardRegister,
+			"GET /api/workers/{id}/tasks":     s.handleShardTasks,
+			"POST /api/workers/{id}/complete": s.handleShardComplete,
+			"DELETE /api/workers/{id}":        s.handleShardLeave,
+			"GET /api/stats":                  s.handleShardStats,
+		}
+	}
+	mux := http.NewServeMux()
+	for pattern, h := range handlers {
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
@@ -145,10 +173,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Snapshot serializes the engine state while holding the server mutex, so
-// it is safe to call concurrently with request handling (e.g. from a
-// shutdown signal handler).
+// Snapshot serializes the backing engine's state; safe to call
+// concurrently with request handling (e.g. from a shutdown signal
+// handler). With a sharded backend the shard engine quiesces all actors
+// itself, producing one globally consistent merged document.
 func (s *Server) Snapshot(w io.Writer) error {
+	if s.cfg.Shards != nil {
+		return s.cfg.Shards.Snapshot(w)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cfg.Engine.Snapshot(w)
@@ -473,53 +505,91 @@ func (s *Server) taskViewsLocked(id string) []TaskView {
 
 // Client is a typed HTTP client for the assignment service.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry RetryPolicy
 }
 
 // NewClient targets a server base URL, e.g. "http://127.0.0.1:8080".
-func NewClient(baseURL string, hc *http.Client) *Client {
+func NewClient(baseURL string, hc *http.Client, opts ...ClientOption) *Client {
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+	c := &Client{base: strings.TrimRight(baseURL, "/"), http: hc}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 func (c *Client) do(method, path string, body, out any) error {
-	var reader *strings.Reader
+	return c.doCtx(context.Background(), method, path, body, out)
+}
+
+// doCtx issues one API request. Idempotent GETs are retried per the
+// client's RetryPolicy (see retry.go); everything else gets exactly one
+// attempt.
+func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("platform: encoding request: %w", err)
 		}
-		reader = strings.NewReader(string(buf))
-	} else {
-		reader = strings.NewReader("")
 	}
-	req, err := http.NewRequest(method, c.base+path, reader)
+	attempts := 1
+	if method == http.MethodGet {
+		attempts = c.retry.attempts()
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.retry.backoff(ctx, attempt); err != nil {
+				return lastErr
+			}
+		}
+		retryable, err := c.attempt(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt runs a single HTTP round trip. retryable reports whether the
+// failure is transient (network error or 5xx) — the only class a retry
+// can help with; 4xx responses are the caller's bug and returned at once.
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) (retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
 	if err != nil {
-		return err
+		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		// Transport-level failure: connection refused/reset, timeout. Not
+		// retryable when the context itself is done.
+		return ctx.Err() == nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 400 {
 		var apiErr apiError
 		if json.NewDecoder(resp.Body).Decode(&apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("platform: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
+			return resp.StatusCode >= 500, fmt.Errorf("platform: %s %s: %s (HTTP %d)", method, path, apiErr.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
+		return resp.StatusCode >= 500, fmt.Errorf("platform: %s %s: HTTP %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("platform: decoding response: %w", err)
+		return false, fmt.Errorf("platform: decoding response: %w", err)
 	}
-	return nil
+	return false, nil
 }
 
 // AddTasks uploads tasks to the pool.

@@ -1,0 +1,130 @@
+package platform
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyHandler fails the first n requests with 500, then delegates.
+func flakyHandler(n int64, h http.Handler) (http.Handler, *atomic.Int64) {
+	var calls atomic.Int64
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	}), &calls
+}
+
+func fastRetry(attempts int) ClientOption {
+	return WithRetry(RetryPolicy{
+		MaxAttempts: attempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+	})
+}
+
+func TestRetryRecoversFromTransient5xx(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+	flaky, calls := flakyHandler(2, ts.Config.Handler)
+	fs := httptest.NewServer(flaky)
+	t.Cleanup(fs.Close)
+	client := NewClient(fs.URL, fs.Client(), fastRetry(4))
+	if _, err := client.Stats(); err != nil {
+		t.Fatalf("Stats through 2 transient 500s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (2 failures + success)", got)
+	}
+}
+
+func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	flaky, calls := flakyHandler(100, ts.Config.Handler)
+	fs := httptest.NewServer(flaky)
+	t.Cleanup(fs.Close)
+	client := NewClient(fs.URL, fs.Client(), fastRetry(3))
+	_, err := client.Stats()
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("want HTTP 500 error after exhausting retries, got %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d attempts, want exactly MaxAttempts=3", got)
+	}
+}
+
+func TestRetryNeverReplaysMutations(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+	flaky, calls := flakyHandler(100, ts.Config.Handler)
+	fs := httptest.NewServer(flaky)
+	t.Cleanup(fs.Close)
+	client := NewClient(fs.URL, fs.Client(), fastRetry(5))
+	if _, err := client.Register("w1", sixKeywords(0)); err == nil {
+		t.Fatal("Register through a 500 unexpectedly succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("POST was attempted %d times — mutations must never retry", got)
+	}
+}
+
+func TestRetryStopsOn4xx(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+	var calls atomic.Int64
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		ts.Config.Handler.ServeHTTP(w, r)
+	})
+	fs := httptest.NewServer(counted)
+	t.Cleanup(fs.Close)
+	client := NewClient(fs.URL, fs.Client(), fastRetry(5))
+	if _, err := client.Tasks("nobody"); err == nil {
+		t.Fatal("Tasks for unknown worker succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("404 was retried %d times — only transient failures retry", got)
+	}
+}
+
+func TestRetryRespectsContextCancellation(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	flaky, calls := flakyHandler(100, ts.Config.Handler)
+	fs := httptest.NewServer(flaky)
+	t.Cleanup(fs.Close)
+	// Long backoff, short context: the wait must abort promptly.
+	client := NewClient(fs.URL, fs.Client(), WithRetry(RetryPolicy{
+		MaxAttempts: 10, BaseDelay: time.Minute, MaxDelay: time.Minute,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := client.StatsCtx(ctx)
+	if err == nil {
+		t.Fatal("StatsCtx succeeded against a permanently failing server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled retry still took %v", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d attempts; the backoff wait should have been cancelled before attempt 2", got)
+	}
+}
+
+func TestRetryDisabledByDefault(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	flaky, calls := flakyHandler(100, ts.Config.Handler)
+	fs := httptest.NewServer(flaky)
+	t.Cleanup(fs.Close)
+	client := NewClient(fs.URL, fs.Client())
+	if _, err := client.Stats(); err == nil {
+		t.Fatal("Stats against a failing server succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("default client attempted %d times, want 1", got)
+	}
+}

@@ -1,0 +1,229 @@
+package platform
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
+)
+
+// Sharded-streaming handlers: the same HTTP surface as the batch handlers
+// in platform.go, served from a shard.Engine. Every request is one
+// streaming event — there are no global iterations, no server-side
+// completion counters, and no server mutex: the shard engine serializes
+// per shard internally and requests touching different shards proceed in
+// parallel.
+
+// AddTasksResult is the response of POST /api/tasks in sharded mode: the
+// fate of the offered batch. Assigned+Buffered+Dropped = len(tasks).
+type AddTasksResult struct {
+	Assigned int `json:"assigned"`
+	Buffered int `json:"buffered"`
+	Dropped  int `json:"dropped"`
+}
+
+func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
+	var req addTasksRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	tasks := make([]*core.Task, 0, len(req.Tasks))
+	for _, t := range req.Tasks {
+		for _, k := range t.Keywords {
+			if k < 0 || k >= s.cfg.Universe {
+				writeErr(w, http.StatusBadRequest,
+					fmt.Errorf("platform: task %q keyword %d outside universe", t.ID, k))
+				return
+			}
+		}
+		tasks = append(tasks, &core.Task{
+			ID: t.ID, Group: t.Group, Reward: t.Reward,
+			Keywords: bitset.FromIndices(s.cfg.Universe, t.Keywords...),
+		})
+	}
+	var res AddTasksResult
+	for _, t := range tasks {
+		wid, err := s.cfg.Shards.OfferTaskCtx(r.Context(), t)
+		switch {
+		case err == nil && wid != "":
+			res.Assigned++
+		case err == nil:
+			res.Buffered++
+		case errors.Is(err, stream.ErrBufferFull):
+			// Counted by the engine; the batch keeps going — parity with
+			// a task intake that sheds load instead of failing wholesale.
+			res.Dropped++
+		case errors.Is(err, shard.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		default:
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	if len(req.Keywords) < 6 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("platform: worker must choose at least 6 keywords, got %d", len(req.Keywords)))
+		return
+	}
+	for _, k := range req.Keywords {
+		if k < 0 || k >= s.cfg.Universe {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: keyword %d outside universe", k))
+			return
+		}
+	}
+	worker := &core.Worker{
+		ID: req.ID, Alpha: 0.5, Beta: 0.5,
+		Keywords: bitset.FromIndices(s.cfg.Universe, req.Keywords...),
+	}
+	assigned, err := s.cfg.Shards.AddWorkerCtx(r.Context(), worker)
+	if err != nil {
+		writeErr(w, shardErrStatus(err, http.StatusConflict), err)
+		return
+	}
+	views := make([]TaskView, 0, len(assigned))
+	for _, t := range assigned {
+		views = append(views, shardTaskView(t))
+	}
+	writeJSON(w, http.StatusCreated, views)
+}
+
+func (s *Server) handleShardTasks(w http.ResponseWriter, r *http.Request) {
+	active, err := s.cfg.Shards.ActiveTasks(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, shardErrStatus(err, http.StatusNotFound), err)
+		return
+	}
+	views := make([]TaskView, 0, len(active))
+	for _, t := range active {
+		views = append(views, shardTaskView(t))
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req completeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	if len(req.Answers) > 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("platform: this deployment has no graded questions"))
+		return
+	}
+	next, err := s.cfg.Shards.CompleteCtx(r.Context(), id, req.TaskID)
+	if err != nil {
+		status := http.StatusConflict
+		if strings.Contains(err.Error(), "unknown worker") || strings.Contains(err.Error(), "not active") {
+			status = http.StatusNotFound
+		}
+		writeErr(w, shardErrStatus(err, status), err)
+		return
+	}
+	wk, werr := s.cfg.Shards.Worker(id)
+	active, aerr := s.cfg.Shards.ActiveTasks(id)
+	if werr != nil || aerr != nil {
+		// The worker left between the completion and the read-back; the
+		// completion itself stands.
+		writeJSON(w, http.StatusOK, CompleteResponse{Reassigned: next != nil})
+		return
+	}
+	views := make([]TaskView, 0, len(active))
+	for _, t := range active {
+		views = append(views, shardTaskView(t))
+	}
+	writeJSON(w, http.StatusOK, CompleteResponse{
+		// In streaming mode "reassigned" means the freed slot pulled a
+		// buffered task, so the display set changed beyond the removal.
+		Reassigned: next != nil,
+		Alpha:      wk.Alpha,
+		Beta:       wk.Beta,
+		Tasks:      views,
+	})
+}
+
+func (s *Server) handleShardLeave(w http.ResponseWriter, r *http.Request) {
+	dropped, err := s.cfg.Shards.RemoveWorkerCtx(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, shardErrStatus(err, http.StatusNotFound), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"left": true, "dropped": len(dropped)})
+}
+
+// ShardStatsView is the wire form of GET /api/stats in sharded mode: the
+// engine's conservation accounting plus the per-worker picture.
+type ShardStatsView struct {
+	shard.Stats
+	Objective float64      `json:"objective"`
+	Conserved bool         `json:"conserved"`
+	WorkerSet []WorkerView `json:"worker_set"`
+}
+
+func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
+	view := ShardStatsView{
+		Stats:     s.cfg.Shards.Stats(),
+		Objective: s.cfg.Shards.Objective(),
+	}
+	view.Conserved = view.Stats.Conserved()
+	for _, id := range s.cfg.Shards.WorkerIDs() {
+		wk, err := s.cfg.Shards.Worker(id)
+		if err != nil {
+			continue // departed between listing and read
+		}
+		done, _ := s.cfg.Shards.Completed(id)
+		view.WorkerSet = append(view.WorkerSet, WorkerView{
+			ID: id, Alpha: wk.Alpha, Beta: wk.Beta,
+			Completed: done, Available: true,
+		})
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// shardTaskView renders a streaming task (always pending: completions
+// leave the active set immediately).
+func shardTaskView(t *core.Task) TaskView {
+	return TaskView{
+		ID: t.ID, Group: t.Group, Reward: t.Reward,
+		Keywords: t.Keywords.Indices(),
+	}
+}
+
+// shardErrStatus maps engine errors onto HTTP statuses, with a fallback
+// for the endpoint-specific default.
+func shardErrStatus(err error, fallback int) int {
+	if errors.Is(err, shard.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, stream.ErrBufferFull) {
+		return http.StatusInsufficientStorage
+	}
+	return fallback
+}
+
+// ShardStats fetches the sharded deployment's statistics. Only valid
+// against a server running with ServerConfig.Shards.
+func (c *Client) ShardStats() (*ShardStatsView, error) {
+	var out ShardStatsView
+	if err := c.do(http.MethodGet, "/api/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"sync/atomic"
+
+	"github.com/htacs/ata/internal/stream"
+)
+
+// actor is one shard: a bare stream.Assigner owned by a single goroutine
+// that drains a bounded mailbox of closures. The actor model replaces the
+// platform's one-big-mutex serialization — each shard serializes only its
+// own workers' events, and cross-shard coordination happens by message,
+// never by shared state.
+//
+// Protocol rules that keep the engine deadlock-free:
+//
+//   - only engine-level goroutines (callers, the rebalancer) send to
+//     mailboxes; an actor never sends to another actor, so there are no
+//     send cycles;
+//   - a full mailbox blocks the sender (backpressure), it never drops;
+//   - replies travel over per-request channels buffered for the full
+//     fan-out, so an actor never blocks on a reply send.
+type actor struct {
+	id      int
+	asn     *stream.Assigner
+	mailbox chan func()
+	done    chan struct{} // closed when the loop exits
+
+	// completed and dropped survive worker removal (the assigner's
+	// per-worker done counters die with RemoveWorker), so the engine's
+	// conservation accounting stays exact under churn.
+	completed atomic.Int64
+	dropped   atomic.Int64
+
+	metrics *actorMetrics
+}
+
+func newActor(id int, asn *stream.Assigner, mailbox int, m *actorMetrics) *actor {
+	a := &actor{
+		id:      id,
+		asn:     asn,
+		mailbox: make(chan func(), mailbox),
+		done:    make(chan struct{}),
+		metrics: m,
+	}
+	go a.loop()
+	return a
+}
+
+// loop is the actor goroutine: the only goroutine that ever touches asn.
+func (a *actor) loop() {
+	defer close(a.done)
+	for fn := range a.mailbox {
+		fn()
+		a.metrics.Mailbox.Set(float64(len(a.mailbox)))
+		a.metrics.Free.Set(float64(a.asn.FreeCapacity()))
+	}
+}
+
+// send enqueues fn without waiting for it to run. The caller must hold
+// the engine's liveness read-lock (see Engine.post) so the mailbox cannot
+// be closed mid-send.
+func (a *actor) send(fn func()) {
+	a.mailbox <- fn
+	a.metrics.Mailbox.Set(float64(len(a.mailbox)))
+}
+
+// call runs fn on the actor goroutine and waits for it to finish —
+// the synchronous request/reply half of the mailbox protocol.
+func (a *actor) call(fn func(asn *stream.Assigner)) {
+	ch := make(chan struct{})
+	a.send(func() {
+		defer close(ch)
+		fn(a.asn)
+	})
+	<-ch
+}
+
+// stop closes the mailbox and waits for the loop to drain.
+func (a *actor) stop() {
+	close(a.mailbox)
+	<-a.done
+}

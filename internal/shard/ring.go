@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping worker IDs to shards. Each shard
+// owns VirtualNodes points on the ring, so the mapping is (a) deterministic
+// given (shards, vnodes) — the property the 1-shard determinism test and
+// snapshot restore rely on — and (b) stable under resizing: growing from N
+// to N+1 shards moves only the keys that land in the new shard's arcs,
+// ~1/(N+1) of them, instead of rehashing everything the way `hash % N`
+// would.
+//
+// The ring is immutable after construction; Resized builds a new one.
+type Ring struct {
+	shards int
+	vnodes int
+	points []ringPoint // sorted by hash, ties by shard
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring with the given shard count and virtual nodes per
+// shard (default 64 when vnodes <= 0).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: ring needs >= 1 shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &Ring{shards: shards, vnodes: vnodes}
+	r.points = make([]ringPoint, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:  fnv1a(fmt.Sprintf("shard-%d#%d", s, v)),
+				shard: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Ring) Shards() int { return r.shards }
+
+// VirtualNodes returns the per-shard point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Lookup maps a key (worker ID) to its owning shard: the first ring point
+// clockwise of the key's hash.
+func (r *Ring) Lookup(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].shard
+}
+
+// Resized returns a new ring with a different shard count but the same
+// virtual-node scheme, so shared shards keep their points (and therefore
+// most of their keys).
+func (r *Ring) Resized(shards int) (*Ring, error) {
+	return NewRing(shards, r.vnodes)
+}
+
+// fnv1a is the 64-bit FNV-1a hash (stdlib hash/fnv without the
+// interface-allocation overhead on the Lookup path) with an avalanche
+// finalizer. Raw FNV-1a is unusable for a hash ring: short keys that
+// differ only in their last characters ("w0041" vs "w0042",
+// "shard-0#7" vs "shard-0#8") hash into tight bands, so whole key
+// populations land in one shard's arc. The multiply–xor–shift finisher
+// (MurmurHash3 fmix64) spreads those bands over the full uint64 space.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

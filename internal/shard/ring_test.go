@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(0, 8); err == nil {
+		t.Fatal("0 shards must be rejected")
+	}
+	r, err := NewRing(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VirtualNodes() != 64 {
+		t.Fatalf("default vnodes = %d, want 64", r.VirtualNodes())
+	}
+	if r.Shards() != 3 {
+		t.Fatalf("Shards() = %d", r.Shards())
+	}
+}
+
+func TestRingLookupDeterministicAndTotal(t *testing.T) {
+	r, err := NewRing(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("w%04d", i)
+		s := r.Lookup(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("Lookup(%q) = %d outside [0,4)", key, s)
+		}
+		if again := r.Lookup(key); again != s {
+			t.Fatalf("Lookup(%q) unstable: %d then %d", key, s, again)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual nodes spread keys roughly evenly: no
+// shard should be more than 2.5x the fair share over 10k keys.
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 8, 10000
+	r, err := NewRing(shards, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Lookup(fmt.Sprintf("worker-%d", i))]++
+	}
+	fair := keys / shards
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys", s)
+		}
+		if c > fair*5/2 {
+			t.Fatalf("shard %d has %d keys, fair share %d — ring badly unbalanced", s, c, fair)
+		}
+	}
+}
+
+// TestRingResizeMovesFewKeys is the consistent-hashing property the ring
+// exists for: growing N→N+1 shards must move roughly 1/(N+1) of the keys,
+// not reshuffle everything the way hash%N does.
+func TestRingResizeMovesFewKeys(t *testing.T) {
+	const keys = 10000
+	r4, err := NewRing(4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := r4.Resized(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("worker-%d", i)
+		if r4.Lookup(key) != r5.Lookup(key) {
+			moved++
+		}
+	}
+	// Ideal is 1/5 = 20%; allow slack for vnode granularity but fail hard
+	// well before the 80% a modulo rehash would move.
+	if moved > keys*35/100 {
+		t.Fatalf("resize 4→5 moved %d/%d keys (>35%%) — not consistent hashing", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("resize 4→5 moved no keys — new shard owns nothing")
+	}
+}

@@ -1,0 +1,678 @@
+// Package shard is the sharded streaming assignment engine: N independent
+// stream.Assigner shards, each owned by one actor goroutine behind a
+// bounded mailbox, with workers partitioned across shards by a
+// consistent-hash ring and tasks routed by scatter-gather marginal-gain
+// scoring.
+//
+// The single-Assigner deployment serializes every event on one mutex — a
+// hard ceiling once "heavy traffic from millions of users" is the target.
+// Online assignment shards naturally across workers when each decision is
+// a per-worker marginal-gain pick (Assadi et al., Online Task Assignment
+// in Crowdsourcing Markets): the greedy choice argmax_q Δ(q, k) over all
+// workers equals the max over per-shard maxima, so partitioning workers
+// preserves the objective exactly — only the *interleaving* of concurrent
+// events can differ from the serial order, never the per-event rule. With
+// one shard the engine routes directly through the one Assigner, making
+// it event-for-event identical to the bare stream.Assigner (tested).
+//
+// Protocol per arriving task (OfferTask):
+//
+//  1. scatter: every shard scores its best Δ(q, k) among workers with
+//     free capacity (read-only, concurrent across shards);
+//  2. commit: try the winner; under contention the winner may have filled
+//     between score and commit, so fall back to the remaining scored
+//     shards in rank order, then broadcast to the shards that reported
+//     full (they may have freed);
+//  3. buffer: if no shard has a free slot, park the task in the least
+//     backlogged shard's buffer; every buffer full → ErrBufferFull.
+//
+// Dynamic worker availability (arrivals/departures mid-stream, cf.
+// DATA-WA) skews load between partitions, so a rebalancer steals bounded
+// batches of *buffered* tasks from shards whose backlog exceeds a
+// watermark into shards with free capacity. Only buffered tasks move —
+// active assignments never migrate, so worker→shard routing stays pure
+// ring lookup.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
+)
+
+// ErrClosed is returned by every operation after Close.
+var ErrClosed = errors.New("shard: engine closed")
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Shards is the number of partitions (>= 1). With 1 shard the engine
+	// degenerates to a mailbox-wrapped stream.Assigner and work stealing
+	// is disabled.
+	Shards int
+	// VirtualNodes is the ring points per shard (default 64).
+	VirtualNodes int
+	// Mailbox bounds each shard actor's mailbox; a full mailbox blocks
+	// the sender (backpressure, never drops). Default 128.
+	Mailbox int
+	// Stream is the per-shard assigner template. BufferLimit is per
+	// shard, so total buffer capacity is Shards·BufferLimit; divide a
+	// fixed global budget by Shards for capacity-fair comparisons. The
+	// Metrics field is ignored — each shard gets its own shard="K"
+	// labeled instrument set on Registry.
+	Stream stream.Config
+	// StealWatermark is the per-shard backlog above which the rebalancer
+	// sheds buffered tasks. Default BufferLimit/4 (min 8).
+	StealWatermark int
+	// StealBatch bounds tasks moved per shard pair per rebalance round.
+	// Default 32.
+	StealBatch int
+	// StealInterval is the rebalancer period. 0 defaults to 20ms;
+	// negative disables stealing (it is always disabled with 1 shard).
+	StealInterval time.Duration
+	// Registry receives the engine and per-shard instruments. Defaults
+	// to obs.Default().
+	Registry *obs.Registry
+	// Tracer records steal-round root spans (routing spans join the
+	// caller's request trace instead). Defaults to trace.Default().
+	Tracer *trace.Recorder
+}
+
+// Engine is the sharded streaming assignment engine. All methods are safe
+// for concurrent use.
+type Engine struct {
+	cfg     Config
+	ring    *Ring
+	actors  []*actor
+	metrics *Metrics
+	tracer  *trace.Recorder
+
+	// live guards mailbox liveness: operations hold the read side while
+	// they touch mailboxes; Close takes the write side, so no send can
+	// race a mailbox close.
+	live   sync.RWMutex
+	closed bool
+
+	// seen is the global duplicate-task filter: a task lives on exactly
+	// one shard, so per-shard filters cannot see cross-shard duplicates.
+	seenMu sync.Mutex
+	seen   map[string]struct{}
+
+	// offerDropped counts offers rejected engine-wide with ErrBufferFull;
+	// per-shard removal/steal overflow lives on the actors. base* carry
+	// counters restored from a snapshot.
+	submitted     atomic.Int64
+	offerDropped  atomic.Int64
+	baseSubmitted int64
+	baseCompleted int64
+	baseDropped   int64
+
+	// snapMu serializes quiesce barriers (two overlapping barriers would
+	// deadlock the actor pool).
+	snapMu sync.Mutex
+
+	stopSteal chan struct{}
+	stealDone chan struct{}
+}
+
+// New validates the configuration and starts the shard actors (and the
+// rebalancer when Shards > 1 and stealing is enabled).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("shard: Shards = %d, must be >= 1", cfg.Shards)
+	}
+	if cfg.Mailbox == 0 {
+		cfg.Mailbox = 128
+	}
+	if cfg.Mailbox < 1 {
+		return nil, fmt.Errorf("shard: Mailbox = %d", cfg.Mailbox)
+	}
+	if cfg.Stream.BufferLimit == 0 {
+		cfg.Stream.BufferLimit = 1024
+	}
+	if cfg.StealWatermark == 0 {
+		cfg.StealWatermark = cfg.Stream.BufferLimit / 4
+		if cfg.StealWatermark < 8 {
+			cfg.StealWatermark = 8
+		}
+	}
+	if cfg.StealBatch == 0 {
+		cfg.StealBatch = 32
+	}
+	if cfg.StealInterval == 0 {
+		cfg.StealInterval = 20 * time.Millisecond
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default()
+	}
+	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		ring:    ring,
+		metrics: NewMetrics(cfg.Registry),
+		tracer:  cfg.Tracer,
+		seen:    make(map[string]struct{}),
+	}
+	e.metrics.Shards.Set(float64(cfg.Shards))
+	e.actors = make([]*actor, cfg.Shards)
+	for i := range e.actors {
+		scfg := cfg.Stream
+		am, sm := newActorMetrics(cfg.Registry, i)
+		scfg.Metrics = sm
+		asn, err := stream.NewAssigner(scfg)
+		if err != nil {
+			for _, a := range e.actors[:i] {
+				a.stop()
+			}
+			return nil, err
+		}
+		e.actors[i] = newActor(i, asn, cfg.Mailbox, am)
+	}
+	if cfg.Shards > 1 && cfg.StealInterval > 0 {
+		e.stopSteal = make(chan struct{})
+		e.stealDone = make(chan struct{})
+		go e.stealLoop()
+	}
+	return e, nil
+}
+
+// Shards returns the configured shard count.
+func (e *Engine) Shards() int { return len(e.actors) }
+
+// ShardOf returns the shard index owning the worker ID (pure ring
+// lookup; the worker need not be registered).
+func (e *Engine) ShardOf(workerID string) int { return e.ring.Lookup(workerID) }
+
+// Close stops the rebalancer and the shard actors, draining their
+// mailboxes. Idempotent; operations after Close return ErrClosed.
+func (e *Engine) Close() {
+	e.live.Lock()
+	if e.closed {
+		e.live.Unlock()
+		return
+	}
+	e.closed = true
+	e.live.Unlock()
+	// The rebalancer checks closed under the read lock before posting,
+	// so stopping it after flipping the flag is safe.
+	if e.stopSteal != nil {
+		close(e.stopSteal)
+		<-e.stealDone
+	}
+	for _, a := range e.actors {
+		a.stop()
+	}
+}
+
+// begin takes the liveness read-lock; the returned release must be called
+// when the operation's mailbox traffic is done.
+func (e *Engine) begin() (release func(), err error) {
+	e.live.RLock()
+	if e.closed {
+		e.live.RUnlock()
+		return nil, ErrClosed
+	}
+	return e.live.RUnlock, nil
+}
+
+// AddWorker registers the worker on its ring shard and drains that
+// shard's buffer into its free capacity (best marginal gain first).
+// Returns the drained tasks.
+func (e *Engine) AddWorker(w *core.Worker) ([]*core.Task, error) {
+	return e.AddWorkerCtx(context.Background(), w)
+}
+
+// AddWorkerCtx is AddWorker with trace annotation.
+func (e *Engine) AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Task, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if w == nil || w.ID == "" {
+		return nil, errors.New("shard: nil worker or empty ID")
+	}
+	a := e.actors[e.ring.Lookup(w.ID)]
+	var assigned []*core.Task
+	a.call(func(asn *stream.Assigner) { assigned, err = asn.AddWorker(w) })
+	if err == nil {
+		trace.Event(ctx, "shard.add_worker",
+			trace.Str("worker", w.ID), trace.Int("shard", a.id),
+			trace.Int("drained", len(assigned)))
+	}
+	return assigned, err
+}
+
+// RemoveWorker deregisters the worker; its unfinished tasks return to its
+// shard's buffer, overflow is dropped and returned.
+func (e *Engine) RemoveWorker(id string) ([]*core.Task, error) {
+	return e.RemoveWorkerCtx(context.Background(), id)
+}
+
+// RemoveWorkerCtx is RemoveWorker with trace annotation.
+func (e *Engine) RemoveWorkerCtx(ctx context.Context, id string) ([]*core.Task, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	a := e.actors[e.ring.Lookup(id)]
+	var dropped []*core.Task
+	a.call(func(asn *stream.Assigner) { dropped, err = asn.RemoveWorker(id) })
+	if err == nil {
+		if n := len(dropped); n > 0 {
+			a.dropped.Add(int64(n))
+			e.metrics.Dropped.Add(float64(n))
+		}
+		trace.Event(ctx, "shard.remove_worker",
+			trace.Str("worker", id), trace.Int("shard", a.id),
+			trace.Int("dropped", len(dropped)))
+	}
+	return dropped, err
+}
+
+// OfferTask routes an arriving task to the best worker across all shards,
+// or into a buffer. Returns the assigned worker's ID ("" if buffered) —
+// the sharded analogue of stream.Assigner.OfferTask.
+func (e *Engine) OfferTask(t *core.Task) (string, error) {
+	return e.OfferTaskCtx(context.Background(), t)
+}
+
+// OfferTaskCtx is OfferTask under the caller's trace: the scatter-gather
+// decision is recorded as a "shard.route" span with per-attempt
+// "shard.commit" events.
+func (e *Engine) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error) {
+	release, err := e.begin()
+	if err != nil {
+		return "", err
+	}
+	defer release()
+	if t == nil || t.Keywords == nil {
+		return "", errors.New("shard: nil task or keywords")
+	}
+	if t.ID == "" {
+		return "", errors.New("shard: task with empty ID")
+	}
+
+	// Single shard: route straight through the one assigner so behaviour
+	// (selection, dedup, buffering, metrics) is exactly the bare
+	// stream.Assigner's — the determinism test pins this.
+	if len(e.actors) == 1 {
+		var wid string
+		start := time.Now()
+		e.actors[0].call(func(asn *stream.Assigner) { wid, err = asn.OfferTask(t) })
+		e.metrics.RouteLatency.Observe(time.Since(start).Seconds())
+		switch {
+		case err == nil:
+			e.submitted.Add(1)
+			e.metrics.Submitted.Inc()
+		case errors.Is(err, stream.ErrBufferFull):
+			e.submitted.Add(1)
+			e.metrics.Submitted.Inc()
+			e.offerDropped.Add(1)
+			e.metrics.Dropped.Inc()
+		}
+		return wid, err
+	}
+
+	// Global dedup: a task lives on exactly one shard, so the duplicate
+	// filter must be engine-wide.
+	e.seenMu.Lock()
+	if _, dup := e.seen[t.ID]; dup {
+		e.seenMu.Unlock()
+		return "", fmt.Errorf("shard: duplicate task %q", t.ID)
+	}
+	e.seen[t.ID] = struct{}{}
+	e.seenMu.Unlock()
+	e.submitted.Add(1)
+	e.metrics.Submitted.Inc()
+
+	ctx, span := trace.Start(ctx, "shard.route", trace.Str("task", t.ID))
+	start := time.Now()
+	wid, shardID, attempts, buffered, err := e.route(ctx, t)
+	e.metrics.RouteLatency.Observe(time.Since(start).Seconds())
+	span.SetAttrs(trace.Int("shard", shardID), trace.Int("attempts", attempts),
+		trace.Bool("buffered", buffered), trace.Str("worker", wid))
+	span.End()
+	if errors.Is(err, stream.ErrBufferFull) {
+		// Mirror the bare assigner: a rejected task may be legitimately
+		// re-offered later, so it leaves the duplicate filter.
+		e.seenMu.Lock()
+		delete(e.seen, t.ID)
+		e.seenMu.Unlock()
+		e.offerDropped.Add(1)
+		e.metrics.Dropped.Inc()
+	}
+	return wid, err
+}
+
+// scoreReply is one shard's answer to the scatter phase.
+type scoreReply struct {
+	shard int
+	gain  float64
+	rel   float64
+	ok    bool
+}
+
+// route implements the scatter / commit / buffer protocol from the
+// package comment. Caller holds the liveness read-lock.
+func (e *Engine) route(ctx context.Context, t *core.Task) (wid string, shardID, attempts int, buffered bool, err error) {
+	n := len(e.actors)
+	replies := make(chan scoreReply, n) // buffered: actors never block on reply
+	for _, a := range e.actors {
+		a := a
+		a.send(func() {
+			g, r, ok := a.asn.BestGain(t)
+			replies <- scoreReply{shard: a.id, gain: g, rel: r, ok: ok}
+		})
+	}
+	scored := make([]scoreReply, 0, n)
+	for i := 0; i < n; i++ {
+		scored = append(scored, <-replies)
+	}
+	// Rank: shards with capacity first, by marginal gain then relevance
+	// (same epsilon tie-break as the per-worker rule), then shard index
+	// for determinism; full shards follow in index order — they are the
+	// broadcast fallback, tried in case capacity freed since scoring.
+	sort.Slice(scored, func(i, j int) bool {
+		a, b := scored[i], scored[j]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if a.ok {
+			if a.gain > b.gain+1e-12 {
+				return true
+			}
+			if b.gain > a.gain+1e-12 {
+				return false
+			}
+			if a.rel != b.rel {
+				return a.rel > b.rel
+			}
+		}
+		return a.shard < b.shard
+	})
+	for _, c := range scored {
+		attempts++
+		a := e.actors[c.shard]
+		var committed bool
+		a.call(func(asn *stream.Assigner) { wid, committed = asn.TryAssign(t) })
+		trace.Event(ctx, "shard.commit", trace.Int("shard", c.shard),
+			trace.Int("attempt", attempts), trace.Bool("ok", committed),
+			trace.Bool("scored_free", c.ok))
+		if committed {
+			if attempts > 1 {
+				e.metrics.CommitRetries.Add(float64(attempts - 1))
+			}
+			return wid, c.shard, attempts, false, nil
+		}
+		if c.ok {
+			// The scoring winner filled up between score and commit.
+			e.metrics.CommitRetries.Inc()
+		}
+	}
+	// No free slot anywhere: buffer on the least backlogged shard.
+	byBacklog := make([]int, n)
+	for i := range byBacklog {
+		byBacklog[i] = i
+	}
+	sort.Slice(byBacklog, func(i, j int) bool {
+		bi := e.actors[byBacklog[i]].asn.Backlog()
+		bj := e.actors[byBacklog[j]].asn.Backlog()
+		if bi != bj {
+			return bi < bj
+		}
+		return byBacklog[i] < byBacklog[j]
+	})
+	for _, id := range byBacklog {
+		var berr error
+		e.actors[id].call(func(asn *stream.Assigner) { berr = asn.BufferTask(t) })
+		if berr == nil {
+			return "", id, attempts, true, nil
+		}
+	}
+	return "", -1, attempts, false, stream.ErrBufferFull
+}
+
+// Complete marks the task finished on the worker's shard; the freed slot
+// pulls the best buffered task, which is returned (nil when the shard's
+// buffer is empty).
+func (e *Engine) Complete(workerID, taskID string) (*core.Task, error) {
+	return e.CompleteCtx(context.Background(), workerID, taskID)
+}
+
+// CompleteCtx is Complete with trace annotation.
+func (e *Engine) CompleteCtx(ctx context.Context, workerID, taskID string) (*core.Task, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	a := e.actors[e.ring.Lookup(workerID)]
+	var next *core.Task
+	a.call(func(asn *stream.Assigner) { next, err = asn.Complete(workerID, taskID) })
+	if err == nil {
+		a.completed.Add(1)
+		pulled := ""
+		if next != nil {
+			pulled = next.ID
+		}
+		trace.Event(ctx, "shard.complete",
+			trace.Str("worker", workerID), trace.Str("task", taskID),
+			trace.Int("shard", a.id), trace.Str("pulled", pulled))
+	}
+	return next, err
+}
+
+// Active returns the worker's assigned task IDs.
+func (e *Engine) Active(workerID string) ([]string, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var out []string
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		out, err = asn.Active(workerID)
+	})
+	return out, err
+}
+
+// ActiveTasks returns the worker's assigned tasks.
+func (e *Engine) ActiveTasks(workerID string) ([]*core.Task, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var out []*core.Task
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		out, err = asn.ActiveTasks(workerID)
+	})
+	return out, err
+}
+
+// Completed returns how many tasks the worker finished.
+func (e *Engine) Completed(workerID string) (int, error) {
+	release, err := e.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	var n int
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		n, err = asn.Completed(workerID)
+	})
+	return n, err
+}
+
+// Worker returns the registered worker record.
+func (e *Engine) Worker(workerID string) (*core.Worker, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var w *core.Worker
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		w, err = asn.Worker(workerID)
+	})
+	return w, err
+}
+
+// BufferLen returns the total buffered backlog across shards (atomic
+// peeks; exact at quiescence).
+func (e *Engine) BufferLen() int {
+	n := 0
+	for _, a := range e.actors {
+		n += a.asn.Backlog()
+	}
+	return n
+}
+
+// FreeCapacity returns the total free task slots across shards.
+func (e *Engine) FreeCapacity() int {
+	n := 0
+	for _, a := range e.actors {
+		n += a.asn.FreeCapacity()
+	}
+	return n
+}
+
+// Objective returns the global streaming objective — the sum of every
+// shard's total motivation over active sets. Scatter-gathered; exact at
+// quiescence.
+func (e *Engine) Objective() float64 {
+	release, err := e.begin()
+	if err != nil {
+		return 0
+	}
+	defer release()
+	type r struct{ v float64 }
+	ch := make(chan r, len(e.actors))
+	for _, a := range e.actors {
+		a := a
+		a.send(func() { ch <- r{a.asn.Objective()} })
+	}
+	var total float64
+	for range e.actors {
+		total += (<-ch).v
+	}
+	return total
+}
+
+// ShardStats is one shard's load picture.
+type ShardStats struct {
+	Shard     int   `json:"shard"`
+	Workers   int   `json:"workers"`
+	Active    int   `json:"active"`
+	Backlog   int   `json:"backlog"`
+	FreeSlots int   `json:"free_slots"`
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+}
+
+// Stats is the engine-wide accounting. At quiescence the conservation
+// invariant holds exactly: Submitted = Active + Completed + Buffered +
+// Dropped (every submitted task is in exactly one of those states).
+type Stats struct {
+	Shards    int          `json:"shards"`
+	Workers   int          `json:"workers"`
+	Active    int          `json:"active"`
+	Completed int64        `json:"completed"`
+	Buffered  int          `json:"buffered"`
+	Dropped   int64        `json:"dropped"`
+	Submitted int64        `json:"submitted"`
+	PerShard  []ShardStats `json:"per_shard"`
+}
+
+// Conserved reports whether the global task-flow conservation law holds.
+func (s Stats) Conserved() bool {
+	return s.Submitted == int64(s.Active)+s.Completed+int64(s.Buffered)+s.Dropped
+}
+
+// Stats gathers the per-shard states and engine counters. Exact at
+// quiescence; under concurrent traffic each shard's numbers are a
+// consistent per-shard cut but the cross-shard sum may be mid-flight.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: len(e.actors)}
+	release, err := e.begin()
+	if err != nil {
+		return st
+	}
+	defer release()
+	ch := make(chan ShardStats, len(e.actors))
+	for _, a := range e.actors {
+		a := a
+		a.send(func() {
+			ch <- ShardStats{
+				Shard:     a.id,
+				Workers:   a.asn.NumWorkers(),
+				Active:    a.asn.ActiveCount(),
+				Backlog:   a.asn.BufferLen(),
+				FreeSlots: a.asn.FreeCapacity(),
+				Completed: a.completed.Load(),
+				Dropped:   a.dropped.Load(),
+			}
+		})
+	}
+	st.PerShard = make([]ShardStats, 0, len(e.actors))
+	for range e.actors {
+		st.PerShard = append(st.PerShard, <-ch)
+	}
+	sort.Slice(st.PerShard, func(i, j int) bool { return st.PerShard[i].Shard < st.PerShard[j].Shard })
+	for _, s := range st.PerShard {
+		st.Workers += s.Workers
+		st.Active += s.Active
+		st.Completed += s.Completed
+		st.Buffered += s.Backlog
+		st.Dropped += s.Dropped
+	}
+	st.Completed += e.baseCompleted
+	st.Dropped += e.offerDropped.Load() + e.baseDropped
+	st.Submitted = e.submitted.Load() + e.baseSubmitted
+	return st
+}
+
+// WorkerIDs returns all registered worker IDs, grouped by shard in shard
+// order (arrival order within a shard).
+func (e *Engine) WorkerIDs() []string {
+	release, err := e.begin()
+	if err != nil {
+		return nil
+	}
+	defer release()
+	type r struct {
+		shard int
+		ids   []string
+	}
+	ch := make(chan r, len(e.actors))
+	for _, a := range e.actors {
+		a := a
+		a.send(func() { ch <- r{a.id, a.asn.WorkerIDs()} })
+	}
+	byShard := make([][]string, len(e.actors))
+	for range e.actors {
+		got := <-ch
+		byShard[got.shard] = got.ids
+	}
+	var out []string
+	for _, ids := range byShard {
+		out = append(out, ids...)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/stream"
+)
+
+// snapshot wire format. Keywords are serialized as (universe, indices)
+// pairs, the same representation the workload files use.
+type taskSnap struct {
+	ID       string  `json:"id"`
+	Group    string  `json:"group,omitempty"`
+	Reward   float64 `json:"reward,omitempty"`
+	Universe int     `json:"universe"`
+	Keywords []int   `json:"keywords"`
+}
+
+type workerSnap struct {
+	ID       string     `json:"id"`
+	Alpha    float64    `json:"alpha"`
+	Beta     float64    `json:"beta"`
+	Universe int        `json:"universe"`
+	Keywords []int      `json:"keywords"`
+	Done     int        `json:"done"`
+	Active   []taskSnap `json:"active,omitempty"`
+}
+
+type shardSnap struct {
+	Shard     int          `json:"shard"`
+	Completed int64        `json:"completed"`
+	Dropped   int64        `json:"dropped"`
+	Workers   []workerSnap `json:"workers"`
+	Buffer    []taskSnap   `json:"buffer,omitempty"`
+}
+
+type engineSnap struct {
+	Version   int         `json:"version"`
+	Shards    int         `json:"shards"`
+	Submitted int64       `json:"submitted"`
+	Dropped   int64       `json:"dropped"`
+	PerShard  []shardSnap `json:"per_shard"`
+}
+
+func taskToSnap(t *core.Task) taskSnap {
+	return taskSnap{ID: t.ID, Group: t.Group, Reward: t.Reward,
+		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices()}
+}
+
+func snapToTask(s taskSnap) (*core.Task, error) {
+	if s.Universe < 1 {
+		return nil, fmt.Errorf("shard: snapshot task %q: universe %d", s.ID, s.Universe)
+	}
+	for _, k := range s.Keywords {
+		if k < 0 || k >= s.Universe {
+			return nil, fmt.Errorf("shard: snapshot task %q: keyword %d outside universe %d", s.ID, k, s.Universe)
+		}
+	}
+	return &core.Task{ID: s.ID, Group: s.Group, Reward: s.Reward,
+		Keywords: bitset.FromIndices(s.Universe, s.Keywords...)}, nil
+}
+
+// Snapshot writes the engine state as one JSON document — the merge of
+// per-shard snapshots. All shard actors are parked on a barrier for the
+// duration, so the cut is globally consistent: the conservation invariant
+// that held in memory holds in the file.
+func (e *Engine) Snapshot(w io.Writer) error {
+	release, err := e.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
+	snap := engineSnap{
+		Version:   1,
+		Shards:    len(e.actors),
+		Submitted: e.submitted.Load() + e.baseSubmitted,
+	}
+	// Dropped in the snapshot is the engine-wide total (offer rejections
+	// + removal/steal overflow + restored history): one number that
+	// Restore carries forward whole, so the conservation equation closes
+	// across the restart.
+	snap.Dropped = e.offerDropped.Load() + e.baseDropped
+	e.quiesce(func() {
+		for _, a := range e.actors {
+			snap.Dropped += a.dropped.Load()
+			ss := shardSnap{
+				Shard:     a.id,
+				Completed: a.completed.Load(),
+				Dropped:   a.dropped.Load(),
+			}
+			for _, id := range a.asn.WorkerIDs() {
+				wk, _ := a.asn.Worker(id)
+				done, _ := a.asn.Completed(id)
+				active, _ := a.asn.ActiveTasks(id)
+				wsnap := workerSnap{
+					ID: id, Alpha: wk.Alpha, Beta: wk.Beta,
+					Universe: wk.Keywords.Len(), Keywords: wk.Keywords.Indices(),
+					Done: done,
+				}
+				for _, t := range active {
+					wsnap.Active = append(wsnap.Active, taskToSnap(t))
+				}
+				ss.Workers = append(ss.Workers, wsnap)
+			}
+			for _, t := range a.asn.Buffered() {
+				ss.Buffer = append(ss.Buffer, taskToSnap(t))
+			}
+			snap.PerShard = append(snap.PerShard, ss)
+		}
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// quiesce parks every shard actor on a barrier, runs f with exclusive
+// access to all assigners (the channel handshake gives the caller
+// happens-before on each actor's state), then releases the actors.
+// Serialized by snapMu: two overlapping barriers could park the pool in
+// incompatible orders and deadlock.
+func (e *Engine) quiesce(f func()) {
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	n := len(e.actors)
+	arrived := make(chan struct{}, n)
+	releaseCh := make(chan struct{})
+	for _, a := range e.actors {
+		a.send(func() {
+			arrived <- struct{}{}
+			<-releaseCh
+		})
+	}
+	for i := 0; i < n; i++ {
+		<-arrived
+	}
+	f()
+	close(releaseCh)
+}
+
+// Restore rebuilds an engine from a Snapshot document. The shard count
+// comes from cfg, not the snapshot — workers are re-partitioned by the
+// ring, active sets are re-materialized on each worker exactly as saved,
+// and buffered tasks are re-buffered on the owning worker-free shard with
+// the smallest backlog. Counters carry over, so the global conservation
+// invariant holds across the restart.
+func Restore(r io.Reader, cfg Config) (*Engine, error) {
+	var snap engineSnap
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("shard: decoding snapshot: %w", err)
+	}
+	if snap.Version != 1 {
+		return nil, fmt.Errorf("shard: unsupported snapshot version %d", snap.Version)
+	}
+	e, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	restore := func() error {
+		var completed int64
+		for _, ss := range snap.PerShard {
+			completed += ss.Completed
+			for _, wsnap := range ss.Workers {
+				for _, k := range wsnap.Keywords {
+					if k < 0 || k >= wsnap.Universe {
+						return fmt.Errorf("shard: snapshot worker %q: keyword %d outside universe %d",
+							wsnap.ID, k, wsnap.Universe)
+					}
+				}
+				w := &core.Worker{
+					ID: wsnap.ID, Alpha: wsnap.Alpha, Beta: wsnap.Beta,
+					Keywords: bitset.FromIndices(wsnap.Universe, wsnap.Keywords...),
+				}
+				a := e.actors[e.ring.Lookup(w.ID)]
+				var aerr error
+				a.call(func(asn *stream.Assigner) {
+					if _, aerr = asn.AddWorker(w); aerr != nil {
+						return
+					}
+					aerr = asn.RestoreDone(w.ID, wsnap.Done)
+				})
+				if aerr != nil {
+					return aerr
+				}
+				for _, tsnap := range wsnap.Active {
+					t, terr := snapToTask(tsnap)
+					if terr != nil {
+						return terr
+					}
+					e.markSeen(t.ID)
+					a.call(func(asn *stream.Assigner) { aerr = asn.ForceAssign(w.ID, t) })
+					if aerr != nil {
+						return aerr
+					}
+				}
+			}
+		}
+		// Buffered tasks: the saved shard layout may not exist any more
+		// (the restored engine can have a different shard count), so they
+		// go to the currently least backlogged shards.
+		for _, ss := range snap.PerShard {
+			for _, tsnap := range ss.Buffer {
+				t, terr := snapToTask(tsnap)
+				if terr != nil {
+					return terr
+				}
+				e.markSeen(t.ID)
+				if err := e.bufferAnywhere(t); err != nil {
+					// Smaller total buffer capacity than the snapshot
+					// had: count the overflow (picked up by Stats via
+					// the actor sum), keep the invariant.
+					e.actors[0].dropped.Add(1)
+					e.metrics.Dropped.Inc()
+				}
+			}
+		}
+		// Fresh actors restart their counters at zero; the base* fields
+		// carry the whole history (snap.Dropped already folded the old
+		// actors' drops in).
+		e.baseSubmitted = snap.Submitted
+		e.baseDropped = snap.Dropped
+		e.baseCompleted = completed
+		return nil
+	}
+	if err := restore(); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// markSeen registers a restored task in the global duplicate filter.
+func (e *Engine) markSeen(id string) {
+	e.seenMu.Lock()
+	e.seen[id] = struct{}{}
+	e.seenMu.Unlock()
+}
+
+// bufferAnywhere parks t on the least backlogged shard with buffer space.
+func (e *Engine) bufferAnywhere(t *core.Task) error {
+	best, bestBacklog := -1, -1
+	for i, a := range e.actors {
+		b := a.asn.Backlog()
+		if best == -1 || b < bestBacklog {
+			best, bestBacklog = i, b
+		}
+	}
+	var err error
+	for k := 0; k < len(e.actors); k++ {
+		a := e.actors[(best+k)%len(e.actors)]
+		a.call(func(asn *stream.Assigner) { err = asn.BufferTask(t) })
+		if err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
+)
+
+// stealLoop is the rebalancer goroutine: every StealInterval it runs one
+// bounded steal round. Separate goroutine rather than piggybacking on
+// event handlers so that stealing keeps working when a hot shard's
+// mailbox is saturated and cold shards are idle.
+func (e *Engine) stealLoop() {
+	defer close(e.stealDone)
+	tick := time.NewTicker(e.cfg.StealInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-e.stopSteal:
+			return
+		case <-tick.C:
+			e.StealOnce()
+		}
+	}
+}
+
+// stealPlan pairs one overloaded donor with one receiver.
+type stealPlan struct {
+	from, to int
+	n        int
+}
+
+// StealOnce runs a single rebalance round: shards whose backlog exceeds
+// the watermark donate up to StealBatch buffered tasks to shards with
+// free capacity (greatest free capacity first). Moved tasks are assigned
+// on arrival when possible, buffered otherwise; if the receiver's buffer
+// filled mid-flight the tasks bounce back to the donor, and only if the
+// donor also filled are they dropped (counted — conservation holds).
+// Returns the number of tasks re-homed. Exported for tests and for
+// deployments that disable the periodic loop and trigger rebalancing
+// themselves.
+func (e *Engine) StealOnce() int {
+	release, err := e.begin()
+	if err != nil {
+		return 0
+	}
+	defer release()
+	n := len(e.actors)
+	if n < 2 {
+		return 0
+	}
+	// Plan from atomic load peeks — no mailbox traffic until a move is
+	// actually warranted.
+	backlog := make([]int, n)
+	free := make([]int, n)
+	for i, a := range e.actors {
+		backlog[i] = a.asn.Backlog()
+		free[i] = a.asn.FreeCapacity()
+	}
+	donors := make([]int, 0, n)
+	receivers := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if backlog[i] > e.cfg.StealWatermark {
+			donors = append(donors, i)
+		} else if free[i] > 0 {
+			receivers = append(receivers, i)
+		}
+	}
+	if len(donors) == 0 || len(receivers) == 0 {
+		return 0
+	}
+	sort.Slice(donors, func(i, j int) bool { return backlog[donors[i]] > backlog[donors[j]] })
+	sort.Slice(receivers, func(i, j int) bool { return free[receivers[i]] > free[receivers[j]] })
+
+	var plans []stealPlan
+	ri := 0
+	for _, d := range donors {
+		if ri >= len(receivers) {
+			break
+		}
+		excess := backlog[d] - e.cfg.StealWatermark
+		for excess > 0 && ri < len(receivers) {
+			r := receivers[ri]
+			k := min3(excess, free[r], e.cfg.StealBatch)
+			if k <= 0 {
+				ri++
+				continue
+			}
+			plans = append(plans, stealPlan{from: d, to: r, n: k})
+			excess -= k
+			free[r] -= k
+			if free[r] <= 0 {
+				ri++
+			}
+		}
+	}
+	moved := 0
+	for _, p := range plans {
+		moved += e.executeSteal(p)
+	}
+	if moved > 0 {
+		e.metrics.Steals.Inc()
+		e.metrics.StolenTasks.Add(float64(moved))
+		e.metrics.StealBatch.Observe(float64(moved))
+	}
+	return moved
+}
+
+// executeSteal moves up to p.n buffered tasks from p.from to p.to. Runs
+// on the rebalancer (or caller) goroutine; the two actors are addressed
+// strictly in sequence, never while the other is held, so no cycle can
+// form.
+func (e *Engine) executeSteal(p stealPlan) int {
+	src, dst := e.actors[p.from], e.actors[p.to]
+	var tasks []*core.Task
+	src.call(func(asn *stream.Assigner) { tasks = asn.TakeBuffered(p.n) })
+	if len(tasks) == 0 {
+		return 0
+	}
+	var placed, bounced, dropped int
+	dst.call(func(asn *stream.Assigner) {
+		for i, t := range tasks {
+			if _, ok := asn.TryAssign(t); ok {
+				placed++
+				continue
+			}
+			if err := asn.BufferTask(t); err == nil {
+				placed++
+				continue
+			}
+			// Receiver saturated mid-flight: everything from here on
+			// bounces back to the donor.
+			tasks = tasks[i:]
+			bounced = len(tasks)
+			return
+		}
+		tasks = nil
+	})
+	if bounced > 0 {
+		src.call(func(asn *stream.Assigner) {
+			for _, t := range tasks {
+				if err := asn.BufferTask(t); err != nil {
+					dropped++
+				}
+			}
+		})
+	}
+	if dropped > 0 {
+		// Donor re-filled past its limit while the batch was in flight —
+		// the tasks have nowhere conservative to go; count them lost.
+		src.dropped.Add(int64(dropped))
+		e.metrics.Dropped.Add(float64(dropped))
+	}
+	if placed > 0 {
+		src.metrics.Stolen.Add(float64(placed))
+		dst.metrics.Received.Add(float64(placed))
+	}
+	if placed > 0 || dropped > 0 {
+		_, span := e.tracer.Start(context.Background(), "shard.steal")
+		span.SetAttrs(trace.Int("from", p.from), trace.Int("to", p.to),
+			trace.Int("moved", placed), trace.Int("bounced", bounced-dropped),
+			trace.Int("dropped", dropped))
+		span.End()
+	}
+	return placed
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -35,24 +35,37 @@ type Metrics struct {
 // NewMetrics registers the streaming instruments on r (obs.Default() when
 // nil).
 func NewMetrics(r *obs.Registry) *Metrics {
+	return NewMetricsLabeled(r)
+}
+
+// NewMetricsLabeled registers the streaming instruments with a constant
+// label set attached to every series — the sharded engine passes
+// shard="K" so each of its per-shard Assigners writes its own series.
+//
+// This fixes an inconsistency the sharded engine exposed: defaultMetrics
+// hands every Assigner in the process the *same* unlabeled instruments,
+// so two assigners sharing them turn QueueDepth into last-writer-wins
+// noise (counters merely aggregate, which is defensible; a shared gauge
+// is not). Multi-assigner deployments must isolate series by label.
+func NewMetricsLabeled(r *obs.Registry, labels ...obs.Label) *Metrics {
 	if r == nil {
 		r = obs.Default()
 	}
 	return &Metrics{
 		QueueDepth: r.Gauge("hta_stream_queue_depth",
-			"tasks buffered waiting for a free worker slot"),
+			"tasks buffered waiting for a free worker slot", labels...),
 		Submitted: r.Counter("hta_stream_tasks_submitted_total",
-			"well-formed task offers (accepted or rejected)"),
+			"well-formed task offers (accepted or rejected)", labels...),
 		Delivered: r.Counter("hta_stream_tasks_delivered_total",
-			"task hand-offs to workers (including re-deliveries after requeue)"),
+			"task hand-offs to workers (including re-deliveries after requeue)", labels...),
 		Dropped: r.Counter("hta_stream_tasks_dropped_total",
-			"tasks lost to a full buffer (offer rejections + removal overflow)"),
+			"tasks lost to a full buffer (offer rejections + removal overflow)", labels...),
 		Requeued: r.Counter("hta_stream_tasks_requeued_total",
-			"active tasks returned to the buffer by RemoveWorker"),
+			"active tasks returned to the buffer by RemoveWorker", labels...),
 		Completed: r.Counter("hta_stream_tasks_completed_total",
-			"task completions recorded"),
+			"task completions recorded", labels...),
 		DrainBatch: r.Histogram("hta_stream_drain_batch_size",
-			"buffered tasks drained per arriving worker", obs.SizeBuckets()),
+			"buffered tasks drained per arriving worker", obs.SizeBuckets(), labels...),
 	}
 }
 
@@ -67,9 +80,13 @@ func defaultMetrics() *Metrics {
 	return sharedMetrics
 }
 
-// syncQueueGauge publishes the current backlog. Called after every buffer
-// mutation; the Assigner is single-goroutine by contract, so the gauge is
-// exact at every quiescent point.
+// syncQueueGauge publishes the current backlog, both to the obs gauge and
+// to the atomic mirror behind Backlog(). Called after every buffer
+// mutation; the Assigner is single-goroutine by contract, so both views
+// are exact at every quiescent point. The atomic store is unconditional —
+// Backlog feeds the steal watermark, which must keep working with obs
+// disabled.
 func (a *Assigner) syncQueueGauge() {
+	a.backlogN.Store(int64(len(a.buffer)))
 	a.metrics.QueueDepth.Set(float64(len(a.buffer)))
 }

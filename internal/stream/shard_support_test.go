@@ -1,0 +1,223 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/htacs/ata/internal/core"
+)
+
+// Tests for the sharding support surface: the lock-free load accessors
+// (Backlog, FreeCapacity) and the routing primitives (BestGain,
+// TryAssign, BufferTask, TakeBuffered, Buffered, ForceAssign,
+// RestoreDone) the shard engine composes the bare assigner from.
+
+func TestBacklogAndFreeCapacityTrackState(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 2, BufferLimit: 4})
+	if a.Backlog() != 0 || a.FreeCapacity() != 0 {
+		t.Fatalf("fresh assigner: backlog %d free %d", a.Backlog(), a.FreeCapacity())
+	}
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCapacity() != 2 {
+		t.Fatalf("free = %d after adding Xmax=2 worker", a.FreeCapacity())
+	}
+	for i, id := range []string{"t1", "t2", "t3"} {
+		if _, err := a.OfferTask(task(id, 0, 1)); err != nil {
+			t.Fatal(err)
+		}
+		wantFree, wantBacklog := 2-(i+1), 0
+		if wantFree < 0 {
+			wantFree, wantBacklog = 0, i+1-2
+		}
+		if a.FreeCapacity() != wantFree || a.Backlog() != wantBacklog {
+			t.Fatalf("after offer %d: free %d backlog %d, want %d %d",
+				i+1, a.FreeCapacity(), a.Backlog(), wantFree, wantBacklog)
+		}
+	}
+	// Complete frees a slot and the pull refills it from the buffer.
+	if _, err := a.Complete("w1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCapacity() != 0 || a.Backlog() != 0 {
+		t.Fatalf("after complete+pull: free %d backlog %d", a.FreeCapacity(), a.Backlog())
+	}
+	// RemoveWorker requeues active tasks and retires the worker's slots.
+	if _, err := a.RemoveWorker("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeCapacity() != 0 || a.Backlog() != 2 {
+		t.Fatalf("after removal: free %d backlog %d, want 0 2", a.FreeCapacity(), a.Backlog())
+	}
+}
+
+func TestBestGainReadOnly(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 1})
+	if _, _, ok := a.BestGain(task("t1", 0)); ok {
+		t.Fatal("BestGain ok with no workers")
+	}
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	gain1, rel1, ok := a.BestGain(task("t1", 0, 1))
+	if !ok {
+		t.Fatal("BestGain not ok with a free worker")
+	}
+	// Scoring twice must not mutate anything.
+	gain2, rel2, _ := a.BestGain(task("t1", 0, 1))
+	if gain1 != gain2 || rel1 != rel2 {
+		t.Fatalf("BestGain not idempotent: (%g,%g) then (%g,%g)", gain1, rel1, gain2, rel2)
+	}
+	if n, _ := a.Active("w1"); len(n) != 0 {
+		t.Fatal("BestGain assigned a task")
+	}
+	if _, err := a.OfferTask(task("tfill", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := a.BestGain(task("t2", 0)); ok {
+		t.Fatal("BestGain ok with every worker full")
+	}
+}
+
+func TestTryAssignSkipsBufferAndDupCheck(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 1, BufferLimit: 4})
+	if _, ok := a.TryAssign(task("t1", 0)); ok {
+		t.Fatal("TryAssign succeeded with no workers")
+	}
+	if a.Backlog() != 0 {
+		t.Fatal("failed TryAssign buffered the task")
+	}
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	wid, ok := a.TryAssign(task("t1", 0))
+	if !ok || wid != "w1" {
+		t.Fatalf("TryAssign = %q, %v", wid, ok)
+	}
+	// Same selection rule as OfferTask is pinned by the shard engine's
+	// determinism test; here pin the no-dup-check contract: a task this
+	// assigner has already seen (stolen away and stolen back) is accepted.
+	if _, err := a.Complete("w1", "t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.TryAssign(task("t1", 0)); !ok {
+		t.Fatal("TryAssign rejected a previously seen task")
+	}
+}
+
+func TestBufferTaskParksWithoutAssigning(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 1, BufferLimit: 2})
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Worker has a free slot, but BufferTask must park regardless — the
+	// router already decided this shard only takes the task as backlog.
+	if err := a.BufferTask(task("t1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Active("w1"); len(n) != 0 {
+		t.Fatal("BufferTask assigned the task")
+	}
+	if a.Backlog() != 1 {
+		t.Fatalf("backlog %d", a.Backlog())
+	}
+	if err := a.BufferTask(task("t2", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.BufferTask(task("t3", 0)); !errors.Is(err, ErrBufferFull) {
+		t.Fatalf("over-limit BufferTask: %v, want ErrBufferFull", err)
+	}
+	if err := a.BufferTask(nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+func TestTakeBufferedOldestFirst(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 1, BufferLimit: 8})
+	for _, id := range []string{"t1", "t2", "t3", "t4"} {
+		if err := a.BufferTask(task(id, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.TakeBuffered(0); got != nil {
+		t.Fatalf("TakeBuffered(0) = %v", got)
+	}
+	got := a.TakeBuffered(2)
+	if len(got) != 2 || got[0].ID != "t1" || got[1].ID != "t2" {
+		t.Fatalf("TakeBuffered(2) = %v, want [t1 t2]", taskIDList(got))
+	}
+	if a.Backlog() != 2 {
+		t.Fatalf("backlog %d after taking 2 of 4", a.Backlog())
+	}
+	rest := a.Buffered()
+	if len(rest) != 2 || rest[0].ID != "t3" || rest[1].ID != "t4" {
+		t.Fatalf("remaining buffer = %v, want [t3 t4]", taskIDList(rest))
+	}
+	// Taking more than available drains without panicking.
+	if got := a.TakeBuffered(10); len(got) != 2 {
+		t.Fatalf("TakeBuffered(10) returned %d of 2", len(got))
+	}
+	if a.Backlog() != 0 || a.BufferLen() != 0 {
+		t.Fatal("buffer not empty after full drain")
+	}
+}
+
+func taskIDList(tasks []*core.Task) []string {
+	out := make([]string, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func TestForceAssignAndRestoreDone(t *testing.T) {
+	a := mustAssigner(t, Config{Xmax: 2})
+	if err := a.ForceAssign("ghost", task("t1", 0)); err == nil {
+		t.Fatal("ForceAssign to unknown worker accepted")
+	}
+	if _, err := a.AddWorker(wrk("w1", 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// ForceAssign bypasses selection but not capacity (C1).
+	if err := a.ForceAssign("w1", task("t1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ForceAssign("w1", task("t2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ForceAssign("w1", task("t3", 2)); err == nil {
+		t.Fatal("ForceAssign past Xmax accepted")
+	}
+	active, _ := a.Active("w1")
+	if len(active) != 2 {
+		t.Fatalf("active = %v", active)
+	}
+	if err := a.RestoreDone("w1", 7); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := a.Completed("w1"); n != 7 {
+		t.Fatalf("Completed = %d, want 7", n)
+	}
+	if err := a.RestoreDone("w1", -1); err == nil {
+		t.Fatal("negative done accepted")
+	}
+	if err := a.RestoreDone("ghost", 1); err == nil {
+		t.Fatal("RestoreDone on unknown worker accepted")
+	}
+	// The objective after a ForceAssign restore equals the objective the
+	// same assignments produce through the normal path.
+	b := mustAssigner(t, Config{Xmax: 2})
+	if _, err := b.AddWorker(wrk("w1", 0.5, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OfferTask(task("t1", 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.OfferTask(task("t2", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if ao, bo := a.Objective(), b.Objective(); ao != bo {
+		t.Fatalf("restored objective %g != organic objective %g", ao, bo)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/metric"
@@ -68,6 +69,15 @@ type Assigner struct {
 	buffer  []*core.Task
 	seen    map[string]bool // task IDs ever accepted, to reject duplicates
 	metrics *Metrics
+
+	// backlogN and freeCapN mirror len(buffer) and Σ_q (Xmax −
+	// |active(q)|) atomically so other goroutines — the sharded engine's
+	// steal watermark in particular — can peek at load without a mailbox
+	// round-trip. They are exact at the Assigner's quiescent points; a
+	// concurrent reader may observe a value one mutation stale, which is
+	// fine for load estimation and never for correctness decisions.
+	backlogN atomic.Int64
+	freeCapN atomic.Int64
 }
 
 // NewAssigner validates the configuration.
@@ -99,6 +109,36 @@ func NewAssigner(cfg Config) (*Assigner, error) {
 // BufferLen returns the number of tasks waiting for a free slot.
 func (a *Assigner) BufferLen() int { return len(a.buffer) }
 
+// Backlog is BufferLen readable from any goroutine: it loads an atomic
+// mirror of the buffer length instead of touching the slice. The sharded
+// engine's work-stealing watermark polls it without serializing through
+// the owning shard's mailbox.
+func (a *Assigner) Backlog() int { return int(a.backlogN.Load()) }
+
+// FreeCapacity returns Σ over workers of (Xmax − |active|) — the number
+// of task slots that could accept work right now. Like Backlog it reads
+// an atomic mirror and is safe for concurrent readers; treat the value as
+// a load estimate, not a reservation.
+func (a *Assigner) FreeCapacity() int { return int(a.freeCapN.Load()) }
+
+// NumWorkers returns how many workers are registered.
+func (a *Assigner) NumWorkers() int { return len(a.workers) }
+
+// ActiveCount returns the total number of currently assigned tasks across
+// all workers.
+func (a *Assigner) ActiveCount() int {
+	n := 0
+	for _, ws := range a.workers {
+		n += len(ws.active)
+	}
+	return n
+}
+
+// WorkerIDs returns the registered worker IDs in arrival order.
+func (a *Assigner) WorkerIDs() []string {
+	return append([]string(nil), a.order...)
+}
+
 // Active returns the IDs of the tasks currently assigned to the worker.
 func (a *Assigner) Active(workerID string) ([]string, error) {
 	ws, ok := a.workers[workerID]
@@ -110,6 +150,25 @@ func (a *Assigner) Active(workerID string) ([]string, error) {
 		out[i] = t.ID
 	}
 	return out, nil
+}
+
+// ActiveTasks returns the tasks currently assigned to the worker. The
+// slice is a copy; the tasks are shared.
+func (a *Assigner) ActiveTasks(workerID string) ([]*core.Task, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	return append([]*core.Task(nil), ws.active...), nil
+}
+
+// Worker returns the registered worker record.
+func (a *Assigner) Worker(workerID string) (*core.Worker, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	return ws.worker, nil
 }
 
 // AddWorker registers a worker and immediately drains the buffer into its
@@ -127,6 +186,7 @@ func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
 	ws := &workerState{worker: w}
 	a.workers[w.ID] = ws
 	a.order = append(a.order, w.ID)
+	a.freeCapN.Add(int64(a.cfg.Xmax))
 	var assigned []*core.Task
 	for len(ws.active) < a.cfg.Xmax {
 		t := a.pullBest(ws)
@@ -163,6 +223,7 @@ func (a *Assigner) RemoveWorker(id string) (dropped []*core.Task, err error) {
 		return nil, fmt.Errorf("stream: unknown worker %q", id)
 	}
 	delete(a.workers, id)
+	a.freeCapN.Add(-int64(a.cfg.Xmax - len(ws.active)))
 	for i, oid := range a.order {
 		if oid == id {
 			a.order = append(a.order[:i], a.order[i+1:]...)
@@ -199,22 +260,7 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 		return "", fmt.Errorf("stream: duplicate task %q", t.ID)
 	}
 	a.metrics.Submitted.Inc()
-	// Primary criterion: marginal motivation gain. Ties — in particular
-	// the first task of an empty set, whose singleton motiv is 0 by
-	// Equation 3 — break toward the more relevant worker, so cold workers
-	// start from work that matches their interests.
-	bestQ, bestGain, bestRel := "", -1.0, -1.0
-	for _, id := range a.order {
-		ws := a.workers[id]
-		if len(ws.active) >= a.cfg.Xmax {
-			continue
-		}
-		g := a.marginalGain(ws, t)
-		rel := metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
-		if g > bestGain+1e-12 || (g > bestGain-1e-12 && rel > bestRel) {
-			bestQ, bestGain, bestRel = id, g, rel
-		}
-	}
+	bestQ, _, _ := a.bestFree(t)
 	a.seen[t.ID] = true
 	if bestQ == "" {
 		if len(a.buffer) >= a.cfg.BufferLimit {
@@ -266,6 +312,7 @@ func (a *Assigner) Complete(workerID, taskID string) (*core.Task, error) {
 	ws.sumRel -= metric.Relevance(a.cfg.Dist, ws.active[idx].Keywords, ws.worker.Keywords)
 	ws.active = append(ws.active[:idx], ws.active[idx+1:]...)
 	ws.done++
+	a.freeCapN.Add(1)
 	a.metrics.Completed.Inc()
 	return a.pullBest(ws), nil
 }
@@ -317,6 +364,137 @@ func (a *Assigner) Completed(workerID string) (int, error) {
 	return ws.done, nil
 }
 
+// bestFree picks the registered worker with free capacity that maximizes
+// the marginal gain for t. Primary criterion: marginal motivation gain.
+// Ties — in particular the first task of an empty set, whose singleton
+// motiv is 0 by Equation 3 — break toward the more relevant worker, so
+// cold workers start from work that matches their interests. Returns
+// ("", ...) when no worker has a free slot. OfferTask, TryAssign and
+// BestGain all route through this one selection rule, which is what makes
+// the 1-shard engine event-for-event identical to the bare Assigner.
+func (a *Assigner) bestFree(t *core.Task) (id string, gain, rel float64) {
+	bestQ, bestGain, bestRel := "", -1.0, -1.0
+	for _, wid := range a.order {
+		ws := a.workers[wid]
+		if len(ws.active) >= a.cfg.Xmax {
+			continue
+		}
+		g := a.marginalGain(ws, t)
+		r := metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+		if g > bestGain+1e-12 || (g > bestGain-1e-12 && r > bestRel) {
+			bestQ, bestGain, bestRel = wid, g, r
+		}
+	}
+	return bestQ, bestGain, bestRel
+}
+
+// BestGain scores t against this assigner's workers without mutating any
+// state: the scatter half of the sharded engine's routing protocol. It
+// returns the best marginal gain and the relevance tiebreak among workers
+// with free capacity; ok is false when every worker is full (the gain
+// values are then meaningless).
+func (a *Assigner) BestGain(t *core.Task) (gain, rel float64, ok bool) {
+	id, gain, rel := a.bestFree(t)
+	return gain, rel, id != ""
+}
+
+// TryAssign assigns t to the best free worker under the same selection
+// rule as OfferTask, but never buffers on failure and does not consult
+// the duplicate-task set — in the sharded engine deduplication is global
+// (the router's job), and a task rejected here will be committed to
+// another shard. Returns ("", false) when no worker has a free slot.
+func (a *Assigner) TryAssign(t *core.Task) (string, bool) {
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return "", false
+	}
+	id, _, _ := a.bestFree(t)
+	if id == "" {
+		return "", false
+	}
+	a.seen[t.ID] = true
+	a.assign(a.workers[id], t)
+	return id, true
+}
+
+// BufferTask parks t in the buffer without attempting assignment — the
+// commit half of a routing decision that picked this shard as the least
+// loaded. Like TryAssign it skips the local duplicate check (global dedup
+// is the caller's job; a stolen task may legitimately return to a shard
+// that has seen it before). Returns ErrBufferFull beyond the limit.
+func (a *Assigner) BufferTask(t *core.Task) error {
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return errors.New("stream: nil task or keywords")
+	}
+	if len(a.buffer) >= a.cfg.BufferLimit {
+		return ErrBufferFull
+	}
+	a.seen[t.ID] = true
+	a.buffer = append(a.buffer, t)
+	a.syncQueueGauge()
+	return nil
+}
+
+// Buffered returns a copy of the buffer contents in order — snapshotting
+// reads it; the tasks themselves are shared.
+func (a *Assigner) Buffered() []*core.Task {
+	return append([]*core.Task(nil), a.buffer...)
+}
+
+// TakeBuffered removes and returns up to n buffered tasks, oldest first —
+// the donor half of cross-shard work stealing. The caller owns the
+// returned tasks and must re-home them (TryAssign/BufferTask on another
+// shard); they are gone from this assigner's accounting.
+func (a *Assigner) TakeBuffered(n int) []*core.Task {
+	if n <= 0 || len(a.buffer) == 0 {
+		return nil
+	}
+	if n > len(a.buffer) {
+		n = len(a.buffer)
+	}
+	out := append([]*core.Task(nil), a.buffer[:n]...)
+	rest := len(a.buffer) - n
+	copy(a.buffer, a.buffer[n:])
+	for i := rest; i < len(a.buffer); i++ {
+		a.buffer[i] = nil
+	}
+	a.buffer = a.buffer[:rest]
+	a.syncQueueGauge()
+	return out
+}
+
+// ForceAssign places t directly on the named worker, bypassing the
+// selection rule — snapshot restore uses it to re-materialize active sets
+// exactly as they were. Capacity (C1) is still enforced.
+func (a *Assigner) ForceAssign(workerID string, t *core.Task) error {
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return errors.New("stream: nil task or keywords")
+	}
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	if len(ws.active) >= a.cfg.Xmax {
+		return fmt.Errorf("stream: worker %q is at capacity", workerID)
+	}
+	a.seen[t.ID] = true
+	a.assign(ws, t)
+	return nil
+}
+
+// RestoreDone seeds the worker's completion counter — snapshot restore
+// only; n must be non-negative.
+func (a *Assigner) RestoreDone(workerID string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("stream: negative done count %d", n)
+	}
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	ws.done += n
+	return nil
+}
+
 // marginalGain is Δ(q, k) from the package comment.
 func (a *Assigner) marginalGain(ws *workerState, t *core.Task) float64 {
 	var sumDiv float64
@@ -352,5 +530,6 @@ func (a *Assigner) pullBest(ws *workerState) *core.Task {
 func (a *Assigner) assign(ws *workerState, t *core.Task) {
 	ws.active = append(ws.active, t)
 	ws.sumRel += metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+	a.freeCapN.Add(-1)
 	a.metrics.Delivered.Inc()
 }

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/htacs/ata/internal/core"
+)
+
+// ChurnEvent is one worker availability transition in a churn trace: at
+// logical event step At the worker arrives (Arrive true) or departs. A
+// streaming consumer interleaves the trace with its task stream by step
+// index, reproducing the dynamic worker availability the paper's
+// conclusion points at ("will depend on the availability of workers").
+type ChurnEvent struct {
+	At     int    `json:"at"`
+	Arrive bool   `json:"arrive"`
+	Worker string `json:"worker"`
+}
+
+// Churn generates an arrival/departure trace for the given workers over a
+// horizon of logical steps. Every worker arrives once, at a step drawn
+// uniformly from the first half of the horizon (so the pool ramps up while
+// tasks stream in); a departFrac fraction of them also departs at a later
+// uniform step. Events are sorted by step, departures before arrivals on
+// ties (a freed slot should be re-fillable by the arrival at the same
+// step). Deterministic for a given generator seed and call sequence.
+func (g *Generator) Churn(workers []*core.Worker, horizon int, departFrac float64) ([]ChurnEvent, error) {
+	if horizon < 1 {
+		return nil, fmt.Errorf("workload: churn horizon = %d", horizon)
+	}
+	if departFrac < 0 || departFrac > 1 {
+		return nil, fmt.Errorf("workload: churn depart fraction = %g", departFrac)
+	}
+	events := make([]ChurnEvent, 0, len(workers)*2)
+	arriveWindow := horizon/2 + 1
+	for _, w := range workers {
+		at := g.rng.Intn(arriveWindow)
+		events = append(events, ChurnEvent{At: at, Arrive: true, Worker: w.ID})
+		if g.rng.Float64() < departFrac && at+1 < horizon {
+			depart := at + 1 + g.rng.Intn(horizon-at-1)
+			events = append(events, ChurnEvent{At: depart, Worker: w.ID})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return !events[i].Arrive && events[j].Arrive
+	})
+	return events, nil
+}
+
+// WriteChurn streams churn events as JSON lines.
+func WriteChurn(w io.Writer, events []ChurnEvent) error {
+	enc := json.NewEncoder(w)
+	for i, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("workload: encoding churn event %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReadChurn parses a trace written by WriteChurn, validating that steps
+// are non-negative and monotonically non-decreasing.
+func ReadChurn(r io.Reader) ([]ChurnEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []ChurnEvent
+	for {
+		var ev ChurnEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding churn event %d: %w", len(out), err)
+		}
+		if ev.At < 0 {
+			return nil, fmt.Errorf("workload: churn event %d has step %d", len(out), ev.At)
+		}
+		if ev.Worker == "" {
+			return nil, fmt.Errorf("workload: churn event %d has no worker", len(out))
+		}
+		if n := len(out); n > 0 && out[n-1].At > ev.At {
+			return nil, fmt.Errorf("workload: churn events out of order at %d (%d after %d)",
+				n, ev.At, out[n-1].At)
+		}
+		out = append(out, ev)
+	}
+}

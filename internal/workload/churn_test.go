@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestChurnValidation(t *testing.T) {
+	g := mustGen(t, Config{Universe: 20, Seed: 1})
+	ws := g.Workers(4)
+	if _, err := g.Churn(ws, 0, 0.5); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := g.Churn(ws, 100, -0.1); err == nil {
+		t.Error("negative depart fraction accepted")
+	}
+	if _, err := g.Churn(ws, 100, 1.5); err == nil {
+		t.Error("depart fraction > 1 accepted")
+	}
+}
+
+func TestChurnTraceShape(t *testing.T) {
+	g := mustGen(t, Config{Universe: 20, Seed: 7})
+	ws := g.Workers(50)
+	events, err := g.Churn(ws, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrivals := map[string]int{}
+	departs := map[string]int{}
+	alive := map[string]bool{}
+	last := 0
+	for i, ev := range events {
+		if ev.At < 0 || ev.At >= 1000 {
+			t.Fatalf("event %d outside horizon: %+v", i, ev)
+		}
+		if ev.At < last {
+			t.Fatalf("event %d out of order: step %d after %d", i, ev.At, last)
+		}
+		last = ev.At
+		if ev.Arrive {
+			arrivals[ev.Worker]++
+			alive[ev.Worker] = true
+		} else {
+			departs[ev.Worker]++
+			if !alive[ev.Worker] {
+				t.Fatalf("event %d departs %s before it arrived", i, ev.Worker)
+			}
+			alive[ev.Worker] = false
+		}
+	}
+	if len(arrivals) != 50 {
+		t.Fatalf("%d distinct workers arrive, want all 50", len(arrivals))
+	}
+	for id, n := range arrivals {
+		if n != 1 {
+			t.Fatalf("worker %s arrives %d times", id, n)
+		}
+	}
+	if len(departs) == 0 || len(departs) == 50 {
+		t.Fatalf("%d of 50 workers depart; departFrac=0.5 should leave a mix", len(departs))
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	trace := func() []ChurnEvent {
+		g := mustGen(t, Config{Universe: 20, Seed: 11})
+		ws := g.Workers(20)
+		events, err := g.Churn(ws, 500, 0.4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return events
+	}
+	a, b := trace(), trace()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChurnRoundTrip(t *testing.T) {
+	g := mustGen(t, Config{Universe: 20, Seed: 3})
+	events, err := g.Churn(g.Workers(15), 200, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteChurn(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChurn(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(got), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d drifted: %+v vs %+v", i, got[i], events[i])
+		}
+	}
+}
+
+func TestReadChurnRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"negative step":  `{"at":-1,"arrive":true,"worker":"w1"}`,
+		"missing worker": `{"at":3,"arrive":true}`,
+		"out of order":   `{"at":5,"arrive":true,"worker":"w1"}` + "\n" + `{"at":2,"arrive":true,"worker":"w2"}`,
+		"garbage":        `{"at":`,
+	}
+	for name, in := range cases {
+		if _, err := ReadChurn(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted %q", name, in)
+		}
+	}
+}
