@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 experiments live crowd clean
+.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 bench-pr6 experiments live crowd clean
 
 all: build vet test
 
@@ -30,6 +30,11 @@ test-shard:
 # Regenerate the shard throughput report (BENCH_PR5.json).
 bench-pr5:
 	$(GO) run ./cmd/hta-bench -fig pr5 -json BENCH_PR5.json
+
+# Regenerate the incremental hot-path report (BENCH_PR6.json): the pr5
+# churn workload vs the recorded pr5 single-shard baseline.
+bench-pr6:
+	$(GO) run ./cmd/hta-bench -fig pr6 -runs 5 -json BENCH_PR6.json
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...

@@ -24,6 +24,11 @@
 // -fig pr5 measures the sharded streaming engine's event throughput at
 // 1/2/4/8 shards on a churn-laden complete-dominated workload with the
 // total buffer capacity fixed across shard counts (BENCH_PR5.json).
+//
+// -fig pr6 re-runs the pr5 workload on the incremental hot path and
+// reports the single-shard speedup against the pre-optimisation baseline
+// loaded from -baseline (default BENCH_PR5.json); with -gate it exits
+// non-zero when the speedup misses -min-speedup (BENCH_PR6.json).
 package main
 
 import (
@@ -64,7 +69,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4 or pr5")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5 or pr6")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -75,6 +80,9 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	jsonPath := flag.String("json", "", "with -fig pr2/pr3/pr4/pr5: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
 	traceOut := flag.String("trace-out", "", "with -fig pr4: write a sample solver trace as Chrome trace-event JSON to this path")
+	baselinePath := flag.String("baseline", "BENCH_PR5.json", "with -fig pr6: bench JSON whose shards=1 point is the speedup baseline")
+	minSpeedup := flag.Float64("min-speedup", experiments.DefaultPR6Target, "with -fig pr6 -gate: required single-shard speedup over -baseline")
+	gate := flag.Bool("gate", false, "with -fig pr6: exit 1 when the speedup misses -min-speedup (the CI gate)")
 	compareMode := flag.Bool("compare", false, "compare two bench report JSON files (old new); exit 1 on regression beyond -threshold")
 	threshold := flag.Float64("threshold", 0.10, "with -compare: relative slowdown tolerated per *_ns measurement")
 	metricsAddr := flag.String("metrics", "",
@@ -238,8 +246,40 @@ func main() {
 				}
 			}
 		}
+	case "pr6":
+		// Not a paper figure: the incremental hot-path report — the pr5
+		// churn workload re-measured on the cached-gain engine, judged by
+		// single-shard speedup over the recorded pr5 baseline.
+		fmt.Printf("PR 6 report: incremental hot path vs pr5 baseline on the churn workload\n\n")
+		var data []byte
+		data, err = os.ReadFile(*baselinePath)
+		var report *experiments.PR6Report
+		if err == nil {
+			var baseline experiments.PR6Baseline
+			baseline, err = experiments.PR5BaselineFromJSON(data, *baselinePath)
+			if err == nil {
+				report, err = experiments.SweepPR6(opts, baseline, *minSpeedup)
+			}
+		}
+		if err == nil {
+			err = report.RenderPR6(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR6JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *gate && !report.MeetsTarget {
+			fmt.Fprintf(os.Stderr, "hta-bench: pr6 gate: speedup %.2fx below required %.2fx\n",
+				report.SpeedupAt1, report.TargetSpeedup)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4 or pr5)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5 or pr6)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

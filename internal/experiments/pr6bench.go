@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// PR6Baseline is the reference point the pr6 sweep is judged against: the
+// single-shard row of a BENCH_PR5.json generated before the incremental
+// gain cache landed. The pr6 hot-path work — cached gains folded on read,
+// packed-row distance kernels, batched mailbox drains, zero-alloc steady
+// state — is a same-workload optimisation, so the speedup is directly the
+// ratio of per-event times on the identical churn workload.
+type PR6Baseline struct {
+	Source       string  `json:"source"` // e.g. "BENCH_PR5.json shards=1"
+	PerEventNs   int64   `json:"per_event_ns"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// PR6Report is the payload of BENCH_PR6.json: the pr5 churn workload
+// re-measured at every shard count on the incremental hot path, with the
+// single-shard speedup over the recorded pre-optimisation baseline as the
+// acceptance figure.
+type PR6Report struct {
+	Note          string      `json:"note"`
+	Baseline      PR6Baseline `json:"baseline"`
+	Points        []PR5Point  `json:"points"`
+	SpeedupAt1    float64     `json:"speedup_at_1"`
+	TargetSpeedup float64     `json:"target_speedup"`
+	MeetsTarget   bool        `json:"meets_target"`
+}
+
+// DefaultPR6Target is the acceptance bar from the PR issue: the
+// single-shard event rate must clear 5x the pre-optimisation baseline.
+const DefaultPR6Target = 5.0
+
+// PR5BaselineFromJSON extracts the single-shard point of a BENCH_PR5.json
+// payload as the pr6 baseline.
+func PR5BaselineFromJSON(data []byte, source string) (PR6Baseline, error) {
+	var old PR5Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return PR6Baseline{}, fmt.Errorf("experiments: pr6 baseline: %w", err)
+	}
+	for _, p := range old.Points {
+		if p.Shards == 1 && p.PerEventNs > 0 {
+			return PR6Baseline{
+				Source:       source + " shards=1",
+				PerEventNs:   p.PerEventNs,
+				EventsPerSec: p.EventsPerSec,
+			}, nil
+		}
+	}
+	return PR6Baseline{}, fmt.Errorf("experiments: pr6 baseline: no usable shards=1 point in %s", source)
+}
+
+// SweepPR6 re-runs the pr5 churn workload (same shape, same shard counts,
+// same conservation checks) on the current engine and reports the
+// single-shard speedup against baseline. target <= 0 selects
+// DefaultPR6Target.
+func SweepPR6(o Options, baseline PR6Baseline, target float64) (*PR6Report, error) {
+	o.applyDefaults()
+	if target <= 0 {
+		target = DefaultPR6Target
+	}
+	report := &PR6Report{
+		Note:          "incremental hot path on the pr5 churn workload: cached gain rows folded on read, packed-row distance kernels, batched mailbox drains, zero-alloc steady state; speedup is per-event time at 1 shard vs the recorded pre-optimisation baseline on the identical workload.",
+		Baseline:      baseline,
+		TargetSpeedup: target,
+	}
+	shape := defaultPR5Shape
+	for _, shards := range []int{1, 2, 4, 8} {
+		point, err := measurePR5(o, shards, shape)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pr6 shards=%d: %w", shards, err)
+		}
+		report.Points = append(report.Points, point)
+		if shards == 1 && baseline.PerEventNs > 0 && point.PerEventNs > 0 {
+			report.SpeedupAt1 = float64(baseline.PerEventNs) / float64(point.PerEventNs)
+		}
+	}
+	report.MeetsTarget = report.SpeedupAt1 >= report.TargetSpeedup
+	return report, nil
+}
+
+// RenderPR6 prints the report as an aligned table.
+func (r *PR6Report) RenderPR6(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "baseline: %s — %dns/event (%.0f events/s)\n\n",
+		r.Baseline.Source, r.Baseline.PerEventNs, r.Baseline.EventsPerSec); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%7s %8s %7s %8s %13s %12s %10s %9s\n",
+		"shards", "workers", "buffer", "events", "per-event", "events/s", "completed", "dropped"); err != nil {
+		return err
+	}
+	for _, p := range r.Points {
+		speed := ""
+		if r.Baseline.PerEventNs > 0 && p.PerEventNs > 0 {
+			speed = fmt.Sprintf("  (%.2fx baseline)", float64(r.Baseline.PerEventNs)/float64(p.PerEventNs))
+		}
+		if _, err := fmt.Fprintf(w, "%7d %8d %7d %8d %11dns %12.0f %10d %9d%s\n",
+			p.Shards, p.Workers+p.Churners, p.TotalBuffer, 2*p.Events,
+			p.PerEventNs, p.EventsPerSec, p.Completed, p.Dropped, speed); err != nil {
+			return err
+		}
+	}
+	verdict := "meets"
+	if !r.MeetsTarget {
+		verdict = "MISSES"
+	}
+	_, err := fmt.Fprintf(w, "\nsingle-shard speedup %.2fx — %s the %.1fx target (same workload, conservation checked per run)\n",
+		r.SpeedupAt1, verdict, r.TargetSpeedup)
+	return err
+}
+
+// WritePR6JSON writes the BENCH_PR6.json payload.
+func (r *PR6Report) WritePR6JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestPR5BaselineFromJSON pins the baseline extraction the pr6 gate feeds
+// on: the shards=1 point of a BENCH_PR5.json payload, and a clear error
+// when it is absent.
+func TestPR5BaselineFromJSON(t *testing.T) {
+	old := &PR5Report{
+		Points: []PR5Point{
+			{Shards: 1, PerEventNs: 52738, EventsPerSec: 18961.66},
+			{Shards: 8, PerEventNs: 20000, EventsPerSec: 50000},
+		},
+	}
+	data, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := PR5BaselineFromJSON(data, "BENCH_PR5.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.PerEventNs != 52738 || base.EventsPerSec != 18961.66 {
+		t.Fatalf("baseline mangled: %+v", base)
+	}
+	if !strings.Contains(base.Source, "shards=1") {
+		t.Fatalf("source %q does not name the point", base.Source)
+	}
+	if _, err := PR5BaselineFromJSON([]byte(`{"points":[{"shards":8,"per_event_ns":1}]}`), "x.json"); err == nil {
+		t.Fatal("missing shards=1 point must error")
+	}
+	if _, err := PR5BaselineFromJSON([]byte(`not json`), "x.json"); err == nil {
+		t.Fatal("malformed JSON must error")
+	}
+}
+
+func TestPR6ReportJSONAndRender(t *testing.T) {
+	report := &PR6Report{
+		Note:     "test",
+		Baseline: PR6Baseline{Source: "BENCH_PR5.json shards=1", PerEventNs: 50000, EventsPerSec: 20000},
+		Points: []PR5Point{
+			{Shards: 1, Workers: 40, Churners: 16, TotalBuffer: 2048, Events: 1500,
+				PerEventNs: 10000, EventsPerSec: 100000, Completed: 1500, Conserved: true},
+		},
+		SpeedupAt1: 5.0, TargetSpeedup: 5.0, MeetsTarget: true,
+	}
+	var buf bytes.Buffer
+	if err := report.WritePR6JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back PR6Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if back.SpeedupAt1 != 5.0 || back.Baseline.PerEventNs != 50000 || len(back.Points) != 1 {
+		t.Fatalf("round trip mangled the report: %+v", back)
+	}
+	var out bytes.Buffer
+	if err := report.RenderPR6(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline:", "5.00x", "meets"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("render missing %q:\n%s", want, out.String())
+		}
+	}
+}

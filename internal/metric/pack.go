@@ -1,0 +1,136 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/par"
+)
+
+// PackDistancer is implemented by distances that can score one set against
+// every member of a bitset.Pack in a single flat-memory sweep. It is the
+// row primitive behind the streaming engine's incremental gain cache: one
+// DistancePack call prices an arriving task against a whole buffer (or a
+// worker's whole active set) without per-pair interface dispatch or
+// pointer chasing.
+//
+// Implementations MUST produce bit-identical values to calling Distance
+// against the *Set each member was appended from — the gain cache stores
+// these rows and the cached-vs-recomputed equality property test holds the
+// two paths to exact equality.
+type PackDistancer interface {
+	Distance
+	// DistancePack stores d(from, pack[i]) into out[i] for every i.
+	// len(out) must be >= pack.Len().
+	DistancePack(from *bitset.Set, pack *bitset.Pack, out []float64)
+}
+
+// DistancePack implements PackDistancer: one flat intersection walk, then
+// unions by the exact integer identity |a∪b| = |a|+|b|−|a∩b| over the
+// pack's cached popcounts — the same integers the two-pass count
+// produces, so the resulting floats are bit-identical to Distance.
+func (Jaccard) DistancePack(from *bitset.Set, pack *bitset.Pack, out []float64) {
+	pack.IntersectionCountsRow(from, out)
+	fo := from.Count()
+	for i, n := 0, pack.Len(); i < n; i++ {
+		inter := int(out[i])
+		union := fo + pack.OnesAt(i) - inter
+		if union == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = 1 - float64(inter)/float64(union)
+	}
+}
+
+// DistancePack implements PackDistancer: symmetric differences via
+// |a△b| = |a|+|b|−2|a∩b| over one intersection walk. Capacity mismatches
+// panic exactly as the pairwise path does.
+func (Hamming) DistancePack(from *bitset.Set, pack *bitset.Pack, out []float64) {
+	n := from.Len()
+	pack.IntersectionCountsRow(from, out)
+	fo := from.Count()
+	for i, m := 0, pack.Len(); i < m; i++ {
+		if pack.LenAt(i) != n {
+			panic(fmt.Sprintf("metric: Hamming over mismatched capacities %d and %d", pack.LenAt(i), n))
+		}
+		if n == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(fo+pack.OnesAt(i)-2*int(out[i])) / float64(n)
+	}
+}
+
+// DistancePack implements PackDistancer. Capacity mismatches panic exactly
+// as the pairwise path does.
+func (e Euclidean) DistancePack(from *bitset.Set, pack *bitset.Pack, out []float64) {
+	n := from.Len()
+	pack.IntersectionCountsRow(from, out)
+	fo := from.Count()
+	for i, m := 0, pack.Len(); i < m; i++ {
+		if pack.LenAt(i) != n {
+			panic(fmt.Sprintf("metric: Euclidean over mismatched capacities %d and %d", pack.LenAt(i), n))
+		}
+		if n == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = math.Sqrt(float64(fo+pack.OnesAt(i)-2*int(out[i])) / float64(n))
+	}
+}
+
+// Row fills out[i] = d(from, pack[i]), preferring the PackDistancer kernel
+// and falling back to pairwise Distance calls over sets(i) for distances
+// without pack support (sets(i) must return the *Set member i was appended
+// from). Both paths are bit-identical by contract, so callers may cache
+// rows from either and interchange them with direct Distance calls.
+func Row(d Distance, from *bitset.Set, pack *bitset.Pack, sets func(i int) *bitset.Set, out []float64) {
+	if pd, ok := d.(PackDistancer); ok {
+		pd.DistancePack(from, pack, out)
+		return
+	}
+	for i, n := 0, pack.Len(); i < n; i++ {
+		out[i] = d.Distance(from, sets(i))
+	}
+}
+
+// rowGrain is the break-even chunk size for RowP: a packed member costs a
+// few nanoseconds, so chunks below ~2k members spend more on goroutine
+// fan-out than they save.
+const rowGrain = 2048
+
+// RowP is Row with the pack split into contiguous chunks priced by up to
+// p goroutines (p <= 0 means all cores, par.N). Each chunk is a zero-copy
+// Pack.Slice view writing its own out[lo:hi] — disjoint slots, so the
+// values are the same floats Row stores, in every chunking (the usual
+// bit-identical parallelism contract; see package par). Rows below the
+// fan-out break-even run serially, so callers can use RowP
+// unconditionally.
+func RowP(d Distance, from *bitset.Set, pack *bitset.Pack, sets func(i int) *bitset.Set, out []float64, p int) {
+	n := pack.Len()
+	if p == 1 || n < 2*rowGrain {
+		// Serial fast path, decided before any closure is built: the
+		// chunk closures below escape through par and would cost one
+		// heap allocation per call, which the assigner's zero-alloc
+		// hot path cannot afford.
+		Row(d, from, pack, sets, out)
+		return
+	}
+	pd, packed := d.(PackDistancer)
+	if !packed {
+		// The pairwise fallback is interface-dispatch bound, not
+		// memory bound; chunk it all the same.
+		par.DoMin(n, rowGrain, p, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = d.Distance(from, sets(i))
+			}
+		})
+		return
+	}
+	par.DoMin(n, rowGrain, p, func(lo, hi int) {
+		view := pack.Slice(lo, hi)
+		pd.DistancePack(from, &view, out[lo:hi])
+	})
+}

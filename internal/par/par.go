@@ -31,6 +31,23 @@ func Do(n, p int, fn func(lo, hi int)) {
 	DoWeighted(n, p, nil, fn)
 }
 
+// DoMin is Do with a minimum chunk grain: the goroutine count is capped
+// so every chunk covers at least min indices, degenerating to a plain
+// serial call when n < 2·min. Fan-out costs a goroutine spawn and a
+// barrier (microseconds); kernels over rows of cheap elements only win
+// when each chunk amortizes that, so callers pass the break-even grain
+// and DoMin keeps small inputs off the scheduler entirely.
+func DoMin(n, min, p int, fn func(lo, hi int)) {
+	if min > 1 {
+		if maxP := n / min; maxP < 1 {
+			p = 1
+		} else if pp := N(p); pp > maxP {
+			p = maxP
+		}
+	}
+	Do(n, p, fn)
+}
+
 // DoWeighted is Do with per-index costs: chunk boundaries are chosen so
 // each chunk carries roughly 1/p of Σ weight(i). A nil weight means
 // uniform cost. Triangular workloads (row k of a lower-triangular matrix

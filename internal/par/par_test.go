@@ -76,3 +76,35 @@ func TestNResolves(t *testing.T) {
 		t.Fatal("N must resolve non-positive values to at least 1")
 	}
 }
+
+// DoMin must still cover every index exactly once while capping fan-out so
+// no chunk shrinks below the minimum grain (the gate that keeps small rows
+// off the scheduler entirely).
+func TestDoMinGrainGate(t *testing.T) {
+	for _, tc := range []struct{ n, min, p int }{
+		{0, 100, 4}, {1, 100, 4}, {99, 100, 8}, {100, 100, 8},
+		{250, 100, 8}, {1000, 100, 3}, {1000, 1, 4}, {5000, 2048, 0},
+	} {
+		hits := make([]int32, tc.n)
+		var chunks int32
+		DoMin(tc.n, tc.min, tc.p, func(lo, hi int) {
+			atomic.AddInt32(&chunks, 1)
+			if hi-lo < tc.min && (lo != 0 || hi != tc.n) {
+				t.Errorf("n=%d min=%d p=%d: chunk [%d,%d) below grain", tc.n, tc.min, tc.p, lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d min=%d p=%d: index %d visited %d times", tc.n, tc.min, tc.p, i, h)
+			}
+		}
+		if tc.min > 1 && tc.n >= tc.min {
+			if max := int32(tc.n / tc.min); chunks > max {
+				t.Fatalf("n=%d min=%d p=%d: %d chunks exceeds cap %d", tc.n, tc.min, tc.p, chunks, max)
+			}
+		}
+	}
+}

@@ -68,10 +68,11 @@ func NewMetrics(r *obs.Registry) *Metrics {
 // distinct, aggregatable family member — the fix for the shared-gauge
 // inconsistency a process with several Assigners otherwise hits.
 type actorMetrics struct {
-	Mailbox  *obs.Gauge   // current mailbox occupancy
-	Free     *obs.Gauge   // free task slots (Xmax·workers − active)
-	Stolen   *obs.Counter // tasks this shard donated
-	Received *obs.Counter // tasks this shard absorbed
+	Mailbox  *obs.Gauge     // current mailbox occupancy
+	Free     *obs.Gauge     // free task slots (Xmax·workers − active)
+	Batch    *obs.Histogram // messages drained per mailbox batch
+	Stolen   *obs.Counter   // tasks this shard donated
+	Received *obs.Counter   // tasks this shard absorbed
 }
 
 func newActorMetrics(r *obs.Registry, id int) (*actorMetrics, *stream.Metrics) {
@@ -84,6 +85,8 @@ func newActorMetrics(r *obs.Registry, id int) (*actorMetrics, *stream.Metrics) {
 			"messages waiting in the shard actor's mailbox", l),
 		Free: r.Gauge("hta_shard_free_capacity",
 			"free task slots on the shard (Xmax x workers - active)", l),
+		Batch: r.Histogram("hta_shard_mailbox_batch_size",
+			"messages drained per mailbox batch by the shard actor", obs.SizeBuckets(), l),
 		Stolen: r.Counter("hta_shard_tasks_stolen_total",
 			"buffered tasks donated to other shards", l),
 		Received: r.Counter("hta_shard_tasks_received_total",

@@ -119,6 +119,11 @@ type Engine struct {
 	// deadlock the actor pool).
 	snapMu sync.Mutex
 
+	// stealMu guards stealScratch, the reusable transfer slice steal
+	// rounds move task batches in (see executeSteal).
+	stealMu      sync.Mutex
+	stealScratch []*core.Task
+
 	stopSteal chan struct{}
 	stealDone chan struct{}
 }

@@ -85,6 +85,7 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	// across the restart.
 	snap.Dropped = e.offerDropped.Load() + e.baseDropped
 	e.quiesce(func() {
+		var bufScratch []*core.Task
 		for _, a := range e.actors {
 			snap.Dropped += a.dropped.Load()
 			ss := shardSnap{
@@ -106,7 +107,8 @@ func (e *Engine) Snapshot(w io.Writer) error {
 				}
 				ss.Workers = append(ss.Workers, wsnap)
 			}
-			for _, t := range a.asn.Buffered() {
+			bufScratch = a.asn.BufferedInto(bufScratch[:0])
+			for _, t := range bufScratch {
 				ss.Buffer = append(ss.Buffer, taskToSnap(t))
 			}
 			snap.PerShard = append(snap.PerShard, ss)

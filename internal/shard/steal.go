@@ -5,7 +5,6 @@ import (
 	"sort"
 	"time"
 
-	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
@@ -116,8 +115,16 @@ func (e *Engine) StealOnce() int {
 // form.
 func (e *Engine) executeSteal(p stealPlan) int {
 	src, dst := e.actors[p.from], e.actors[p.to]
-	var tasks []*core.Task
-	src.call(func(asn *stream.Assigner) { tasks = asn.TakeBuffered(p.n) })
+	// The in-flight batch rides in an engine-owned scratch slice
+	// (TakeBufferedInto): steal rounds are frequent under sustained skew
+	// and should not allocate a transfer slice each time. stealMu guards
+	// the scratch against overlapping StealOnce calls from tests or
+	// deployments that trigger rebalancing themselves.
+	e.stealMu.Lock()
+	defer e.stealMu.Unlock()
+	tasks := e.stealScratch[:0]
+	src.call(func(asn *stream.Assigner) { tasks = asn.TakeBufferedInto(p.n, tasks) })
+	e.stealScratch = tasks[:0]
 	if len(tasks) == 0 {
 		return 0
 	}

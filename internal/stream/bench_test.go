@@ -1,0 +1,133 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// benchShape mirrors the pr5 sweep's single-shard point: a worker pool
+// saturated at Xmax and a deep backlog, so Complete pays a full pullBest
+// scan and Offer lands in the buffer. The benchmarks below measure the
+// three hot-path entry points separately on that steady state.
+const (
+	benchWorkers = 56
+	benchXmax    = 4
+	benchBuffer  = 2048
+)
+
+// newBenchAssigner builds a saturated assigner: every worker at capacity,
+// the buffer filled to depth. Returns the assigner, the workers, and a
+// task supply for the benchmark loop (IDs disjoint from the fill).
+func newBenchAssigner(b *testing.B, depth int) (*Assigner, []*core.Worker, []*core.Task) {
+	b.Helper()
+	gen, err := workload.NewGenerator(workload.Config{Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := NewAssigner(Config{
+		Xmax: benchXmax,
+		// One slot of headroom: the offer benchmark holds the buffer at
+		// depth by evicting after each timed offer, which transiently
+		// needs depth+1.
+		BufferLimit: depth + 1,
+		Metrics:     NewMetrics(obs.NewRegistry()),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	workers := gen.Workers(benchWorkers)
+	for _, w := range workers {
+		if _, err := a.AddWorker(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	fill := benchWorkers*benchXmax + depth
+	supply := gen.Tasks(fill/8+b.N/8+2, 8)
+	for _, t := range supply[:fill] {
+		if _, err := a.OfferTask(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if a.BufferLen() < depth || a.FreeCapacity() != 0 {
+		b.Fatalf("fill: depth %d free %d", a.BufferLen(), a.FreeCapacity())
+	}
+	return a, workers, supply[fill:]
+}
+
+// BenchmarkBestGain scores one task against every worker read-only — the
+// scatter half of the sharded routing protocol.
+func BenchmarkBestGain(b *testing.B) {
+	a, _, supply := newBenchAssigner(b, benchBuffer)
+	t := supply[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.BestGain(t)
+	}
+}
+
+// BenchmarkOfferTask measures the buffered-arrival path at constant
+// depth: every worker is full, so each offer prices the task against all
+// workers and appends a column to every cache. The just-added column is
+// swap-removed between iterations (cheap: last-slot eviction) to hold
+// the depth at 2048.
+func BenchmarkOfferTask(b *testing.B) {
+	a, _, _ := newBenchAssigner(b, benchBuffer)
+	tasks := make([]*core.Task, b.N)
+	for i := range tasks {
+		tasks[i] = &core.Task{ID: fmt.Sprintf("bench-offer-%d", i), Keywords: a.buffer[0].Keywords}
+	}
+	prewarmSeen(a, tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.OfferTask(tasks[i]); err != nil {
+			b.Fatal(err)
+		}
+		a.bufferSwapRemove(len(a.buffer) - 1)
+	}
+}
+
+// BenchmarkCompleteTask measures the complete-dominated steady state the
+// pr5 sweep replays: each iteration completes one active task (the freed
+// slot pulls the best of 2048 buffered candidates) and offers a fresh
+// task to restore the depth — one Complete + one buffered Offer per op.
+func BenchmarkCompleteTask(b *testing.B) {
+	a, workers, _ := newBenchAssigner(b, benchBuffer)
+	tasks := make([]*core.Task, b.N)
+	for i := range tasks {
+		tasks[i] = &core.Task{ID: fmt.Sprintf("bench-complete-%d", i), Keywords: a.buffer[i%benchBuffer].Keywords}
+	}
+	prewarmSeen(a, tasks)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := workers[i%len(workers)]
+		ws := a.workers[w.ID]
+		pulled, err := a.Complete(w.ID, ws.active[0].ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pulled == nil {
+			b.Fatal("empty buffer mid-benchmark")
+		}
+		if _, err := a.OfferTask(tasks[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// prewarmSeen grows the duplicate filter to its final size before timing
+// so steady-state inserts reuse map cells instead of triggering growth.
+func prewarmSeen(a *Assigner, tasks []*core.Task) {
+	for _, t := range tasks {
+		a.seen[t.ID] = true
+	}
+	for _, t := range tasks {
+		delete(a.seen, t.ID)
+	}
+}

@@ -1,0 +1,180 @@
+package stream
+
+// The incremental gain cache: the zero-allocation machinery that turns
+// pullBest from an O(|buffer|·|active|) distance rescan per freed slot
+// into an O(|buffer|) arithmetic scan, and OfferTask scoring from
+// per-pair interface dispatch into packed-row kernels.
+//
+// Δ(q, k) = 2α·Σ_{u∈active(q)} d(k,u) + β·(TR_q + |active(q)|·rel(q,k))
+// decomposes into terms with different lifetimes:
+//
+//   - rel(q, k) never changes while k sits in the buffer → cached once
+//     per (worker, buffered task) on insertion;
+//   - Σ d(k, u) changes only when *that worker's* active set changes →
+//     cached as one distance row per active slot (rows[s][i] = d(buffer[i],
+//     active[s])); pullBest folds the ≤Xmax row streams in slot order on
+//     the fly, so slot removal is O(1) (a float sum cannot be un-added
+//     exactly, and an eagerly maintained fold would need a full rebuild
+//     per removal);
+//   - TR_q (sumRel) and |active(q)| are per-worker scalars the assigner
+//     already maintains.
+//
+// Exactness invariant: every cached value is bit-identical to a
+// from-scratch recompute. Rows hold the same floats Distance returns
+// (metric.Row's contract) and are folded left-to-right in active-slot
+// order — the same order marginalGain sums in — so the cached scan makes
+// exactly the decisions the uncached scan would, epsilon tie-breaks
+// included. A property test pins cached == recomputed under random ops.
+//
+// The cache assumes d is symmetric (a metric axiom VerifyMetric checks):
+// rows are filled from whichever side of the pair is the shared operand.
+//
+// Allocation discipline: row slices come from a free list, pack mirrors
+// and per-worker slices shrink by truncation and regrow into retained
+// capacity, so steady-state offer/complete traffic allocates nothing
+// (enforced by testing.AllocsPerRun in alloc_test.go).
+
+import (
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/metric"
+)
+
+// getRow hands out a row slice of length n from the free list.
+func (a *Assigner) getRow(n int) []float64 {
+	if k := len(a.rowPool); k > 0 {
+		r := a.rowPool[k-1]
+		a.rowPool[k-1] = nil
+		a.rowPool = a.rowPool[:k-1]
+		if cap(r) < n {
+			return make([]float64, n, 2*n)
+		}
+		return r[:n]
+	}
+	return make([]float64, n)
+}
+
+// putRow returns a row slice to the free list.
+func (a *Assigner) putRow(r []float64) {
+	a.rowPool = append(a.rowPool, r[:0])
+}
+
+// growScratch returns scratch resized to exactly n, reusing capacity.
+func growScratch(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n, 2*n)
+	}
+	return s[:n]
+}
+
+// bufferAppend adds t to the buffer and extends every worker's cache:
+// one packed-row call prices t against all workers (rel) and one small
+// row per worker prices it against that worker's active set (the
+// per-slot rows).
+func (a *Assigner) bufferAppend(t *core.Task) {
+	a.buffer = append(a.buffer, t)
+	a.bufPack.Append(t.Keywords)
+	if len(a.order) == 0 {
+		return
+	}
+	a.scratchW = growScratch(a.scratchW, len(a.order))
+	metric.Row(a.cfg.Dist, t.Keywords, &a.wkrPack, a.workerKw, a.scratchW)
+	for k, ws := range a.states {
+		ws.rel = append(ws.rel, 1-a.scratchW[k])
+		if n := len(ws.active); n > 0 {
+			a.scratchA = growScratch(a.scratchA, n)
+			metric.Row(a.cfg.Dist, t.Keywords, &ws.activePack, ws.activeKw, a.scratchA)
+			for s := 0; s < n; s++ {
+				ws.rows[s] = append(ws.rows[s], a.scratchA[s])
+			}
+		}
+	}
+}
+
+// bufferSwapRemove evicts buffer index i by moving the last entry into its
+// slot — the pull-side removal — and mirrors the move through the pack and
+// every worker's cache columns.
+func (a *Assigner) bufferSwapRemove(i int) {
+	last := len(a.buffer) - 1
+	a.buffer[i] = a.buffer[last]
+	a.buffer[last] = nil
+	a.buffer = a.buffer[:last]
+	a.bufPack.SwapRemove(i)
+	for _, ws := range a.states {
+		ws.rel[i] = ws.rel[last]
+		ws.rel = ws.rel[:last]
+		for s, r := range ws.rows {
+			r[i] = r[last]
+			ws.rows[s] = r[:last]
+		}
+	}
+}
+
+// bufferDropFront removes the first k buffered tasks in order — the donor
+// side of TakeBuffered — nilling the vacated slots in one pass and
+// mirroring the shift through every cache column.
+func (a *Assigner) bufferDropFront(k int) {
+	rest := len(a.buffer) - k
+	copy(a.buffer, a.buffer[k:])
+	for i := rest; i < len(a.buffer); i++ {
+		a.buffer[i] = nil
+	}
+	a.buffer = a.buffer[:rest]
+	a.bufPack.DropFront(k)
+	for _, ws := range a.states {
+		copy(ws.rel, ws.rel[k:])
+		ws.rel = ws.rel[:rest]
+		for s, r := range ws.rows {
+			copy(r, r[k:])
+			ws.rows[s] = r[:rest]
+		}
+	}
+}
+
+// addActive appends t as the worker's newest active slot: one packed row
+// over the buffer becomes the slot's cache row.
+func (a *Assigner) addActive(ws *workerState, t *core.Task) {
+	row := a.getRow(len(a.buffer))
+	metric.RowP(a.cfg.Dist, t.Keywords, &a.bufPack, a.bufKw, row, a.cfg.Parallelism)
+	ws.rows = append(ws.rows, row)
+	ws.activePack.Append(t.Keywords)
+	ws.active = append(ws.active, t)
+}
+
+// removeActive drops active slot idx (order-preserving, matching the
+// active slice): the slot's row goes back to the free list and the later
+// rows shift down — no sums to repair, since pullBest folds on read.
+func (a *Assigner) removeActive(ws *workerState, idx int) {
+	ws.activePack.RemoveAt(idx)
+	a.putRow(ws.rows[idx])
+	copy(ws.rows[idx:], ws.rows[idx+1:])
+	ws.rows[len(ws.rows)-1] = nil
+	ws.rows = ws.rows[:len(ws.rows)-1]
+	ws.active = append(ws.active[:idx], ws.active[idx+1:]...)
+}
+
+// releaseWorkerCache returns a departing worker's rows to the free list.
+func (a *Assigner) releaseWorkerCache(ws *workerState) {
+	for s, r := range ws.rows {
+		a.putRow(r)
+		ws.rows[s] = nil
+	}
+	ws.rows = nil
+	ws.rel = nil
+}
+
+// scoreFresh prices a task that is not in the buffer (an arriving offer)
+// against one worker: the same Δ(q, k) the cache stores, computed through
+// the pack kernel over the worker's active set in slot order.
+func (a *Assigner) scoreFresh(ws *workerState, t *core.Task) (gain, rel float64) {
+	var sumDiv float64
+	if n := len(ws.active); n > 0 {
+		a.scratchA = growScratch(a.scratchA, n)
+		metric.Row(a.cfg.Dist, t.Keywords, &ws.activePack, ws.activeKw, a.scratchA)
+		for _, v := range a.scratchA {
+			sumDiv += v
+		}
+	}
+	rel = metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+	w := ws.worker
+	return 2*w.Alpha*sumDiv + w.Beta*(ws.sumRel+float64(len(ws.active))*rel), rel
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/metric"
 	"github.com/htacs/ata/internal/trace"
@@ -44,6 +45,13 @@ type Config struct {
 	BufferLimit int
 	// Dist is the diversity metric; defaults to Jaccard.
 	Dist metric.Distance
+	// Parallelism bounds the goroutines pricing buffer-sized distance
+	// rows (metric.RowP): 1 (the default when 0) keeps the hot path
+	// strictly serial and allocation-free; > 1 fans wide rows out and
+	// trades a per-event goroutine barrier for latency on very deep
+	// buffers; < 0 means all cores. Results are bit-identical either
+	// way.
+	Parallelism int
 	// Metrics receives the assigner's telemetry (queue depth, delivery and
 	// drop counters, drain batch sizes). Nil uses the process-wide
 	// instruments on obs.Default(); pass NewMetrics over a private
@@ -51,12 +59,21 @@ type Config struct {
 	Metrics *Metrics
 }
 
-// workerState is one worker's streaming state.
+// workerState is one worker's streaming state plus its slice of the
+// incremental gain cache (see cache.go for the invariants).
 type workerState struct {
 	worker *core.Worker
 	active []*core.Task // currently assigned, not yet completed
 	sumRel float64      // Σ rel(t, w) over active
 	done   int          // completed count
+
+	// Gain cache: rel[i] = rel(buffer[i], worker); rows[s][i] =
+	// d(buffer[i], active[s]). Both stay aligned with the assigner's
+	// buffer; pullBest folds the rows in slot order on the fly.
+	activePack bitset.Pack
+	activeKw   func(i int) *bitset.Set
+	rel        []float64
+	rows       [][]float64
 }
 
 // Assigner is the streaming decision-maker. It is not safe for concurrent
@@ -66,9 +83,23 @@ type Assigner struct {
 	cfg     Config
 	workers map[string]*workerState
 	order   []string
+	states  []*workerState // aligned with order: hot loops iterate this, never the map
 	buffer  []*core.Task
 	seen    map[string]bool // task IDs ever accepted, to reject duplicates
 	metrics *Metrics
+
+	// Packed mirrors and scratch for the gain cache (cache.go): bufPack
+	// mirrors buffer keywords, wkrPack the registered workers' keywords in
+	// arrival order. The closures adapt metric.Row's generic fallback to
+	// the mirrored slices and are built once, so hot-path kernel calls
+	// allocate nothing.
+	bufPack  bitset.Pack
+	wkrPack  bitset.Pack
+	bufKw    func(i int) *bitset.Set
+	workerKw func(i int) *bitset.Set
+	rowPool  [][]float64
+	scratchA []float64
+	scratchW []float64
 
 	// backlogN and freeCapN mirror len(buffer) and Σ_q (Xmax −
 	// |active(q)|) atomically so other goroutines — the sharded engine's
@@ -94,16 +125,22 @@ func NewAssigner(cfg Config) (*Assigner, error) {
 	if cfg.Dist == nil {
 		cfg.Dist = metric.Jaccard{}
 	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = 1
+	}
 	m := cfg.Metrics
 	if m == nil {
 		m = defaultMetrics()
 	}
-	return &Assigner{
+	a := &Assigner{
 		cfg:     cfg,
 		workers: make(map[string]*workerState),
 		seen:    make(map[string]bool),
 		metrics: m,
-	}, nil
+	}
+	a.bufKw = func(i int) *bitset.Set { return a.buffer[i].Keywords }
+	a.workerKw = func(i int) *bitset.Set { return a.states[i].worker.Keywords }
+	return a, nil
 }
 
 // BufferLen returns the number of tasks waiting for a free slot.
@@ -184,8 +221,20 @@ func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
 		return nil, fmt.Errorf("stream: duplicate worker %q", w.ID)
 	}
 	ws := &workerState{worker: w}
+	ws.activeKw = func(i int) *bitset.Set { return ws.active[i].Keywords }
 	a.workers[w.ID] = ws
 	a.order = append(a.order, w.ID)
+	a.states = append(a.states, ws)
+	a.wkrPack.Append(w.Keywords)
+	// Seed the gain cache over the existing backlog: one packed row gives
+	// rel(buffer[i], w); there are no rows yet (empty active set).
+	if nb := len(a.buffer); nb > 0 {
+		ws.rel = make([]float64, nb)
+		metric.RowP(a.cfg.Dist, w.Keywords, &a.bufPack, a.bufKw, ws.rel, a.cfg.Parallelism)
+		for i := range ws.rel {
+			ws.rel[i] = 1 - ws.rel[i]
+		}
+	}
 	a.freeCapN.Add(int64(a.cfg.Xmax))
 	var assigned []*core.Task
 	for len(ws.active) < a.cfg.Xmax {
@@ -227,12 +276,20 @@ func (a *Assigner) RemoveWorker(id string) (dropped []*core.Task, err error) {
 	for i, oid := range a.order {
 		if oid == id {
 			a.order = append(a.order[:i], a.order[i+1:]...)
+			copy(a.states[i:], a.states[i+1:])
+			a.states[len(a.states)-1] = nil
+			a.states = a.states[:len(a.states)-1]
+			a.wkrPack.RemoveAt(i)
 			break
 		}
 	}
+	a.releaseWorkerCache(ws)
+	// Requeue through bufferAppend so the surviving workers' caches gain
+	// entries for the returned tasks (the departed worker is already out
+	// of a.order and gets none).
 	for _, t := range ws.active {
 		if len(a.buffer) < a.cfg.BufferLimit {
-			a.buffer = append(a.buffer, t)
+			a.bufferAppend(t)
 			a.metrics.Requeued.Inc()
 		} else {
 			dropped = append(dropped, t)
@@ -260,7 +317,7 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 		return "", fmt.Errorf("stream: duplicate task %q", t.ID)
 	}
 	a.metrics.Submitted.Inc()
-	bestQ, _, _ := a.bestFree(t)
+	bestQ, _, bestRel := a.bestFree(t)
 	a.seen[t.ID] = true
 	if bestQ == "" {
 		if len(a.buffer) >= a.cfg.BufferLimit {
@@ -268,11 +325,11 @@ func (a *Assigner) OfferTask(t *core.Task) (string, error) {
 			a.metrics.Dropped.Inc()
 			return "", ErrBufferFull
 		}
-		a.buffer = append(a.buffer, t)
+		a.bufferAppend(t)
 		a.syncQueueGauge()
 		return "", nil
 	}
-	a.assign(a.workers[bestQ], t)
+	a.assign(a.workers[bestQ], t, bestRel)
 	return bestQ, nil
 }
 
@@ -310,7 +367,7 @@ func (a *Assigner) Complete(workerID, taskID string) (*core.Task, error) {
 		return nil, fmt.Errorf("stream: task %q is not active for worker %q", taskID, workerID)
 	}
 	ws.sumRel -= metric.Relevance(a.cfg.Dist, ws.active[idx].Keywords, ws.worker.Keywords)
-	ws.active = append(ws.active[:idx], ws.active[idx+1:]...)
+	a.removeActive(ws, idx)
 	ws.done++
 	a.freeCapN.Add(1)
 	a.metrics.Completed.Inc()
@@ -374,13 +431,12 @@ func (a *Assigner) Completed(workerID string) (int, error) {
 // the 1-shard engine event-for-event identical to the bare Assigner.
 func (a *Assigner) bestFree(t *core.Task) (id string, gain, rel float64) {
 	bestQ, bestGain, bestRel := "", -1.0, -1.0
-	for _, wid := range a.order {
-		ws := a.workers[wid]
+	for i, wid := range a.order {
+		ws := a.states[i]
 		if len(ws.active) >= a.cfg.Xmax {
 			continue
 		}
-		g := a.marginalGain(ws, t)
-		r := metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+		g, r := a.scoreFresh(ws, t)
 		if g > bestGain+1e-12 || (g > bestGain-1e-12 && r > bestRel) {
 			bestQ, bestGain, bestRel = wid, g, r
 		}
@@ -407,12 +463,12 @@ func (a *Assigner) TryAssign(t *core.Task) (string, bool) {
 	if t == nil || t.Keywords == nil || t.ID == "" {
 		return "", false
 	}
-	id, _, _ := a.bestFree(t)
+	id, _, rel := a.bestFree(t)
 	if id == "" {
 		return "", false
 	}
 	a.seen[t.ID] = true
-	a.assign(a.workers[id], t)
+	a.assign(a.workers[id], t, rel)
 	return id, true
 }
 
@@ -429,7 +485,7 @@ func (a *Assigner) BufferTask(t *core.Task) error {
 		return ErrBufferFull
 	}
 	a.seen[t.ID] = true
-	a.buffer = append(a.buffer, t)
+	a.bufferAppend(t)
 	a.syncQueueGauge()
 	return nil
 }
@@ -437,7 +493,17 @@ func (a *Assigner) BufferTask(t *core.Task) error {
 // Buffered returns a copy of the buffer contents in order — snapshotting
 // reads it; the tasks themselves are shared.
 func (a *Assigner) Buffered() []*core.Task {
-	return append([]*core.Task(nil), a.buffer...)
+	if len(a.buffer) == 0 {
+		return nil
+	}
+	return a.BufferedInto(nil)
+}
+
+// BufferedInto appends the buffer contents, in order, to dst and returns
+// the extended slice — the allocation-free form of Buffered for callers
+// that hold a reusable scratch slice (the snapshot path).
+func (a *Assigner) BufferedInto(dst []*core.Task) []*core.Task {
+	return append(dst, a.buffer...)
 }
 
 // TakeBuffered removes and returns up to n buffered tasks, oldest first —
@@ -448,18 +514,24 @@ func (a *Assigner) TakeBuffered(n int) []*core.Task {
 	if n <= 0 || len(a.buffer) == 0 {
 		return nil
 	}
+	return a.TakeBufferedInto(n, nil)
+}
+
+// TakeBufferedInto is TakeBuffered appending into a caller-supplied
+// scratch slice, so a steal moves tasks without allocating a fresh return
+// slice per transfer. The donor slots are nilled in one pass as part of
+// the order-preserving drop.
+func (a *Assigner) TakeBufferedInto(n int, dst []*core.Task) []*core.Task {
+	if n <= 0 || len(a.buffer) == 0 {
+		return dst
+	}
 	if n > len(a.buffer) {
 		n = len(a.buffer)
 	}
-	out := append([]*core.Task(nil), a.buffer[:n]...)
-	rest := len(a.buffer) - n
-	copy(a.buffer, a.buffer[n:])
-	for i := rest; i < len(a.buffer); i++ {
-		a.buffer[i] = nil
-	}
-	a.buffer = a.buffer[:rest]
+	dst = append(dst, a.buffer[:n]...)
+	a.bufferDropFront(n)
 	a.syncQueueGauge()
-	return out
+	return dst
 }
 
 // ForceAssign places t directly on the named worker, bypassing the
@@ -477,7 +549,7 @@ func (a *Assigner) ForceAssign(workerID string, t *core.Task) error {
 		return fmt.Errorf("stream: worker %q is at capacity", workerID)
 	}
 	a.seen[t.ID] = true
-	a.assign(ws, t)
+	a.assign(ws, t, metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords))
 	return nil
 }
 
@@ -508,28 +580,83 @@ func (a *Assigner) marginalGain(ws *workerState, t *core.Task) float64 {
 
 // pullBest removes and assigns the buffered task with the best marginal
 // gain for the worker; nil when the buffer is empty or the worker is full.
+//
+// This is the lazily-repaired score index at work: instead of re-running
+// marginalGain per buffered task (an O(|active|) distance loop each), the
+// scan folds the worker's cached divSum and rel columns with two scalars —
+// pure arithmetic over flat float64 slices. A heap would not help here:
+// assigning the pulled task changes every remaining gain for this worker
+// (divSum shifts non-uniformly), so keys go stale after every pop and the
+// repaired scan is the cheapest correct structure.
 func (a *Assigner) pullBest(ws *workerState) *core.Task {
 	if len(a.buffer) == 0 || len(ws.active) >= a.cfg.Xmax {
 		return nil
 	}
+	// The fold below adds the cached rows in slot order — the order
+	// marginalGain sums in — and hoists 2α and β without regrouping the
+	// gain expression, so rounding is identical to a from-scratch
+	// recompute. The common row counts are unrolled (reslicing the rows
+	// to len(rel) lets the compiler drop their bounds checks): with Xmax
+	// in the single digits this scan is the hottest loop in the package.
+	w := ws.worker
+	twoAlpha, beta := 2*w.Alpha, w.Beta
+	sumRel, n := ws.sumRel, float64(len(ws.active))
+	rel := ws.rel
 	bestI, bestGain := -1, -1.0
-	for i, t := range a.buffer {
-		if g := a.marginalGain(ws, t); g > bestGain {
-			bestI, bestGain = i, g
+	switch len(ws.rows) {
+	case 0:
+		for i, rl := range rel {
+			if g := twoAlpha*0 + beta*(sumRel+n*rl); g > bestGain {
+				bestI, bestGain = i, g
+			}
+		}
+	case 1:
+		r0 := ws.rows[0][:len(rel)]
+		for i, rl := range rel {
+			if g := twoAlpha*r0[i] + beta*(sumRel+n*rl); g > bestGain {
+				bestI, bestGain = i, g
+			}
+		}
+	case 2:
+		r0, r1 := ws.rows[0][:len(rel)], ws.rows[1][:len(rel)]
+		for i, rl := range rel {
+			if g := twoAlpha*(r0[i]+r1[i]) + beta*(sumRel+n*rl); g > bestGain {
+				bestI, bestGain = i, g
+			}
+		}
+	case 3:
+		r0, r1, r2 := ws.rows[0][:len(rel)], ws.rows[1][:len(rel)], ws.rows[2][:len(rel)]
+		for i, rl := range rel {
+			if g := twoAlpha*(r0[i]+r1[i]+r2[i]) + beta*(sumRel+n*rl); g > bestGain {
+				bestI, bestGain = i, g
+			}
+		}
+	default:
+		rows := ws.rows
+		for i, rl := range rel {
+			var ds float64
+			for _, r := range rows {
+				ds += r[i]
+			}
+			if g := twoAlpha*ds + beta*(sumRel+n*rl); g > bestGain {
+				bestI, bestGain = i, g
+			}
 		}
 	}
 	t := a.buffer[bestI]
-	last := len(a.buffer) - 1
-	a.buffer[bestI] = a.buffer[last]
-	a.buffer = a.buffer[:last]
+	relT := ws.rel[bestI]
+	a.bufferSwapRemove(bestI)
 	a.syncQueueGauge()
-	a.assign(ws, t)
+	a.assign(ws, t, relT)
 	return t
 }
 
-func (a *Assigner) assign(ws *workerState, t *core.Task) {
-	ws.active = append(ws.active, t)
-	ws.sumRel += metric.Relevance(a.cfg.Dist, t.Keywords, ws.worker.Keywords)
+// assign commits t to the worker: the cache gains an active slot (one
+// packed row over the remaining buffer) and sumRel extends by the cached
+// relevance, which is bit-identical to recomputing it.
+func (a *Assigner) assign(ws *workerState, t *core.Task, rel float64) {
+	a.addActive(ws, t)
+	ws.sumRel += rel
 	a.freeCapN.Add(-1)
 	a.metrics.Delivered.Inc()
 }
