@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 bench-pr6 experiments live crowd clean
+.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 bench-pr6 bench-pr7 smoke-cluster experiments live crowd clean
 
 all: build vet test
 
@@ -35,6 +35,16 @@ bench-pr5:
 # churn workload vs the recorded pr5 single-shard baseline.
 bench-pr6:
 	$(GO) run ./cmd/hta-bench -fig pr6 -runs 5 -json BENCH_PR6.json
+
+# Regenerate the cluster gateway report (BENCH_PR7.json): 1/2/4 nodes
+# over real loopback HTTP, batched frames vs the per-op control.
+bench-pr7:
+	$(GO) run ./cmd/hta-bench -fig pr7 -json BENCH_PR7.json
+
+# The multi-process cluster smoke: 3 hta-server nodes + a gateway on
+# ephemeral ports, churn replay, conservation, clean SIGTERM shutdown.
+smoke-cluster:
+	$(GO) test ./cmd/hta-server -run TestClusterSmokeMultiProcess -v
 
 bench:
 	$(GO) test -run '^$$' -bench=. -benchmem ./...

@@ -29,6 +29,12 @@
 // reports the single-shard speedup against the pre-optimisation baseline
 // loaded from -baseline (default BENCH_PR5.json); with -gate it exits
 // non-zero when the speedup misses -min-speedup (BENCH_PR6.json).
+//
+// -fig pr7 measures the multi-node cluster gateway at 1/2/4 single-shard
+// nodes over real loopback HTTP, batched frames vs a MaxBatch=1 per-op
+// control, with total buffer capacity fixed across node counts; with
+// -gate it exits non-zero when 4 nodes miss the 2x aggregate target or
+// batching loses to the control (BENCH_PR7.json).
 package main
 
 import (
@@ -69,7 +75,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5 or pr6")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6 or pr7")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -278,8 +284,33 @@ func main() {
 				report.SpeedupAt1, report.TargetSpeedup)
 			os.Exit(1)
 		}
+	case "pr7":
+		// Not a paper figure: the multi-node cluster report — the pr5
+		// churn workload routed through the gateway's batched RPC plane at
+		// 1/2/4 nodes, judged by 4-node aggregate speedup and by the
+		// batched-vs-per-op contrast.
+		fmt.Printf("PR 7 report: cluster gateway throughput over loopback HTTP (total buffer fixed across node counts)\n\n")
+		var report *experiments.PR7Report
+		report, err = experiments.SweepPR7(opts)
+		if err == nil {
+			err = report.RenderPR7(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR7JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *gate && !report.MeetsTarget {
+			fmt.Fprintf(os.Stderr, "hta-bench: pr7 gate: 4-node speedup %.2fx (target %.2fx), batched beats per-op: %v\n",
+				report.SpeedupAt4, report.TargetSpeedup, report.BatchedBeatsUnbatched)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5 or pr6)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6 or pr7)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// Multi-process cluster smoke test: build the real binary, spawn three
+// -node processes plus a -gateway on ephemeral ports, replay a churn
+// workload through the gateway's public API, and check that the merged
+// conservation accounting balances and every process exits cleanly on
+// SIGTERM. This is the one test that exercises the flag wiring, the
+// address-announcement line, and the cluster RPC plane over real sockets
+// between real processes.
+
+// buildServerBinary compiles the command under test once per test run.
+func buildServerBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hta-server")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hta-server: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serverProc is one spawned hta-server with its announced address.
+type serverProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startServer launches the binary and scrapes the "listening on" line for
+// the kernel-chosen port.
+func startServer(t *testing.T, bin string, args ...string) *serverProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0", "-trace-sample", "0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout // interleave; only scanned for the address line
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "assignment service listening on "); ok {
+				addr, _, _ := strings.Cut(rest, " ")
+				addrCh <- addr
+				// Keep draining so the child never blocks on a full pipe.
+				for sc.Scan() {
+				}
+				return
+			}
+		}
+		errCh <- fmt.Errorf("hta-server exited before announcing an address: %v", sc.Err())
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serverProc{cmd: cmd, addr: addr}
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-time.After(15 * time.Second):
+		t.Fatal("timed out waiting for the listening-address line")
+	}
+	return nil
+}
+
+// terminate sends SIGTERM and requires a zero exit within the grace
+// window — the graceful drain path, not a kill.
+func (p *serverProc) terminate(t *testing.T) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("process exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatal("process did not exit within 20s of SIGTERM")
+	}
+}
+
+func TestClusterSmokeMultiProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process smoke test builds and spawns the real binary")
+	}
+	bin := buildServerBinary(t)
+
+	// Three single-shard nodes: the cluster, not the local shard fan-out,
+	// is the parallelism under test.
+	var nodes []*serverProc
+	var peerParts []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("n%d", i)
+		p := startServer(t, bin, "-shards", "1", "-node", name, "-buffer", "256")
+		nodes = append(nodes, p)
+		peerParts = append(peerParts, fmt.Sprintf("%s=http://%s", name, p.addr))
+	}
+	gw := startServer(t, bin, "-gateway", "-peers", strings.Join(peerParts, ","))
+
+	client := platform.NewClient("http://"+gw.addr, nil)
+
+	// Churn replay: register, offer, complete, deregister — concurrently,
+	// the way real traffic arrives.
+	const workers, tasks = 6, 60
+	for i := 0; i < workers; i++ {
+		kw := []int{i, i + 1, i + 2, i + 3, i + 4, i + 5}
+		if _, err := client.Register(fmt.Sprintf("w%d", i), kw); err != nil {
+			t.Fatalf("register w%d through gateway: %v", i, err)
+		}
+	}
+	if err := client.AddTasks(genTasks(tasks)); err != nil {
+		t.Fatalf("offering tasks through gateway: %v", err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				set, err := client.Tasks(id)
+				if err != nil {
+					errs <- fmt.Errorf("%s tasks: %w", id, err)
+					return
+				}
+				if len(set) == 0 {
+					return
+				}
+				if _, err := client.Complete(id, set[0].ID); err != nil {
+					errs <- fmt.Errorf("%s complete: %w", id, err)
+					return
+				}
+			}
+		}(fmt.Sprintf("w%d", i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Replay a generated churn trace (the hta-gen -churn format) through
+	// the gateway: arrivals register, departures leave and requeue their
+	// active tasks across the surviving ring segment.
+	// KeywordsPerWorker must clear the platform's paper-mandated minimum
+	// of six declared interests per worker.
+	gen, err := workload.NewGenerator(workload.Config{Seed: 7, KeywordsPerWorker: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	churners := gen.Workers(8)
+	churnerByID := make(map[string][]int, len(churners))
+	for _, w := range churners {
+		churnerByID[w.ID] = w.Keywords.Indices()
+	}
+	trace, err := gen.Churn(churners, 20, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := 0
+	for _, ev := range trace {
+		if ev.Arrive {
+			if _, err := client.Register(ev.Worker, churnerByID[ev.Worker]); err != nil {
+				t.Fatalf("churn arrival %s: %v", ev.Worker, err)
+			}
+			live++
+		} else {
+			if err := client.Leave(ev.Worker); err != nil {
+				t.Fatalf("churn departure %s: %v", ev.Worker, err)
+			}
+			live--
+		}
+	}
+
+	stats, err := client.ShardStats()
+	if err != nil {
+		t.Fatalf("merged stats through gateway: %v", err)
+	}
+	if !stats.Conserved {
+		t.Fatalf("cluster accounting does not balance: %+v", stats.Stats)
+	}
+	if stats.Submitted != tasks {
+		t.Fatalf("Submitted = %d, want %d", stats.Submitted, tasks)
+	}
+	if stats.Workers != workers+live {
+		t.Fatalf("Workers = %d after churn, want %d (%d base + %d live churners)",
+			stats.Workers, workers+live, workers, live)
+	}
+	if len(stats.PerShard) != 3 {
+		t.Fatalf("merged stats cover %d shards, want 3 (one per node)", len(stats.PerShard))
+	}
+	if stats.Completed == 0 {
+		t.Fatal("no completions were routed")
+	}
+
+	// Clean shutdown: gateway first (drains routing), then the nodes.
+	gw.terminate(t)
+	for _, p := range nodes {
+		p.terminate(t)
+	}
+}

@@ -5,6 +5,16 @@
 // in-flight assignments, learned α/β) is restored at startup and saved on
 // SIGINT/SIGTERM, so the experiment survives restarts.
 //
+// Cluster mode stacks a thin RPC plane on the sharded engine. A process
+// started with -node NAME (implies -shards >= 1) additionally serves the
+// cluster protocol under /cluster/ — batched op frames, health probes,
+// and per-node snapshot cuts. A process started with -gateway -peers
+// name=url,... runs no local engine: it routes every streaming op across
+// the named nodes by consistent hashing, scatter-gathers marginal-gain
+// scores for task placement, and re-partitions the ring when heartbeats
+// declare a node dead. The public HTTP surface is identical in all three
+// modes; only the backend behind it changes.
+//
 // The server is hardened for unattended operation: read/write/idle
 // timeouts on every connection, bounded request bodies, and a graceful
 // shutdown path — on SIGINT/SIGTERM the /healthz endpoint flips to 503
@@ -24,6 +34,7 @@
 //
 //	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
 //	           [-shards 0] [-buffer 1024]
+//	           [-node name] [-gateway] [-peers n1=http://h1,n2=http://h2]
 //	           [-xmax 15] [-extra 5] [-universe 100]
 //	           [-read-timeout 10s] [-write-timeout 30s] [-shutdown-grace 15s]
 //	           [-max-body 8388608]
@@ -61,13 +72,16 @@ import (
 	"io/fs"
 	"log"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/htacs/ata/internal/adaptive"
+	"github.com/htacs/ata/internal/cluster"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/platform"
 	"github.com/htacs/ata/internal/shard"
@@ -115,6 +129,9 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "engine state file: restored at startup, written on SIGINT/SIGTERM")
 	shards := flag.Int("shards", 0, "run the sharded streaming engine with N shards instead of batch iterations (0 = batch)")
 	buffer := flag.Int("buffer", 1024, "per-shard task buffer limit (sharded mode only)")
+	nodeName := flag.String("node", "", "cluster member name: also serve the cluster RPC plane under /cluster/ (requires -shards >= 1)")
+	gatewayMode := flag.Bool("gateway", false, "run as the cluster gateway: no local engine, ops routed across -peers")
+	peersSpec := flag.String("peers", "", "cluster membership as name=url,name=url (gateway mode only)")
 	xmax := flag.Int("xmax", 15, "per-worker capacity Xmax (paper live setting: 15)")
 	extra := flag.Int("extra", 5, "extra random tasks per display set (paper: 5)")
 	universe := flag.Int("universe", 100, "keyword universe size")
@@ -158,7 +175,27 @@ func main() {
 			log.Fatalf("hta-server: reading %s: %v", *tasksPath, err)
 		}
 	}
-	if *shards > 0 {
+	var clusterNode *cluster.Node
+	if *gatewayMode {
+		if *shards > 0 || *nodeName != "" {
+			log.Fatal("hta-server: -gateway excludes -shards and -node (the gateway runs no local engine)")
+		}
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		gw, err := cluster.NewGateway(cluster.GatewayConfig{Peers: peers, Logger: logger})
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		defer gw.Close()
+		if len(preload) > 0 {
+			streamPreload(gw, preload, *tasksPath)
+		}
+		// In gateway mode -snapshot writes the merged cluster cut at
+		// shutdown; startup restore happens per node, not here.
+		srvCfg.Shards = gw
+	} else if *shards > 0 {
 		scfg := shard.Config{
 			Shards: *shards,
 			Stream: stream.Config{Xmax: *xmax, BufferLimit: *buffer},
@@ -175,23 +212,17 @@ func main() {
 				*snapshotPath, st.Shards, st.Workers, st.Buffered)
 		}
 		if len(preload) > 0 {
-			var assigned, buffered, dropped int
-			for _, t := range preload {
-				switch wid, err := eng.OfferTask(t); {
-				case err == nil && wid != "":
-					assigned++
-				case err == nil:
-					buffered++
-				case errors.Is(err, stream.ErrBufferFull):
-					dropped++
-				default:
-					log.Fatalf("hta-server: loading tasks: %v", err)
-				}
+			streamPreload(eng, preload, *tasksPath)
+		}
+		if *nodeName != "" {
+			clusterNode, err = cluster.NewNode(cluster.NodeConfig{Name: *nodeName, Engine: eng})
+			if err != nil {
+				log.Fatalf("hta-server: %v", err)
 			}
-			fmt.Printf("streamed %d tasks from %s (%d assigned, %d buffered, %d dropped)\n",
-				len(preload), *tasksPath, assigned, buffered, dropped)
 		}
 		srvCfg.Shards = eng
+	} else if *nodeName != "" {
+		log.Fatal("hta-server: -node requires -shards >= 1 (the cluster plane serves the streaming engine)")
 	} else {
 		cfg := adaptive.Config{
 			Xmax:             *xmax,
@@ -220,24 +251,49 @@ func main() {
 		log.Fatalf("hta-server: %v", err)
 	}
 
-	httpSrv := newHTTPServer(*addr, srv, serverParams{
+	// -node mode mounts the cluster RPC plane beside the public API: one
+	// listener serves both the worker-facing endpoints and the gateway's
+	// batched frames.
+	var handler http.Handler = srv
+	if clusterNode != nil {
+		outer := http.NewServeMux()
+		outer.Handle("/cluster/", clusterNode)
+		outer.Handle("/", srv)
+		handler = outer
+	}
+	httpSrv := newHTTPServer(*addr, handler, serverParams{
 		readTimeout:   *readTimeout,
 		writeTimeout:  *writeTimeout,
 		idleTimeout:   *idleTimeout,
 		shutdownGrace: *grace,
 	})
 
+	// Explicit listen before serve so -addr :0 reports the kernel-chosen
+	// port — the cluster smoke tests spawn nodes on ephemeral ports and
+	// scrape this line for the address.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("hta-server: %v", err)
+	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
+	go func() { errCh <- httpSrv.Serve(ln) }()
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 
-	if *shards > 0 {
+	bound := ln.Addr().String()
+	switch {
+	case *gatewayMode:
+		fmt.Printf("assignment service listening on %s (cluster gateway, %d peers)\n",
+			bound, len(strings.Split(*peersSpec, ",")))
+	case clusterNode != nil:
+		fmt.Printf("assignment service listening on %s (cluster node %q, %d shards, Xmax=%d, buffer=%d/shard)\n",
+			bound, *nodeName, *shards, *xmax, *buffer)
+	case *shards > 0:
 		fmt.Printf("assignment service listening on %s (streaming, %d shards, Xmax=%d, buffer=%d/shard)\n",
-			*addr, *shards, *xmax, *buffer)
-	} else {
-		fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", *addr, *xmax, *extra)
+			bound, *shards, *xmax, *buffer)
+	default:
+		fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", bound, *xmax, *extra)
 	}
 	select {
 	case err := <-errCh:
@@ -254,6 +310,50 @@ func main() {
 			fmt.Printf("saved engine state to %s\n", *snapshotPath)
 		}
 	}
+}
+
+// parsePeers turns the -peers flag ("n1=http://h1:p1,n2=http://h2:p2")
+// into the gateway's membership list.
+func parsePeers(spec string) ([]cluster.PeerSpec, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, errors.New("-gateway requires -peers name=url,name=url")
+	}
+	var peers []cluster.PeerSpec
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(part, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q, want name=url", part)
+		}
+		peers = append(peers, cluster.PeerSpec{Name: name, URL: url})
+	}
+	if len(peers) == 0 {
+		return nil, errors.New("-peers named no nodes")
+	}
+	return peers, nil
+}
+
+// streamPreload offers a task file into a streaming backend (in-process
+// engine or cluster gateway), reporting each task's fate.
+func streamPreload(backend platform.StreamBackend, preload []*core.Task, path string) {
+	var assigned, buffered, dropped int
+	for _, t := range preload {
+		switch wid, err := backend.OfferTaskCtx(context.Background(), t); {
+		case err == nil && wid != "":
+			assigned++
+		case err == nil:
+			buffered++
+		case errors.Is(err, stream.ErrBufferFull):
+			dropped++
+		default:
+			log.Fatalf("hta-server: loading tasks: %v", err)
+		}
+	}
+	fmt.Printf("streamed %d tasks from %s (%d assigned, %d buffered, %d dropped)\n",
+		len(preload), path, assigned, buffered, dropped)
 }
 
 // buildShardEngine restores the sharded streaming engine from the

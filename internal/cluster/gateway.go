@@ -1,0 +1,967 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
+)
+
+// ErrNoNodes is returned when every cluster member has been removed from
+// the ring — there is nowhere left to route.
+var ErrNoNodes = errors.New("cluster: no live nodes")
+
+// PeerSpec names one cluster member and its base URL.
+type PeerSpec struct {
+	Name string
+	URL  string // e.g. http://127.0.0.1:9001
+}
+
+// GatewayConfig parameterizes a Gateway.
+type GatewayConfig struct {
+	// Peers is the initial membership. Names must be unique; URLs are the
+	// nodes' base addresses (the /cluster/ routes hang off them).
+	Peers []PeerSpec
+	// HTTPClient carries all RPC traffic. Defaults to a client with a
+	// pooled keep-alive transport sized for the pipelining window, so
+	// frames reuse persistent connections instead of dialing per request.
+	HTTPClient *http.Client
+	// MaxBatch caps the ops coalesced into one frame (default 64).
+	MaxBatch int
+	// Window caps the frames in flight per peer (default 4) — pipelining,
+	// so one slow response does not stall the queue behind it.
+	Window int
+	// FrameRetries is the attempts per frame including the first (default
+	// 3). Retries reuse the frame ID; the node's replay cache makes them
+	// idempotent.
+	FrameRetries int
+	// RetryBackoff is the base delay between frame retries (default 25ms,
+	// doubling per attempt, capped at 1s).
+	RetryBackoff time.Duration
+	// VirtualNodes is the ring points per member (default 64).
+	VirtualNodes int
+	// HeartbeatInterval is the health-probe period (default 500ms).
+	// Negative disables the background loop — tests drive CheckHealth
+	// directly for determinism.
+	HeartbeatInterval time.Duration
+	// FailAfter is the consecutive failures (health probes or frames)
+	// before a node is declared dead and its tasks requeued (default 3).
+	FailAfter int
+	// Registry receives the gateway instruments (obs.Default() when nil).
+	Registry *obs.Registry
+	// Logger receives membership events (slog.Default() when nil).
+	Logger *slog.Logger
+}
+
+// ledgerEntry records where a pending (active or buffered) task lives, so
+// a node death can requeue exactly the tasks it held.
+type ledgerEntry struct {
+	node string
+	task *core.Task
+}
+
+// gwMetrics are the gateway instruments.
+type gwMetrics struct {
+	Nodes     *obs.Gauge   // current live member count
+	NodeDrops *obs.Counter // members declared dead
+	Requeued  *obs.Counter // tasks requeued off dead nodes
+	Lost      *obs.Counter // tasks dropped because requeue failed
+}
+
+func newGwMetrics(r *obs.Registry) *gwMetrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &gwMetrics{
+		Nodes: r.Gauge("hta_cluster_nodes",
+			"live members on the cluster ring"),
+		NodeDrops: r.Counter("hta_cluster_node_drops_total",
+			"cluster members declared dead by the heartbeat loop"),
+		Requeued: r.Counter("hta_cluster_requeued_total",
+			"pending tasks requeued onto survivors after a node death"),
+		Lost: r.Counter("hta_cluster_lost_total",
+			"pending tasks dropped because no survivor could take them"),
+	}
+}
+
+// Gateway routes the scatter-gather marginal-gain protocol across a ring
+// of cluster nodes, presenting the same surface as a local *shard.Engine
+// (it satisfies platform.StreamBackend). One gateway fronts N hta-server
+// -node processes; all public traffic flows through it, which is what
+// makes the global accounting below exact.
+//
+// Accounting: the gateway owns Submitted (offers it accepted), Completed
+// (completions it routed), and its own Dropped (offers rejected
+// everywhere plus failed requeues); nodes own their internal drops
+// (worker-removal overflow), gathered live and absorbed at death. At
+// quiescence the global conservation law Submitted = Active + Completed +
+// Buffered + Dropped holds across the whole cluster, including after node
+// failures. Two documented caveats: node-internal steal drops are
+// invisible to the ledger (run cluster nodes with the steal loop off),
+// and drops a node suffers between its last heartbeat and its death are
+// lost from the global count.
+type Gateway struct {
+	cfg GatewayConfig
+	log *slog.Logger
+	met *gwMetrics
+
+	// opGate is the snapshot barrier: every op holds it for read, a
+	// merged snapshot holds it for write — a cluster-wide quiesce point,
+	// the RPC analogue of the engine's per-shard quiesce barrier.
+	opGate sync.RWMutex
+
+	// mu guards membership: the ring (nil once every member is dead), the
+	// peer table, and the per-node drop counters the death accounting
+	// absorbs.
+	mu          sync.Mutex
+	ring        *Ring
+	peers       map[string]*peer
+	order       []string // live member names, sorted — deterministic scatter order
+	lastDropped map[string]int64
+	deadDropped int64
+
+	// locMu guards the worker→node pin map. Workers are placed by ring
+	// lookup at registration and pinned, so membership changes never
+	// reroute an existing worker's calls to a node that has never heard
+	// of it — the ring decides placement, the pin decides routing.
+	locMu     sync.RWMutex
+	workerLoc map[string]string
+
+	ledgerMu sync.Mutex
+	ledger   map[string]ledgerEntry
+
+	seenMu sync.Mutex
+	seen   map[string]struct{}
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	dropped   atomic.Int64 // gateway-level: total rejects + failed requeues
+
+	closed atomic.Bool
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+// NewGateway validates the configuration, builds the ring and peer table,
+// and starts the heartbeat loop (unless disabled).
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if len(cfg.Peers) == 0 {
+		return nil, errors.New("cluster: gateway needs >= 1 peer")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 64
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.FrameRetries <= 0 {
+		cfg.FrameRetries = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 25 * time.Millisecond
+	}
+	if cfg.FailAfter <= 0 {
+		cfg.FailAfter = 3
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 2 * cfg.Window,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	names := make([]string, 0, len(cfg.Peers))
+	peers := make(map[string]*peer, len(cfg.Peers))
+	for _, ps := range cfg.Peers {
+		if ps.Name == "" || ps.URL == "" {
+			return nil, fmt.Errorf("cluster: peer needs name and URL (got %q, %q)", ps.Name, ps.URL)
+		}
+		if _, dup := peers[ps.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", ps.Name)
+		}
+		names = append(names, ps.Name)
+		peers[ps.Name] = newPeer(ps.Name, strings.TrimRight(ps.URL, "/"), cfg.HTTPClient,
+			cfg.MaxBatch, cfg.Window, cfg.FrameRetries, cfg.RetryBackoff)
+	}
+	ring, err := NewRing(names, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	g := &Gateway{
+		cfg:         cfg,
+		log:         cfg.Logger,
+		met:         newGwMetrics(cfg.Registry),
+		ring:        ring,
+		peers:       peers,
+		order:       names,
+		lastDropped: make(map[string]int64, len(peers)),
+		workerLoc:   make(map[string]string),
+		ledger:      make(map[string]ledgerEntry),
+		seen:        make(map[string]struct{}),
+		hbStop:      make(chan struct{}),
+		hbDone:      make(chan struct{}),
+	}
+	g.met.Nodes.Set(float64(len(names)))
+	if cfg.HeartbeatInterval > 0 {
+		go g.heartbeat()
+	} else {
+		close(g.hbDone)
+	}
+	return g, nil
+}
+
+// Close stops the heartbeat loop and fails all queued RPC. Idempotent.
+func (g *Gateway) Close() error {
+	if g.closed.Swap(true) {
+		return nil
+	}
+	close(g.hbStop)
+	<-g.hbDone
+	g.mu.Lock()
+	peers := make([]*peer, 0, len(g.peers))
+	for _, p := range g.peers {
+		peers = append(peers, p)
+	}
+	g.mu.Unlock()
+	for _, p := range peers {
+		p.close()
+	}
+	return nil
+}
+
+// livePeers snapshots the live members in deterministic (sorted-name)
+// order.
+func (g *Gateway) livePeers() []*peer {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*peer, 0, len(g.order))
+	for _, name := range g.order {
+		if p := g.peers[name]; p != nil && !p.down.Load() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// owner resolves the node responsible for a worker: the registration pin
+// when one exists, the ring otherwise.
+func (g *Gateway) owner(workerID string) (*peer, error) {
+	g.locMu.RLock()
+	name, pinned := g.workerLoc[workerID]
+	g.locMu.RUnlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !pinned {
+		if g.ring == nil {
+			return nil, ErrNoNodes
+		}
+		name = g.ring.Lookup(workerID)
+	}
+	p := g.peers[name]
+	if p == nil || p.down.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrPeerDown, name)
+	}
+	return p, nil
+}
+
+// resultErr maps a node-side failure back onto the sentinel errors the
+// platform layer understands; plain messages keep the node's wording, so
+// "unknown worker" / "not active" matching still works across the wire.
+func resultErr(res OpResult) error {
+	switch res.Code {
+	case codeFull:
+		return stream.ErrBufferFull
+	case codeClosed:
+		return shard.ErrClosed
+	}
+	if res.Err != "" {
+		return errors.New(res.Err)
+	}
+	return errors.New("cluster: op failed")
+}
+
+// OfferTask is OfferTaskCtx with a background context.
+func (g *Gateway) OfferTask(t *core.Task) (string, error) {
+	return g.OfferTaskCtx(context.Background(), t)
+}
+
+// OfferTaskCtx routes an arriving task across the cluster: scatter a
+// score op to every live node (one batched frame each, traveling
+// concurrently), rank the answers exactly as the shard engine ranks its
+// shards, commit to the winner, fall back down the ranking, and finally
+// buffer on the least backlogged node. Returns the assigned worker's ID
+// ("" if buffered), or stream.ErrBufferFull when every node is full.
+func (g *Gateway) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	if g.closed.Load() {
+		return "", shard.ErrClosed
+	}
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return "", errors.New("cluster: nil task or empty ID")
+	}
+	g.seenMu.Lock()
+	if _, dup := g.seen[t.ID]; dup {
+		g.seenMu.Unlock()
+		return "", fmt.Errorf("cluster: duplicate task %q", t.ID)
+	}
+	g.seen[t.ID] = struct{}{}
+	g.seenMu.Unlock()
+	g.submitted.Add(1)
+	wid, node, err := g.routeTask(t)
+	if err != nil {
+		// Rejected everywhere: the task may be re-offered later, so it
+		// leaves the duplicate filter (mirroring the engine), and the
+		// gateway counts the drop.
+		g.seenMu.Lock()
+		delete(g.seen, t.ID)
+		g.seenMu.Unlock()
+		g.dropped.Add(1)
+		return "", err
+	}
+	g.ledgerMu.Lock()
+	g.ledger[t.ID] = ledgerEntry{node: node, task: t}
+	g.ledgerMu.Unlock()
+	return wid, nil
+}
+
+// routeTask is the scatter/commit/buffer core, shared by offers and
+// failover requeues (which must not re-count Submitted).
+func (g *Gateway) routeTask(t *core.Task) (wid, node string, err error) {
+	peers := g.livePeers()
+	if len(peers) == 0 {
+		return "", "", ErrNoNodes
+	}
+	tw := taskToWire(t)
+	scoreOp := Op{Op: opScore, Task: &tw}
+	calls := make([]*call, len(peers))
+	for i, p := range peers {
+		calls[i] = p.doAsync(scoreOp)
+	}
+	type scored struct {
+		p       *peer
+		gain    float64
+		rel     float64
+		free    bool
+		backlog int
+	}
+	answers := make([]scored, 0, len(peers))
+	for i, p := range peers {
+		res, err := p.wait(calls[i])
+		if err != nil || !res.OK {
+			continue // node failing mid-scatter: route around it
+		}
+		answers = append(answers, scored{p: p, gain: res.Gain, rel: res.Rel, free: res.Free, backlog: res.Backlog})
+	}
+	if len(answers) == 0 {
+		return "", "", ErrNoNodes
+	}
+	// Rank free nodes first by (gain, relevance, name) — the same ordering
+	// the engine applies to its shards, with the same float epsilon.
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i], answers[j]
+		if a.free != b.free {
+			return a.free
+		}
+		if a.free {
+			if a.gain > b.gain+1e-12 {
+				return true
+			}
+			if b.gain > a.gain+1e-12 {
+				return false
+			}
+			if a.rel != b.rel {
+				return a.rel > b.rel
+			}
+		}
+		return a.p.name < b.p.name
+	})
+	commitOp := Op{Op: opCommit, Task: &tw}
+	for _, s := range answers {
+		if !s.free {
+			break
+		}
+		res, err := s.p.do(commitOp)
+		if err == nil && res.OK {
+			return res.WorkerID, s.p.name, nil
+		}
+	}
+	// No node committed: buffer on the least backlogged, walking up.
+	sort.Slice(answers, func(i, j int) bool {
+		a, b := answers[i], answers[j]
+		if a.backlog != b.backlog {
+			return a.backlog < b.backlog
+		}
+		return a.p.name < b.p.name
+	})
+	bufferOp := Op{Op: opBuffer, Task: &tw}
+	for _, s := range answers {
+		res, err := s.p.do(bufferOp)
+		if err == nil && res.OK {
+			return "", s.p.name, nil
+		}
+	}
+	return "", "", stream.ErrBufferFull
+}
+
+// AddWorker is AddWorkerCtx with a background context.
+func (g *Gateway) AddWorker(w *core.Worker) ([]*core.Task, error) {
+	return g.AddWorkerCtx(context.Background(), w)
+}
+
+// AddWorkerCtx places the worker on its ring owner, pins it there, and
+// returns any buffered tasks the arrival drained into assignment.
+func (g *Gateway) AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Task, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	if g.closed.Load() {
+		return nil, shard.ErrClosed
+	}
+	if w == nil || w.ID == "" {
+		return nil, errors.New("cluster: nil worker or empty ID")
+	}
+	g.mu.Lock()
+	if g.ring == nil {
+		g.mu.Unlock()
+		return nil, ErrNoNodes
+	}
+	name := g.ring.Lookup(w.ID)
+	p := g.peers[name]
+	g.mu.Unlock()
+	if p == nil || p.down.Load() {
+		return nil, fmt.Errorf("%w: %s", ErrPeerDown, name)
+	}
+	ww := workerToWire(w)
+	res, err := p.do(Op{Op: opAddWorker, Worker: &ww})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, resultErr(res)
+	}
+	g.locMu.Lock()
+	g.workerLoc[w.ID] = p.name
+	g.locMu.Unlock()
+	drained := make([]*core.Task, 0, len(res.Tasks))
+	for _, twr := range res.Tasks {
+		t, err := wireToTask(twr)
+		if err != nil {
+			return nil, err
+		}
+		drained = append(drained, t)
+	}
+	return drained, nil
+}
+
+// RemoveWorker is RemoveWorkerCtx with a background context.
+func (g *Gateway) RemoveWorker(id string) ([]*core.Task, error) {
+	return g.RemoveWorkerCtx(context.Background(), id)
+}
+
+// RemoveWorkerCtx deregisters the worker from its node. Tasks the node
+// could not rebuffer come back dropped — the node counted them in its own
+// drop counter, so the gateway only prunes its ledger (counting them here
+// too would double them in the global accounting).
+func (g *Gateway) RemoveWorkerCtx(ctx context.Context, id string) ([]*core.Task, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	if g.closed.Load() {
+		return nil, shard.ErrClosed
+	}
+	p, err := g.owner(id)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.do(Op{Op: opRemoveWorker, WorkerID: id})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, resultErr(res)
+	}
+	g.locMu.Lock()
+	delete(g.workerLoc, id)
+	g.locMu.Unlock()
+	dropped := make([]*core.Task, 0, len(res.Tasks))
+	g.ledgerMu.Lock()
+	for _, twr := range res.Tasks {
+		delete(g.ledger, twr.ID)
+	}
+	g.ledgerMu.Unlock()
+	for _, twr := range res.Tasks {
+		t, err := wireToTask(twr)
+		if err != nil {
+			return nil, err
+		}
+		dropped = append(dropped, t)
+	}
+	return dropped, nil
+}
+
+// Complete is CompleteCtx with a background context.
+func (g *Gateway) Complete(workerID, taskID string) (*core.Task, error) {
+	return g.CompleteCtx(context.Background(), workerID, taskID)
+}
+
+// CompleteCtx marks the task finished on the worker's node and returns
+// the buffered task (if any) the completion pulled into the freed slot.
+func (g *Gateway) CompleteCtx(ctx context.Context, workerID, taskID string) (*core.Task, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	if g.closed.Load() {
+		return nil, shard.ErrClosed
+	}
+	p, err := g.owner(workerID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.do(Op{Op: opComplete, WorkerID: workerID, TaskID: taskID})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, resultErr(res)
+	}
+	g.completed.Add(1)
+	g.ledgerMu.Lock()
+	delete(g.ledger, taskID)
+	g.ledgerMu.Unlock()
+	if res.Next == nil {
+		return nil, nil
+	}
+	// The pulled task moved buffer→active on the same node; its ledger
+	// entry already points there.
+	return wireToTask(*res.Next)
+}
+
+// ActiveTasks returns the worker's assigned tasks.
+func (g *Gateway) ActiveTasks(workerID string) ([]*core.Task, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.do(Op{Op: opActiveTasks, WorkerID: workerID})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, resultErr(res)
+	}
+	out := make([]*core.Task, 0, len(res.Tasks))
+	for _, twr := range res.Tasks {
+		t, err := wireToTask(twr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Worker returns the registered worker record.
+func (g *Gateway) Worker(workerID string) (*core.Worker, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.do(Op{Op: opWorker, WorkerID: workerID})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK || res.Worker == nil {
+		return nil, resultErr(res)
+	}
+	return wireToWorker(*res.Worker)
+}
+
+// Completed returns how many tasks the worker finished.
+func (g *Gateway) Completed(workerID string) (int, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return 0, err
+	}
+	res, err := p.do(Op{Op: opCompleted, WorkerID: workerID})
+	if err != nil {
+		return 0, err
+	}
+	if !res.OK {
+		return 0, resultErr(res)
+	}
+	return res.Count, nil
+}
+
+// WorkerIDs gathers all registered worker IDs, grouped by node in sorted
+// node order.
+func (g *Gateway) WorkerIDs() []string {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	peers := g.livePeers()
+	calls := make([]*call, len(peers))
+	op := Op{Op: opWorkers}
+	for i, p := range peers {
+		calls[i] = p.doAsync(op)
+	}
+	var out []string
+	for i, p := range peers {
+		res, err := p.wait(calls[i])
+		if err != nil || !res.OK {
+			continue
+		}
+		out = append(out, res.IDs...)
+	}
+	return out
+}
+
+// Objective sums every node's streaming objective. Exact at quiescence.
+func (g *Gateway) Objective() float64 {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	peers := g.livePeers()
+	calls := make([]*call, len(peers))
+	op := Op{Op: opObjective}
+	for i, p := range peers {
+		calls[i] = p.doAsync(op)
+	}
+	var total float64
+	for i, p := range peers {
+		res, err := p.wait(calls[i])
+		if err != nil || !res.OK {
+			continue
+		}
+		total += res.Value
+	}
+	return total
+}
+
+// Stats merges every live node's load picture into one cluster-wide
+// accounting, renumbering per-shard entries into a global sequence.
+// Submitted/Completed come from the gateway's own counters; Dropped folds
+// the gateway's rejects, live nodes' internal drops, and the absorbed
+// counts of dead nodes.
+func (g *Gateway) Stats() shard.Stats {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	return g.statsLocked()
+}
+
+func (g *Gateway) statsLocked() shard.Stats {
+	st := shard.Stats{}
+	peers := g.livePeers()
+	calls := make([]*call, len(peers))
+	op := Op{Op: opStats}
+	for i, p := range peers {
+		calls[i] = p.doAsync(op)
+	}
+	var liveDropped int64
+	offset := 0
+	for i, p := range peers {
+		res, err := p.wait(calls[i])
+		if err != nil || !res.OK || res.Stats == nil {
+			continue // a failing node's drops are covered by its lastDropped cache
+		}
+		ns := *res.Stats
+		for _, ps := range ns.PerShard {
+			ps.Shard += offset
+			st.PerShard = append(st.PerShard, ps)
+		}
+		offset += ns.Shards
+		st.Shards += ns.Shards
+		st.Workers += ns.Workers
+		st.Active += ns.Active
+		st.Buffered += ns.Buffered
+		liveDropped += ns.Dropped
+		g.noteNodeDropped(p.name, ns.Dropped)
+	}
+	g.mu.Lock()
+	dead := g.deadDropped
+	g.mu.Unlock()
+	st.Submitted = g.submitted.Load()
+	st.Completed = g.completed.Load()
+	st.Dropped = g.dropped.Load() + dead + liveDropped
+	return st
+}
+
+// noteNodeDropped records the freshest view of a node's internal drop
+// counter — the value absorbed into the global count if the node dies.
+func (g *Gateway) noteNodeDropped(name string, dropped int64) {
+	g.mu.Lock()
+	if dropped > g.lastDropped[name] {
+		g.lastDropped[name] = dropped
+	}
+	g.mu.Unlock()
+}
+
+// mergedSnapshot is the cluster snapshot document: one consistent cut of
+// every live node's engine snapshot plus the gateway's own counters.
+type mergedSnapshot struct {
+	Version   int            `json:"version"`
+	Submitted int64          `json:"submitted"`
+	Completed int64          `json:"completed"`
+	Dropped   int64          `json:"dropped"` // gateway rejects + absorbed dead-node drops
+	Nodes     []nodeSnapshot `json:"nodes"`
+}
+
+type nodeSnapshot struct {
+	Name   string          `json:"name"`
+	Engine json.RawMessage `json:"engine"`
+}
+
+// Snapshot writes a merged cluster snapshot. It holds the op gate for
+// write — no operation is in flight anywhere while the per-node cuts are
+// taken, so the merged document is a consistent global view (each node's
+// own snapshot additionally quiesces its shards).
+func (g *Gateway) Snapshot(w io.Writer) error {
+	g.opGate.Lock()
+	defer g.opGate.Unlock()
+	if g.closed.Load() {
+		return shard.ErrClosed
+	}
+	doc := mergedSnapshot{Version: 1}
+	for _, p := range g.livePeers() {
+		raw, err := p.snapshot(context.Background())
+		if err != nil {
+			return fmt.Errorf("cluster: snapshot of %s: %w", p.name, err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("cluster: snapshot of %s: truncated document", p.name)
+		}
+		doc.Nodes = append(doc.Nodes, nodeSnapshot{Name: p.name, Engine: raw})
+	}
+	g.mu.Lock()
+	dead := g.deadDropped
+	g.mu.Unlock()
+	doc.Submitted = g.submitted.Load()
+	doc.Completed = g.completed.Load()
+	doc.Dropped = g.dropped.Load() + dead
+	buf, err := encodeJSON(&doc)
+	if err != nil {
+		return err
+	}
+	defer putBuf(buf)
+	_, err = w.Write(buf.Bytes())
+	return err
+}
+
+// heartbeat is the background health loop.
+func (g *Gateway) heartbeat() {
+	defer close(g.hbDone)
+	tick := time.NewTicker(g.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.hbStop:
+			return
+		case <-tick.C:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), g.cfg.HeartbeatInterval)
+		g.CheckHealth(ctx)
+		cancel()
+	}
+}
+
+// CheckHealth probes every live member once and applies the failure
+// policy: FailAfter consecutive failures (probes or frames) remove the
+// node from the ring and requeue its pending tasks. Exported so tests can
+// drive membership deterministically with the background loop disabled.
+func (g *Gateway) CheckHealth(ctx context.Context) {
+	for _, p := range g.livePeers() {
+		h, err := p.health(ctx)
+		if err != nil {
+			if int(p.fails.Add(1)) >= g.cfg.FailAfter {
+				g.dropNode(p.name)
+			}
+			continue
+		}
+		p.fails.Store(0)
+		g.noteNodeDropped(p.name, h.Dropped)
+	}
+}
+
+// dropNode declares a member dead: removes it from the ring, absorbs its
+// last known internal drop count, fails its queued RPC, unpins its
+// workers, and requeues its pending tasks onto the survivors. Requeued
+// tasks do not re-count Submitted — they were counted when first
+// accepted; requeues that fail everywhere count Dropped.
+func (g *Gateway) dropNode(name string) {
+	// Heartbeat-only caller: safe to take the op gate for read (requeue
+	// routes ops), which also serializes failover against snapshots.
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	g.mu.Lock()
+	p := g.peers[name]
+	if p == nil || p.down.Load() || g.ring == nil || !g.ring.Has(name) {
+		g.mu.Unlock()
+		return
+	}
+	if g.ring.Size() == 1 {
+		g.ring = nil
+	} else if nr, err := g.ring.Without(name); err == nil {
+		g.ring = nr
+	}
+	for i, n := range g.order {
+		if n == name {
+			g.order = append(g.order[:i], g.order[i+1:]...)
+			break
+		}
+	}
+	g.deadDropped += g.lastDropped[name]
+	live := len(g.order)
+	g.mu.Unlock()
+	p.markDown()
+	g.met.Nodes.Set(float64(live))
+	g.met.NodeDrops.Inc()
+
+	g.locMu.Lock()
+	for id, n := range g.workerLoc {
+		if n == name {
+			delete(g.workerLoc, id)
+		}
+	}
+	g.locMu.Unlock()
+
+	g.ledgerMu.Lock()
+	var orphans []*core.Task
+	for id, e := range g.ledger {
+		if e.node == name {
+			orphans = append(orphans, e.task)
+			delete(g.ledger, id)
+		}
+	}
+	g.ledgerMu.Unlock()
+	requeued, lost := 0, 0
+	for _, t := range orphans {
+		_, node, err := g.routeTask(t)
+		if err != nil {
+			g.seenMu.Lock()
+			delete(g.seen, t.ID)
+			g.seenMu.Unlock()
+			g.dropped.Add(1)
+			lost++
+			continue
+		}
+		g.ledgerMu.Lock()
+		g.ledger[t.ID] = ledgerEntry{node: node, task: t}
+		g.ledgerMu.Unlock()
+		requeued++
+	}
+	g.met.Requeued.Add(float64(requeued))
+	g.met.Lost.Add(float64(lost))
+	g.log.Warn("cluster node dropped",
+		"node", name, "live", live, "requeued", requeued, "lost", lost)
+}
+
+// AddNode joins a fresh member to the ring. The node is probed once
+// before joining; only keys landing on its arcs move, and existing
+// workers stay pinned to their original nodes, so in-flight traffic is
+// unaffected. Rejoining a previously removed name is refused — its
+// pre-death state would double-count against the requeued tasks.
+func (g *Gateway) AddNode(name, url string) error {
+	if g.closed.Load() {
+		return shard.ErrClosed
+	}
+	if name == "" || url == "" {
+		return errors.New("cluster: AddNode needs name and URL")
+	}
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	g.mu.Lock()
+	if _, exists := g.peers[name]; exists {
+		g.mu.Unlock()
+		return fmt.Errorf("cluster: member %q already known (rejoin under a fresh name)", name)
+	}
+	g.mu.Unlock()
+	p := newPeer(name, strings.TrimRight(url, "/"), g.cfg.HTTPClient,
+		g.cfg.MaxBatch, g.cfg.Window, g.cfg.FrameRetries, g.cfg.RetryBackoff)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	h, err := p.health(ctx)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("cluster: join probe of %q: %w", name, err)
+	}
+	g.mu.Lock()
+	if _, exists := g.peers[name]; exists {
+		g.mu.Unlock()
+		return fmt.Errorf("cluster: member %q already known (rejoin under a fresh name)", name)
+	}
+	if g.ring == nil {
+		nr, err := NewRing([]string{name}, g.cfg.VirtualNodes)
+		if err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		g.ring = nr
+	} else {
+		nr, err := g.ring.With(name)
+		if err != nil {
+			g.mu.Unlock()
+			return err
+		}
+		g.ring = nr
+	}
+	g.peers[name] = p
+	g.order = append(g.order, name)
+	sort.Strings(g.order)
+	g.lastDropped[name] = h.Dropped
+	live := len(g.order)
+	g.mu.Unlock()
+	g.met.Nodes.Set(float64(live))
+	g.log.Info("cluster node joined", "node", name, "live", live)
+	return nil
+}
+
+// Members returns the live member names in sorted order.
+func (g *Gateway) Members() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+// FramesSent and OpsSent aggregate the RPC telemetry across all peers
+// (including dead ones): total frames shipped and ops they carried. The
+// ratio is the realized coalescing factor the batching layer achieved.
+func (g *Gateway) FramesSent() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, p := range g.peers {
+		n += p.frames.Load()
+	}
+	return n
+}
+
+// OpsSent is documented with FramesSent.
+func (g *Gateway) OpsSent() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var n int64
+	for _, p := range g.peers {
+		n += p.ops.Load()
+	}
+	return n
+}

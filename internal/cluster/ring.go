@@ -1,0 +1,141 @@
+// Package cluster promotes the sharded streaming engine past the
+// single-process ceiling: N hta-server nodes each own a segment of a
+// consistent-hash ring over worker IDs, and a thin gateway routes the
+// same scatter-gather marginal-gain protocol the shard engine runs
+// in-process — over stdlib HTTP RPC instead of goroutine mailboxes.
+//
+// The comms layer is built so the network never dominates:
+//
+//   - batching: concurrent operations destined for the same node coalesce
+//     into one framed RPC (the mailbox-drain idiom of the shard actor,
+//     applied to the wire);
+//   - pipelining: up to Window frames per peer are in flight at once, so
+//     a slow response never stalls the queue behind it;
+//   - pooled persistent connections (http.Transport keep-alives) and
+//     pooled encode/decode buffers keep the per-frame overhead flat;
+//   - frames carry IDs and nodes deduplicate replays, so a frame whose
+//     response was lost can be retried without double-applying writes —
+//     the RPC analogue of the platform client's idempotency keys.
+//
+// Membership is heartbeat-driven: the gateway probes each node and
+// removes unresponsive ones from the ring. The gateway keeps a ledger of
+// every in-flight task's owning node; when a node dies, its pending
+// tasks requeue onto the survivors, and the gateway's global accounting
+// (submitted = active + completed + buffered + dropped) keeps holding.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/htacs/ata/internal/shard"
+)
+
+// Ring is a consistent-hash ring over named cluster members — the
+// node-level analogue of the shard ring, using the same fmix64-finished
+// FNV-1a key hash (shard.HashKey) so the banding fix for short worker IDs
+// carries over. Immutable after construction; With/Without build new
+// rings for membership changes, moving only the keys on the changed
+// member's arcs.
+type Ring struct {
+	members []string
+	vnodes  int
+	points  []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing builds a ring over the given member names with vnodes points
+// per member (default 64 when vnodes <= 0). Member names must be unique
+// and non-empty.
+func NewRing(members []string, vnodes int) (*Ring, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs >= 1 member")
+	}
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := make(map[string]bool, len(members))
+	r := &Ring{members: append([]string(nil), members...), vnodes: vnodes}
+	r.points = make([]ringPoint, 0, len(members)*vnodes)
+	for _, m := range r.members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member name")
+		}
+		if seen[m] {
+			return nil, fmt.Errorf("cluster: duplicate member %q", m)
+		}
+		seen[m] = true
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   shard.HashKey(fmt.Sprintf("node-%s#%d", m, v)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	sort.Strings(r.members)
+	return r, nil
+}
+
+// Members returns the member names in sorted order.
+func (r *Ring) Members() []string { return append([]string(nil), r.members...) }
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// VirtualNodes returns the per-member point count.
+func (r *Ring) VirtualNodes() int { return r.vnodes }
+
+// Has reports whether the member is on the ring.
+func (r *Ring) Has(member string) bool {
+	for _, m := range r.members {
+		if m == member {
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup maps a key (worker ID) to its owning member: the first ring
+// point clockwise of the key's hash.
+func (r *Ring) Lookup(key string) string {
+	h := shard.HashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Without returns a new ring with the member removed — the leave
+// re-partition. Only keys on the removed member's arcs change owner.
+func (r *Ring) Without(member string) (*Ring, error) {
+	out := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			out = append(out, m)
+		}
+	}
+	if len(out) == len(r.members) {
+		return nil, fmt.Errorf("cluster: member %q not on the ring", member)
+	}
+	return NewRing(out, r.vnodes)
+}
+
+// With returns a new ring with the member added — the join re-partition.
+// Only keys landing on the new member's arcs change owner.
+func (r *Ring) With(member string) (*Ring, error) {
+	if r.Has(member) {
+		return nil, fmt.Errorf("cluster: member %q already on the ring", member)
+	}
+	return NewRing(append(append([]string(nil), r.members...), member), r.vnodes)
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("w%06d", i)
+	}
+	return keys
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 64); err == nil {
+		t.Error("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 64); err == nil {
+		t.Error("empty member name accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 64); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	r, err := NewRing([]string{"b", "a"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VirtualNodes() != 64 {
+		t.Errorf("default vnodes = %d", r.VirtualNodes())
+	}
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Members() = %v", got)
+	}
+	if _, err := r.Without("ghost"); err == nil {
+		t.Error("Without(ghost) accepted")
+	}
+	if _, err := r.With("a"); err == nil {
+		t.Error("With(existing) accepted")
+	}
+}
+
+// TestRingOwnershipBalanced is the balance property: at every cluster
+// size, the busiest member owns at most a bounded multiple of the
+// quietest member's keys. With 64 vnodes the fmix64-mixed ring keeps the
+// max/min ratio modest; a blowup here means the vnode hashing regressed
+// into the banding problem the finalizer exists to fix.
+func TestRingOwnershipBalanced(t *testing.T) {
+	keys := ringKeys(20000)
+	for _, n := range []int{2, 3, 4, 8} {
+		members := make([]string, n)
+		for i := range members {
+			members[i] = fmt.Sprintf("node-%d", i)
+		}
+		r, err := NewRing(members, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make(map[string]int, n)
+		for _, k := range keys {
+			counts[r.Lookup(k)]++
+		}
+		min, max := len(keys), 0
+		for _, m := range members {
+			c := counts[m]
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("n=%d: a member owns zero keys: %v", n, counts)
+		}
+		ratio := float64(max) / float64(min)
+		if ratio > 2.5 {
+			t.Errorf("n=%d: ownership ratio max/min = %.2f (%v)", n, ratio, counts)
+		}
+		t.Logf("n=%d: max/min = %.2f", n, ratio)
+	}
+}
+
+// TestRingLeaveMovesOnlyDepartedKeys: removing a member must reassign
+// exactly the keys it owned — every key owned by a survivor keeps its
+// owner. This is the property that makes failover requeue bounded: only
+// the dead node's tasks move.
+func TestRingLeaveMovesOnlyDepartedKeys(t *testing.T) {
+	keys := ringKeys(10000)
+	members := []string{"n0", "n1", "n2", "n3"}
+	r, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	smaller, err := r.Without("n2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		after := smaller.Lookup(k)
+		if before[k] == "n2" {
+			if after == "n2" {
+				t.Fatalf("key %s still owned by departed member", k)
+			}
+			moved++
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", k, before[k], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("departed member owned no keys")
+	}
+}
+
+// TestRingJoinMovesMinimalFraction: adding a member must steal roughly
+// 1/n of the keys (its fair share) and nothing may move between two
+// surviving members.
+func TestRingJoinMovesMinimalFraction(t *testing.T) {
+	keys := ringKeys(20000)
+	members := []string{"n0", "n1", "n2"}
+	r, err := NewRing(members, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.Lookup(k)
+	}
+	bigger, err := r.With("n3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, k := range keys {
+		after := bigger.Lookup(k)
+		if after == before[k] {
+			continue
+		}
+		if after != "n3" {
+			t.Fatalf("key %s moved %s -> %s, not to the joiner", k, before[k], after)
+		}
+		moved++
+	}
+	frac := float64(moved) / float64(len(keys))
+	// Fair share is 1/4; allow generous slack for vnode placement noise,
+	// but reject both a no-op join and a mass reshuffle.
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("join moved %.1f%% of keys, want ~25%%", 100*frac)
+	}
+	t.Logf("join moved %.1f%% of keys", 100*frac)
+}
+
+// TestRingLookupDeterministic: the ring is a pure function of its member
+// set — two independently built rings agree on every key, regardless of
+// construction order.
+func TestRingLookupDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"x", "y", "z"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"z", "x", "y"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ringKeys(2000) {
+		if a.Lookup(k) != b.Lookup(k) {
+			t.Fatalf("order-dependent ownership for %s: %s vs %s", k, a.Lookup(k), b.Lookup(k))
+		}
+	}
+}

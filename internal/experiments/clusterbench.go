@@ -1,0 +1,483 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/htacs/ata/internal/cluster"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/workload"
+)
+
+// PR7Point is one (node count, batching mode) measurement of the cluster
+// gateway on the pr5 churn workload: single-shard nodes behind real
+// loopback HTTP listeners, the gateway scatter-gathering placements and
+// routing completions over the batched RPC plane. As in pr5, total
+// buffer capacity is fixed across node counts (per-node limit =
+// TotalBuffer/Nodes), so the sweep isolates backlog partitioning — each
+// Complete's pullBest scan shrinks with the cluster — on top of which
+// the RPC layer must not give the win back.
+type PR7Point struct {
+	Nodes       int `json:"nodes"`
+	MaxBatch    int `json:"max_batch"` // 1 = unbatched control
+	Workers     int `json:"workers"`
+	Churners    int `json:"churn_workers"`
+	TotalBuffer int `json:"total_buffer"`
+	Events      int `json:"events"`
+
+	PerEventNs   int64   `json:"per_event_ns"` // median over runs
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// RPC-plane coalescing: ops carried per frame (higher = fewer HTTP
+	// round trips for the same logical work).
+	FramesSent  int64   `json:"frames_sent"`
+	OpsSent     int64   `json:"ops_sent"`
+	OpsPerFrame float64 `json:"ops_per_frame"`
+
+	Completed int64 `json:"completed"`
+	Dropped   int64 `json:"dropped"`
+	Conserved bool  `json:"conserved"`
+}
+
+// PR7Report is the payload of BENCH_PR7.json: gateway event throughput
+// at 1/2/4 nodes, batched against the MaxBatch=1 control, with the
+// acceptance targets of >= 2x aggregate throughput at 4 nodes over 1 and
+// batched beating unbatched at every node count.
+type PR7Report struct {
+	Note      string     `json:"note"`
+	Batched   []PR7Point `json:"batched"`
+	Unbatched []PR7Point `json:"unbatched"`
+
+	SpeedupAt4            float64 `json:"speedup_at_4"`
+	TargetSpeedup         float64 `json:"target_speedup"`
+	BatchedBeatsUnbatched bool    `json:"batched_beats_unbatched"`
+	MeetsTarget           bool    `json:"meets_target"`
+}
+
+// pr7Shape fixes the workload replayed at every node count. Concurrency
+// (drivers) is what gives the per-peer mailboxes something to coalesce:
+// G in-flight ops per moment means score scatters and commits from
+// different drivers share frames. The timed mix is complete-dominated
+// (completesPerOffer completions per fresh task), matching the pr5
+// steady state: completions route to one pinned node and pay the
+// pullBest fold over that node's share of the backlog, which is the
+// work the cluster partitions; offers scatter a score op to every node
+// and so grow more expensive with the cluster, which is the overhead
+// the batching must absorb.
+type pr7Shape struct {
+	workers           int
+	churners          int
+	xmax              int
+	totalBuffer       int
+	steps             int // timed steps per driver
+	completesPerOffer int
+	drivers           int
+	departFrac        float64
+}
+
+var defaultPR7Shape = pr7Shape{
+	workers:           32,
+	churners:          8,
+	xmax:              12,
+	totalBuffer:       32768,
+	steps:             40,
+	completesPerOffer: 4,
+	drivers:           32,
+	departFrac:        0.6,
+}
+
+// totalEvents is the logical event count of the timed phase: every
+// complete and every offer is one event.
+func (s pr7Shape) totalEvents() int {
+	return s.drivers * s.steps * (s.completesPerOffer + 1)
+}
+
+// SweepPR7 measures gateway event throughput at 1, 2 and 4 nodes, each
+// node count in batched (default frame coalescing) and unbatched
+// (MaxBatch=1, one op per HTTP request) modes. Conservation of the
+// merged accounting is asserted on every run.
+func SweepPR7(o Options) (*PR7Report, error) {
+	o.applyDefaults()
+	report := &PR7Report{
+		Note: "cluster gateway event throughput over real loopback HTTP: single-shard nodes, total buffer capacity fixed across node counts, complete-dominated churn workload (4 completions per fresh offer, the pr5 steady state) driven by 32 concurrent clients; batched frames vs a MaxBatch=1 per-op control.",
+		// Acceptance bar from the PR issue: 4 nodes must clear 2x the
+		// single-node aggregate event rate, and batching must never lose
+		// to the per-op control.
+		TargetSpeedup:         2.0,
+		BatchedBeatsUnbatched: true,
+	}
+	shape := defaultPR7Shape
+	var oneNode int64
+	for _, nodes := range []int{1, 2, 4} {
+		batched, err := measurePR7(o, nodes, 0, shape)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pr7 nodes=%d batched: %w", nodes, err)
+		}
+		unbatched, err := measurePR7(o, nodes, 1, shape)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pr7 nodes=%d unbatched: %w", nodes, err)
+		}
+		report.Batched = append(report.Batched, batched)
+		report.Unbatched = append(report.Unbatched, unbatched)
+		if batched.PerEventNs >= unbatched.PerEventNs {
+			report.BatchedBeatsUnbatched = false
+		}
+		if nodes == 1 {
+			oneNode = batched.PerEventNs
+		}
+		if nodes == 4 && oneNode > 0 && batched.PerEventNs > 0 {
+			report.SpeedupAt4 = float64(oneNode) / float64(batched.PerEventNs)
+		}
+	}
+	report.MeetsTarget = report.SpeedupAt4 >= report.TargetSpeedup && report.BatchedBeatsUnbatched
+	return report, nil
+}
+
+// measurePR7 times the event loop at one (nodes, maxBatch) point, o.Runs
+// times, reporting the median.
+func measurePR7(o Options, nodes, maxBatch int, shape pr7Shape) (PR7Point, error) {
+	point := PR7Point{
+		Nodes:       nodes,
+		MaxBatch:    maxBatch,
+		Workers:     shape.workers,
+		Churners:    shape.churners,
+		TotalBuffer: shape.totalBuffer,
+		Events:      shape.totalEvents(),
+	}
+	if maxBatch == 0 {
+		point.MaxBatch = 64 // the gateway default, recorded explicitly
+	}
+	var samples []time.Duration
+	for run := 0; run < o.Runs; run++ {
+		res, err := runPR7(o.Seed+int64(run), nodes, maxBatch, shape)
+		if err != nil {
+			return point, err
+		}
+		if !res.conserved {
+			return point, fmt.Errorf("conservation violated on run %d", run)
+		}
+		samples = append(samples, res.elapsed)
+		point.Completed, point.Dropped, point.Conserved = res.completed, res.dropped, res.conserved
+		point.FramesSent, point.OpsSent = res.frames, res.ops
+	}
+	point.PerEventNs = medianNs(samples) / int64(shape.totalEvents())
+	if point.PerEventNs > 0 {
+		point.EventsPerSec = 1e9 / float64(point.PerEventNs)
+	}
+	if point.FramesSent > 0 {
+		point.OpsPerFrame = float64(point.OpsSent) / float64(point.FramesSent)
+	}
+	return point, nil
+}
+
+// pr7Run is one seeded run's outcome.
+type pr7Run struct {
+	elapsed   time.Duration
+	completed int64
+	dropped   int64
+	frames    int64
+	ops       int64
+	conserved bool
+}
+
+// pr7Cluster is the in-process cluster under test: N single-shard
+// engines, each behind its own loopback HTTP listener serving the
+// cluster RPC plane, and the gateway routing across them.
+type pr7Cluster struct {
+	gw      *cluster.Gateway
+	engines []*shard.Engine
+	servers []*http.Server
+	lns     []net.Listener
+}
+
+func startPR7Cluster(nodes, maxBatch int, shape pr7Shape) (*pr7Cluster, error) {
+	c := &pr7Cluster{}
+	var peers []cluster.PeerSpec
+	for i := 0; i < nodes; i++ {
+		eng, err := shard.New(shard.Config{
+			Shards:        1,
+			StealInterval: -1, // cluster nodes must not steal: stolen tasks escape the gateway ledger
+			Registry:      obs.NewRegistry(),
+			Stream: stream.Config{
+				Xmax:        shape.xmax,
+				BufferLimit: shape.totalBuffer / nodes,
+			},
+		})
+		if err != nil {
+			c.stop()
+			return nil, err
+		}
+		c.engines = append(c.engines, eng)
+		name := fmt.Sprintf("n%d", i)
+		node, err := cluster.NewNode(cluster.NodeConfig{Name: name, Engine: eng})
+		if err != nil {
+			c.stop()
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			c.stop()
+			return nil, err
+		}
+		srv := &http.Server{Handler: node}
+		go srv.Serve(ln)
+		c.lns = append(c.lns, ln)
+		c.servers = append(c.servers, srv)
+		peers = append(peers, cluster.PeerSpec{Name: name, URL: "http://" + ln.Addr().String()})
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Peers:             peers,
+		MaxBatch:          maxBatch,
+		HeartbeatInterval: -1, // no failures in the bench; probing would only add noise
+		Registry:          obs.NewRegistry(),
+		Logger:            slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		c.stop()
+		return nil, err
+	}
+	c.gw = gw
+	return c, nil
+}
+
+func (c *pr7Cluster) stop() {
+	if c.gw != nil {
+		c.gw.Close()
+	}
+	for _, srv := range c.servers {
+		srv.Close()
+	}
+	for _, eng := range c.engines {
+		eng.Close()
+	}
+}
+
+// runPR7 executes one seeded run: fill the cluster to steady state
+// (untimed, concurrent so the fill itself exercises coalescing), then
+// drive the timed loop of Complete+Offer pairs from shape.drivers
+// concurrent clients with churn arrivals and departures interleaved.
+func runPR7(seed int64, nodes, maxBatch int, shape pr7Shape) (pr7Run, error) {
+	gen, err := workload.NewGenerator(workload.Config{Seed: seed})
+	if err != nil {
+		return pr7Run{}, err
+	}
+	pool := gen.Workers(shape.workers + shape.churners)
+	base, churners := pool[:shape.workers], pool[shape.workers:]
+	byID := make(map[string]*core.Worker, len(churners))
+	for _, w := range churners {
+		byID[w.ID] = w
+	}
+	churn, err := gen.Churn(churners, shape.steps, shape.departFrac)
+	if err != nil {
+		return pr7Run{}, err
+	}
+	need := shape.workers*shape.xmax + shape.totalBuffer + shape.drivers*shape.steps + 64
+	tasks := gen.Tasks(need/8+1, 8)[:need]
+
+	c, err := startPR7Cluster(nodes, maxBatch, shape)
+	if err != nil {
+		return pr7Run{}, err
+	}
+	defer c.stop()
+	ctx := context.Background()
+
+	for _, w := range base {
+		if _, err := c.gw.AddWorkerCtx(ctx, w); err != nil {
+			return pr7Run{}, err
+		}
+	}
+
+	// Fill phase (untimed): saturate every worker slot, then the buffers.
+	// Offered concurrently — sequential RPC round trips would never share
+	// a frame and the fill would dominate the wall clock.
+	fill := shape.workers*shape.xmax + shape.totalBuffer
+	if err := pr7Concurrent(shape.drivers, tasks[:fill], func(t *core.Task) error {
+		if _, err := c.gw.OfferTaskCtx(ctx, t); err != nil && !errors.Is(err, stream.ErrBufferFull) {
+			return err
+		}
+		return nil
+	}); err != nil {
+		return pr7Run{}, err
+	}
+
+	// Each driver owns a disjoint slice of the base workers and completes
+	// only its own assignments, so the active-task records need no locks.
+	type driverState struct {
+		workers []*core.Worker
+		active  map[string][]string
+		offers  []*core.Task
+	}
+	drivers := make([]*driverState, shape.drivers)
+	for d := range drivers {
+		drivers[d] = &driverState{active: make(map[string][]string)}
+	}
+	for i, w := range base {
+		d := drivers[i%shape.drivers]
+		d.workers = append(d.workers, w)
+		ids, err := c.gw.ActiveTasks(w.ID)
+		if err != nil {
+			return pr7Run{}, err
+		}
+		for _, t := range ids {
+			d.active[w.ID] = append(d.active[w.ID], t.ID)
+		}
+	}
+	for i, t := range tasks[fill:] {
+		d := drivers[i%shape.drivers]
+		if len(d.offers) < shape.steps {
+			d.offers = append(d.offers, t)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, shape.drivers)
+	start := time.Now()
+	for di, d := range drivers {
+		wg.Add(1)
+		go func(di int, d *driverState) {
+			defer wg.Done()
+			churnIdx := 0
+			for step := 0; step < shape.steps; step++ {
+				// Driver 0 replays the churn trace on the shared step clock.
+				if di == 0 {
+					for churnIdx < len(churn) && churn[churnIdx].At <= step {
+						ev := churn[churnIdx]
+						churnIdx++
+						if ev.Arrive {
+							if _, err := c.gw.AddWorkerCtx(ctx, byID[ev.Worker]); err != nil {
+								errCh <- err
+								return
+							}
+						} else if _, err := c.gw.RemoveWorkerCtx(ctx, ev.Worker); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}
+				// The complete-dominated burst: each completion frees a slot
+				// and pulls the best buffered task on the worker's node —
+				// the B/N fold the cluster exists to shrink.
+				w := d.workers[step%len(d.workers)]
+				for b := 0; b < shape.completesPerOffer; b++ {
+					ids := d.active[w.ID]
+					if len(ids) == 0 {
+						break
+					}
+					next, err := c.gw.CompleteCtx(ctx, w.ID, ids[0])
+					if err != nil {
+						errCh <- fmt.Errorf("complete %s on %s: %w", ids[0], w.ID, err)
+						return
+					}
+					d.active[w.ID] = ids[1:]
+					if next != nil {
+						d.active[w.ID] = append(d.active[w.ID], next.ID)
+					}
+				}
+				if step < len(d.offers) {
+					if _, err := c.gw.OfferTaskCtx(ctx, d.offers[step]); err != nil && !errors.Is(err, stream.ErrBufferFull) {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(di, d)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return pr7Run{}, err
+	}
+
+	st := c.gw.Stats()
+	return pr7Run{
+		elapsed:   elapsed,
+		completed: st.Completed,
+		dropped:   st.Dropped,
+		frames:    c.gw.FramesSent(),
+		ops:       c.gw.OpsSent(),
+		conserved: st.Conserved(),
+	}, nil
+}
+
+// pr7Concurrent fans items over n workers, stopping on the first error.
+func pr7Concurrent(n int, items []*core.Task, f func(*core.Task) error) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for g := 0; g < n; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(items); i += n {
+				if err := f(items[i]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// RenderPR7 prints the report as an aligned table, batched and control
+// side by side.
+func (r *PR7Report) RenderPR7(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%6s %9s %12s %12s %10s %9s %10s\n",
+		"nodes", "mode", "per-event", "events/s", "ops/frame", "completed", "dropped"); err != nil {
+		return err
+	}
+	var base int64
+	if len(r.Batched) > 0 {
+		base = r.Batched[0].PerEventNs
+	}
+	row := func(p PR7Point, mode string) error {
+		speed := ""
+		if mode == "batched" && base > 0 && p.PerEventNs > 0 {
+			speed = fmt.Sprintf("  (%.2fx)", float64(base)/float64(p.PerEventNs))
+		}
+		_, err := fmt.Fprintf(w, "%6d %9s %10dns %12.0f %10.1f %9d %10d%s\n",
+			p.Nodes, mode, p.PerEventNs, p.EventsPerSec, p.OpsPerFrame, p.Completed, p.Dropped, speed)
+		return err
+	}
+	for i := range r.Batched {
+		if err := row(r.Batched[i], "batched"); err != nil {
+			return err
+		}
+		if i < len(r.Unbatched) {
+			if err := row(r.Unbatched[i], "perOp"); err != nil {
+				return err
+			}
+		}
+	}
+	verdict := "meets"
+	if !r.MeetsTarget {
+		verdict = "MISSES"
+	}
+	batching := "batched beats the per-op control at every node count"
+	if !r.BatchedBeatsUnbatched {
+		batching = "batching LOST to the per-op control at some node count"
+	}
+	_, err := fmt.Fprintf(w, "\n4-node speedup %.2fx — %s the %.1fx target; %s (total buffer fixed, conservation checked per run)\n",
+		r.SpeedupAt4, verdict, r.TargetSpeedup, batching)
+	return err
+}
+
+// WritePR7JSON writes the BENCH_PR7.json payload.
+func (r *PR7Report) WritePR7JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,190 @@
+package platform
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Idempotency keys let clients retry mutating requests safely. The
+// platform's default contract is strict: mutations get exactly one
+// attempt, because a lost response leaves the client unable to tell
+// "never applied" from "applied, reply lost", and replaying would
+// double-count the event. A client constructed WithIdempotency opts out
+// of that restriction by attaching a unique X-Idempotency-Key header to
+// every mutating request; the server remembers each key's response and
+// replays it on a retry instead of re-applying the mutation — the same
+// contract the cluster RPC layer gets from frame-ID replay dedup.
+
+// idempotencyHeader carries the client's per-request key.
+const idempotencyHeader = "X-Idempotency-Key"
+
+// idemEntry is one remembered response.
+type idemEntry struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// idemCache is the bounded keyed response store: key → response,
+// FIFO-evicted, with in-progress tracking so two concurrent requests
+// carrying the same key apply once and answer twice.
+type idemCache struct {
+	mu    sync.Mutex
+	cap   int
+	done  map[string]*idemEntry
+	infly map[string]chan struct{}
+	order *list.List // keys in completion order
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{
+		cap:   capacity,
+		done:  make(map[string]*idemEntry, capacity),
+		infly: make(map[string]chan struct{}),
+		order: list.New(),
+	}
+}
+
+func (c *idemCache) begin(key string) (*idemEntry, <-chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.done[key]; ok {
+		return e, nil
+	}
+	if ch, ok := c.infly[key]; ok {
+		return nil, ch
+	}
+	c.infly[key] = make(chan struct{})
+	return nil, nil
+}
+
+func (c *idemCache) commit(key string, e *idemEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.infly[key]; ok {
+		close(ch)
+		delete(c.infly, key)
+	}
+	if _, ok := c.done[key]; !ok {
+		c.done[key] = e
+		c.order.PushBack(key)
+		for c.order.Len() > c.cap {
+			old := c.order.Remove(c.order.Front()).(string)
+			delete(c.done, old)
+		}
+	}
+}
+
+func (c *idemCache) abort(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ch, ok := c.infly[key]; ok {
+		close(ch)
+		delete(c.infly, key)
+	}
+}
+
+// idemRecorder buffers a handler's response so it can be both sent and
+// remembered.
+type idemRecorder struct {
+	http.ResponseWriter
+	status int
+	body   bytes.Buffer
+}
+
+func (r *idemRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+func (r *idemRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	r.body.Write(p)
+	return r.ResponseWriter.Write(p)
+}
+
+// idempotent wraps a mutating handler with keyed replay: requests without
+// the header pass straight through; keyed requests are applied once and
+// their response replayed to every retry of the same key. Responses with
+// 5xx status are not remembered — the handler failed, and a retry should
+// re-execute, which matches the client's retry-on-5xx policy.
+func (s *Server) idempotent(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := r.Header.Get(idempotencyHeader)
+		if key == "" {
+			h(w, r)
+			return
+		}
+		for {
+			cached, inflight := s.idem.begin(key)
+			if cached != nil {
+				for k, vs := range cached.header {
+					w.Header()[k] = vs
+				}
+				w.WriteHeader(cached.status)
+				_, _ = w.Write(cached.body)
+				return
+			}
+			if inflight == nil {
+				break
+			}
+			// A concurrent request with the same key is mid-application:
+			// wait for it, then loop to replay its recorded response (or
+			// apply ourselves if it aborted on a 5xx).
+			<-inflight
+		}
+		rec := &idemRecorder{ResponseWriter: w}
+		h(rec, r)
+		if rec.status >= 500 {
+			s.idem.abort(key)
+			return
+		}
+		s.idem.commit(key, &idemEntry{
+			status: rec.status,
+			header: rec.Header().Clone(),
+			body:   append([]byte(nil), rec.body.Bytes()...),
+		})
+	}
+}
+
+// WithIdempotency opts the client into safe mutation retries: every
+// mutating request carries a fresh idempotency key, and transient
+// failures (network errors, 5xx) are retried under the client's
+// RetryPolicy — the server deduplicates by key, so a retry whose first
+// attempt was applied replays the recorded response instead of
+// double-applying. Combine with WithRetry; without a policy the option
+// only adds the header.
+func WithIdempotency() ClientOption {
+	return func(c *Client) {
+		c.idempotent = true
+		var prefix [8]byte
+		if _, err := rand.Read(prefix[:]); err == nil {
+			c.idemPrefix = hex.EncodeToString(prefix[:])
+		} else {
+			c.idemPrefix = "fallback"
+		}
+	}
+}
+
+// newIdempotencyKey mints a unique key: a random per-client prefix plus a
+// counter — unique across clients without per-request entropy reads.
+func (c *Client) newIdempotencyKey() string {
+	var seq [8]byte
+	binary.LittleEndian.PutUint64(seq[:], c.idemSeq.Add(1))
+	return c.idemPrefix + hex.EncodeToString(seq[:])
+}
+
+// idemState is embedded in Client.
+type idemState struct {
+	idempotent bool
+	idemPrefix string
+	idemSeq    atomic.Uint64
+}

@@ -29,7 +29,6 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/question"
-	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
@@ -39,12 +38,14 @@ type ServerConfig struct {
 	// Engine is the adaptive (batch-iteration) assignment engine to drive.
 	// Exactly one of Engine and Shards must be set.
 	Engine *adaptive.Engine
-	// Shards serves the same HTTP API from the sharded streaming engine
-	// instead: registrations, completions and departures become immediate
+	// Shards serves the same HTTP API from a streaming backend instead:
+	// registrations, completions and departures become immediate
 	// per-event decisions routed across shard actors, with no global
 	// iterations. Tasks uploaded via POST /api/tasks are offered to the
 	// stream one by one. Graded questions are not supported in this mode.
-	Shards *shard.Engine
+	// The backend is either an in-process *shard.Engine or a
+	// *cluster.Gateway fronting a ring of hta-server nodes.
+	Shards StreamBackend
 	// Universe is the keyword universe size workers' vectors live in.
 	Universe int
 	// ReassignPerWorker triggers a new iteration once some worker has
@@ -66,6 +67,11 @@ type ServerConfig struct {
 	// oversized bodies fail the JSON decode with HTTP 400. Default 8 MiB
 	// (a 10k-task upload is ~1 MiB); negative disables the limit.
 	MaxBodyBytes int64
+	// IdempotencyCache bounds the keyed response-replay store backing
+	// clients built WithIdempotency: the last N mutation responses are
+	// kept per server, FIFO-evicted. Default 4096; negative disables the
+	// keyed-replay path entirely (the header is then ignored).
+	IdempotencyCache int
 	// Tracer records request-scoped traces: every endpoint opens a root
 	// span (subject to the recorder's sampling), propagated through the
 	// engine into the solver phases, and sampled responses carry an
@@ -99,6 +105,7 @@ type Server struct {
 	correct        int            // of which answered correctly
 	mux            *http.ServeMux
 	drain          drainState
+	idem           *idemCache
 }
 
 // NewServer validates the configuration and builds the HTTP handler.
@@ -139,7 +146,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	// shows every family, zero-valued until exercised, instead of series
 	// popping into existence mid-run.
 	stream.NewMetrics(cfg.Metrics)
+	if cfg.IdempotencyCache == 0 {
+		cfg.IdempotencyCache = 4096
+	}
 	s := &Server{cfg: cfg, perWorker: make(map[string]int)}
+	if cfg.IdempotencyCache > 0 {
+		s.idem = newIdemCache(cfg.IdempotencyCache)
+	}
 	handlers := map[string]http.HandlerFunc{
 		"POST /api/tasks":                 s.handleAddTasks,
 		"POST /api/workers":               s.handleRegister,
@@ -161,6 +174,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	for pattern, h := range handlers {
+		if s.idem != nil && !strings.HasPrefix(pattern, "GET ") {
+			// Mutations gain keyed replay for clients opting into retries.
+			h = s.idempotent(h)
+		}
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
 	mux.Handle("GET /metrics", cfg.Metrics.Handler())
@@ -229,10 +246,46 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// jsonBufPool recycles the encode/decode scratch of the hot handlers
+// (offer, complete, stats): responses are marshalled into a pooled buffer
+// and written in one call, request bodies are slurped through a pooled
+// buffer before unmarshalling — steady-state traffic allocates no fresh
+// buffers per request.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func getJSONBuf() *bytes.Buffer {
+	b := jsonBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	return b
+}
+
+func putJSONBuf(b *bytes.Buffer) {
+	if b.Cap() > 1<<20 { // don't pin one-off giant bodies in the pool
+		return
+	}
+	jsonBufPool.Put(b)
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// readJSON decodes a request body through pooled scratch.
+func readJSON(r *http.Request, v any) error {
+	buf := getJSONBuf()
+	defer putJSONBuf(buf)
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), v)
 }
 
 func writeErr(w http.ResponseWriter, status int, err error) {
@@ -508,6 +561,7 @@ type Client struct {
 	base  string
 	http  *http.Client
 	retry RetryPolicy
+	idemState
 }
 
 // NewClient targets a server base URL, e.g. "http://127.0.0.1:8080".
@@ -527,8 +581,10 @@ func (c *Client) do(method, path string, body, out any) error {
 }
 
 // doCtx issues one API request. Idempotent GETs are retried per the
-// client's RetryPolicy (see retry.go); everything else gets exactly one
-// attempt.
+// client's RetryPolicy (see retry.go); mutations get exactly one attempt
+// unless the client was built WithIdempotency — then each carries a
+// fresh idempotency key and retries under the same policy, with the
+// server deduplicating by key (see idempotency.go).
 func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -538,8 +594,12 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 		}
 	}
 	attempts := 1
+	var idemKey string
 	if method == http.MethodGet {
 		attempts = c.retry.attempts()
+	} else if c.idempotent {
+		attempts = c.retry.attempts()
+		idemKey = c.newIdempotencyKey()
 	}
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -548,7 +608,7 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 				return lastErr
 			}
 		}
-		retryable, err := c.attempt(ctx, method, path, payload, out)
+		retryable, err := c.attempt(ctx, method, path, payload, idemKey, out)
 		if err == nil {
 			return nil
 		}
@@ -563,12 +623,15 @@ func (c *Client) doCtx(ctx context.Context, method, path string, body, out any) 
 // attempt runs a single HTTP round trip. retryable reports whether the
 // failure is transient (network error or 5xx) — the only class a retry
 // can help with; 4xx responses are the caller's bug and returned at once.
-func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, out any) (retryable bool, err error) {
+func (c *Client) attempt(ctx context.Context, method, path string, payload []byte, idemKey string, out any) (retryable bool, err error) {
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(payload))
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		req.Header.Set(idempotencyHeader, idemKey)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		// Transport-level failure: connection refused/reset, timeout. Not

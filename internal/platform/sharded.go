@@ -1,24 +1,50 @@
 package platform
 
 import (
-	"encoding/json"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
 	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/cluster"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
 )
 
 // Sharded-streaming handlers: the same HTTP surface as the batch handlers
-// in platform.go, served from a shard.Engine. Every request is one
+// in platform.go, served from a StreamBackend. Every request is one
 // streaming event — there are no global iterations, no server-side
-// completion counters, and no server mutex: the shard engine serializes
-// per shard internally and requests touching different shards proceed in
-// parallel.
+// completion counters, and no server mutex: the backend serializes
+// internally and requests touching different shards proceed in parallel.
+
+// StreamBackend is the streaming-engine surface the sharded handlers
+// drive. Two implementations exist: the in-process *shard.Engine, and the
+// multi-node *cluster.Gateway, which serves the identical protocol by
+// routing ops across a ring of hta-server nodes — so a single binary
+// flag, not a different API, decides whether the deployment is one
+// process or a cluster.
+type StreamBackend interface {
+	OfferTaskCtx(ctx context.Context, t *core.Task) (string, error)
+	AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Task, error)
+	RemoveWorkerCtx(ctx context.Context, id string) ([]*core.Task, error)
+	CompleteCtx(ctx context.Context, workerID, taskID string) (*core.Task, error)
+	ActiveTasks(workerID string) ([]*core.Task, error)
+	Worker(workerID string) (*core.Worker, error)
+	Completed(workerID string) (int, error)
+	WorkerIDs() []string
+	Stats() shard.Stats
+	Objective() float64
+	Snapshot(w io.Writer) error
+}
+
+var (
+	_ StreamBackend = (*shard.Engine)(nil)
+	_ StreamBackend = (*cluster.Gateway)(nil)
+)
 
 // AddTasksResult is the response of POST /api/tasks in sharded mode: the
 // fate of the offered batch. Assigned+Buffered+Dropped = len(tasks).
@@ -30,7 +56,7 @@ type AddTasksResult struct {
 
 func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
 	var req addTasksRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
 		return
 	}
@@ -73,7 +99,7 @@ func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 	var req registerRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
 		return
 	}
@@ -120,7 +146,7 @@ func (s *Server) handleShardTasks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req completeRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := readJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
 		return
 	}
@@ -207,13 +233,18 @@ func shardTaskView(t *core.Task) TaskView {
 }
 
 // shardErrStatus maps engine errors onto HTTP statuses, with a fallback
-// for the endpoint-specific default.
+// for the endpoint-specific default. Cluster routing failures (a node
+// mid-failover, or no live nodes) are 503s: the condition is transient
+// from the client's point of view — retry after the ring re-partitions.
 func shardErrStatus(err error, fallback int) int {
 	if errors.Is(err, shard.ErrClosed) {
 		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, stream.ErrBufferFull) {
 		return http.StatusInsufficientStorage
+	}
+	if errors.Is(err, cluster.ErrPeerDown) || errors.Is(err, cluster.ErrNoNodes) {
+		return http.StatusServiceUnavailable
 	}
 	return fallback
 }

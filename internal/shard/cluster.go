@@ -1,0 +1,169 @@
+package shard
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/stream"
+)
+
+// Cluster-support surface: the same scatter/commit/buffer primitives the
+// stream.Assigner exposes to this engine, lifted one level so a cluster
+// router (internal/cluster) can treat a whole node — this engine and all
+// its shards — as one ring member. The division of labour mirrors the
+// shard protocol exactly:
+//
+//   - BestGain is the node's scatter answer: the best marginal gain any
+//     of its shards can offer, read-only;
+//   - TryAssign is the node's commit: place the task on the best local
+//     shard with capacity, never buffer, fail cleanly so the router can
+//     fall back to another node;
+//   - BufferAny is the node's buffer fallback: park the task on the
+//     least backlogged local shard.
+//
+// Deduplication is split the same way it is between engine and assigner:
+// the cluster router owns the global filter, while these methods still
+// register accepted tasks locally so the node's own OfferTask path stays
+// coherent. Accepted tasks count toward this engine's Submitted, so the
+// per-node conservation law (submitted = active + completed + buffered +
+// dropped) keeps holding when traffic arrives over RPC instead of the
+// local API.
+
+// BestGain scores t against every shard's workers (read-only, concurrent
+// across shards) and returns the best marginal gain and relevance
+// tie-break among workers with free capacity. free is false when every
+// worker on every shard is full — the gain values are then meaningless.
+func (e *Engine) BestGain(t *core.Task) (gain, rel float64, free bool) {
+	release, err := e.begin()
+	if err != nil {
+		return 0, 0, false
+	}
+	defer release()
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return 0, 0, false
+	}
+	n := len(e.actors)
+	replies := make(chan scoreReply, n)
+	for _, a := range e.actors {
+		a := a
+		a.send(func() {
+			g, r, ok := a.asn.BestGain(t)
+			replies <- scoreReply{shard: a.id, gain: g, rel: r, ok: ok}
+		})
+	}
+	gain, rel = -1, -1
+	for i := 0; i < n; i++ {
+		c := <-replies
+		if !c.ok {
+			continue
+		}
+		if !free || c.gain > gain+1e-12 || (c.gain > gain-1e-12 && c.rel > rel) {
+			gain, rel, free = c.gain, c.rel, true
+		}
+	}
+	return gain, rel, free
+}
+
+// TryAssign commits t to the best free worker across this engine's shards
+// under the same scatter/commit protocol as OfferTask, but never buffers
+// and returns ok=false instead of an error when every shard is full — the
+// cluster router will commit to another node or buffer explicitly. On
+// success the task is registered in the local duplicate filter and counted
+// submitted, so node-local accounting stays conserved.
+func (e *Engine) TryAssign(t *core.Task) (wid string, ok bool) {
+	release, err := e.begin()
+	if err != nil {
+		return "", false
+	}
+	defer release()
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return "", false
+	}
+	start := time.Now()
+	defer func() { e.metrics.RouteLatency.Observe(time.Since(start).Seconds()) }()
+	if len(e.actors) == 1 {
+		e.actors[0].call(func(asn *stream.Assigner) { wid, ok = asn.TryAssign(t) })
+		if ok {
+			e.noteSubmitted(t.ID)
+		}
+		return wid, ok
+	}
+	n := len(e.actors)
+	replies := make(chan scoreReply, n)
+	for _, a := range e.actors {
+		a := a
+		a.send(func() {
+			g, r, free := a.asn.BestGain(t)
+			replies <- scoreReply{shard: a.id, gain: g, rel: r, ok: free}
+		})
+	}
+	scored := make([]scoreReply, 0, n)
+	for i := 0; i < n; i++ {
+		scored = append(scored, <-replies)
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		a, b := scored[i], scored[j]
+		if a.ok != b.ok {
+			return a.ok
+		}
+		if a.ok {
+			if a.gain > b.gain+1e-12 {
+				return true
+			}
+			if b.gain > a.gain+1e-12 {
+				return false
+			}
+			if a.rel != b.rel {
+				return a.rel > b.rel
+			}
+		}
+		return a.shard < b.shard
+	})
+	for _, c := range scored {
+		var committed bool
+		e.actors[c.shard].call(func(asn *stream.Assigner) { wid, committed = asn.TryAssign(t) })
+		if committed {
+			e.noteSubmitted(t.ID)
+			return wid, true
+		}
+	}
+	return "", false
+}
+
+// BufferAny parks t on the least backlogged shard's buffer without
+// attempting assignment — the buffer half of a cluster routing decision
+// that picked this node as the least loaded. Returns stream.ErrBufferFull
+// when every local buffer is at its limit. Accepted tasks are registered
+// and counted submitted, like TryAssign.
+func (e *Engine) BufferAny(t *core.Task) error {
+	release, err := e.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if t == nil || t.Keywords == nil || t.ID == "" {
+		return errors.New("shard: nil task or keywords")
+	}
+	if err := e.bufferAnywhere(t); err != nil {
+		return err
+	}
+	e.noteSubmitted(t.ID)
+	return nil
+}
+
+// noteSubmitted records a task accepted through the cluster-support
+// surface in the engine-wide counters and duplicate filter.
+func (e *Engine) noteSubmitted(id string) {
+	e.submitted.Add(1)
+	e.metrics.Submitted.Inc()
+	if len(e.actors) > 1 {
+		e.markSeen(id)
+	}
+}
+
+// HashKey exposes the ring's key hash (fmix64-finished FNV-1a) so the
+// cluster membership ring partitions by exactly the same function, with
+// the same short-key banding fix.
+func HashKey(s string) uint64 { return fnv1a(s) }
