@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-shard vet bench bench-pr5 bench-pr6 bench-pr7 smoke-cluster experiments live crowd clean
+.PHONY: all build test test-short test-race test-shard test-quality vet bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 smoke-cluster experiments live crowd clean
 
 all: build vet test
 
@@ -27,6 +27,11 @@ test-race:
 test-shard:
 	$(GO) test -race -count 2 ./internal/shard -run 'TestConservationUnderConcurrentChurn|TestOneShardDeterminism'
 
+# The quality layer (aggregation, gold grading, reputation) plus its
+# engine/tracker integration properties, under the race detector.
+test-quality:
+	$(GO) test -race ./internal/quality
+
 # Regenerate the shard throughput report (BENCH_PR5.json).
 bench-pr5:
 	$(GO) run ./cmd/hta-bench -fig pr5 -json BENCH_PR5.json
@@ -40,6 +45,11 @@ bench-pr6:
 # over real loopback HTTP, batched frames vs the per-op control.
 bench-pr7:
 	$(GO) run ./cmd/hta-bench -fig pr7 -json BENCH_PR7.json
+
+# Regenerate the quality/trust report (BENCH_PR8.json): majority vs
+# accuracy-weighted vs EM aggregation at k=1/3/5 under a 40% spammy crowd.
+bench-pr8:
+	$(GO) run ./cmd/hta-bench -fig pr8 -json BENCH_PR8.json
 
 # The multi-process cluster smoke: 3 hta-server nodes + a gateway on
 # ephemeral ports, churn replay, conservation, clean SIGTERM shutdown.

@@ -35,6 +35,12 @@
 // control, with total buffer capacity fixed across node counts; with
 // -gate it exits non-zero when 4 nodes miss the 2x aggregate target or
 // batching loses to the control (BENCH_PR7.json).
+//
+// -fig pr8 measures answer quality vs redundancy k under a 40% spammy
+// crowd: gold grades drive online accuracy estimates and quarantines, and
+// accuracy-weighted and EM aggregation are scored against plain majority
+// on identical vote sets; with -gate it exits non-zero when either
+// trust-aware aggregator fails to beat majority at k=3 (BENCH_PR8.json).
 package main
 
 import (
@@ -75,7 +81,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6 or pr7")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7 or pr8")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -284,6 +290,31 @@ func main() {
 				report.SpeedupAt1, report.TargetSpeedup)
 			os.Exit(1)
 		}
+	case "pr8":
+		// Not a paper figure: the quality-layer report — one simulated
+		// crowd answering at k = 1/3/5, three aggregators scored against
+		// ground truth, judged by the trust-aware methods beating plain
+		// majority at k=3.
+		fmt.Printf("PR 8 report: answer accuracy vs redundancy k under a mixed honest/spammy crowd\n\n")
+		var report *experiments.PR8Report
+		report, err = experiments.SweepPR8(opts)
+		if err == nil {
+			err = report.RenderPR8(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR8JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *gate && !report.MeetsTarget {
+			fmt.Fprintf(os.Stderr, "hta-bench: pr8 gate: weighted beats majority at k=3: %v, EM beats majority at k=3: %v\n",
+				report.WeightedBeatsMajorityAtK3, report.EMBeatsMajorityAtK3)
+			os.Exit(1)
+		}
 	case "pr7":
 		// Not a paper figure: the multi-node cluster report — the pr5
 		// churn workload routed through the gateway's batched RPC plane at
@@ -310,7 +341,7 @@ func main() {
 			os.Exit(1)
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6 or pr7)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7 or pr8)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -9,11 +9,17 @@
 //	hta-gen -groups 200 -per-group 20 -tasks-out tasks.jsonl
 //	hta-gen -workers 200 -workers-out workers.jsonl
 //	hta-gen -workers 200 -churn 4000 -churn-out churn.jsonl
+//	hta-gen -groups 200 -per-group 20 -gold 0.2 -gold-out gold.jsonl
 //
 // With -churn N the generator also emits a worker arrival/departure trace
 // over a horizon of N logical event steps (see workload.ChurnEvent); the
 // pr5 shard benchmark replays such traces to exercise assignment under
 // worker churn.
+//
+// With -gold-out the generator samples a gold answer key over the task
+// set: each task is gold with probability -gold, carrying a known answer
+// in [0, -gold-options). hta-server loads the key with -gold to grade
+// workers online (see internal/quality).
 package main
 
 import (
@@ -39,6 +45,9 @@ func main() {
 	churn := flag.Int("churn", 0, "emit a worker churn trace over this many logical steps")
 	churnDepart := flag.Float64("churn-depart", 0.5, "fraction of churning workers that also depart")
 	churnOut := flag.String("churn-out", "", "write the churn trace to this file ('-' for stdout)")
+	goldRate := flag.Float64("gold", 0.2, "fraction of tasks marked gold with -gold-out")
+	goldOptions := flag.Int("gold-options", 4, "answer alphabet size for gold tasks")
+	goldOut := flag.String("gold-out", "", "write a gold answer key over the task set to this file ('-' for stdout)")
 	flag.Parse()
 
 	gen, err := workload.NewGenerator(workload.Config{
@@ -51,8 +60,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("hta-gen: %v", err)
 	}
-	if *tasksOut == "" && *workersOut == "" && *churnOut == "" {
-		log.Fatal("hta-gen: nothing to do; pass -tasks-out, -workers-out, and/or -churn-out")
+	if *tasksOut == "" && *workersOut == "" && *churnOut == "" && *goldOut == "" {
+		log.Fatal("hta-gen: nothing to do; pass -tasks-out, -workers-out, -churn-out and/or -gold-out")
 	}
 	if *tasksOut != "" {
 		tasks := gen.Tasks(*groups, *perGroup)
@@ -75,6 +84,22 @@ func main() {
 			log.Fatalf("hta-gen: %v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d workers to %s\n", len(ws), *workersOut)
+	}
+	if *goldOut != "" {
+		// The key is drawn over the same task IDs -tasks-out emits (same
+		// seed, same generator parameters), from a derived seed so the
+		// sample is independent of keyword draws.
+		gold, err := workload.Gold(gen.Tasks(*groups, *perGroup), *goldRate, *goldOptions, *seed+2)
+		if err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		if err := writeTo(*goldOut, func(f *os.File) error {
+			return workload.WriteGold(f, gold)
+		}); err != nil {
+			log.Fatalf("hta-gen: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d gold answers (rate %.2f over %d tasks) to %s\n",
+			len(gold), *goldRate, *groups**perGroup, *goldOut)
 	}
 	if *churnOut != "" {
 		if *workers <= 0 {

@@ -35,6 +35,8 @@
 //	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
 //	           [-shards 0] [-buffer 1024]
 //	           [-node name] [-gateway] [-peers n1=http://h1,n2=http://h2]
+//	           [-redundancy 0] [-gold-rate 0.2] [-gold gold.jsonl]
+//	           [-agg weighted] [-quarantine-floor 0.4]
 //	           [-xmax 15] [-extra 5] [-universe 100]
 //	           [-read-timeout 10s] [-write-timeout 30s] [-shutdown-grace 15s]
 //	           [-max-body 8388608]
@@ -50,6 +52,17 @@
 // trace-correlated: lines emitted while serving a sampled request carry
 // its trace_id/span_id.
 //
+// With -redundancy k (streaming modes only) the quality layer is active:
+// every uploaded task is replicated into k engine tasks so it collects k
+// answers before it is resolved; a -gold-rate fraction of tasks (plus any
+// explicit -gold answer-key file from hta-gen) are graded against known
+// answers, driving per-worker accuracy estimates that multiply into the
+// assignment objective and quarantine workers below -quarantine-floor.
+// Answers are submitted via POST /api/answers and aggregated by -agg
+// (majority, weighted or em). With -snapshot the tracker's state is
+// persisted beside the engine snapshot (at <path>.quality) and restored
+// with it, so reputation survives restarts.
+//
 // Endpoints:
 //
 //	POST   /api/tasks                 {"tasks": [{"id","group","reward","keywords"}]}
@@ -57,6 +70,9 @@
 //	GET    /api/workers/{id}/tasks
 //	POST   /api/workers/{id}/complete {"task_id": "..."}
 //	DELETE /api/workers/{id}
+//	POST   /api/answers               {"worker","task_id","option"} (with -redundancy)
+//	GET    /api/answers               aggregated consensus + conservation stats
+//	GET    /api/workers/{id}/reputation
 //	GET    /api/stats
 //	GET    /metrics                   Prometheus text (or ?format=json)
 //	GET    /healthz                   200 ok / 503 draining
@@ -84,6 +100,7 @@ import (
 	"github.com/htacs/ata/internal/cluster"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/quality"
 	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
@@ -129,6 +146,11 @@ func main() {
 	snapshotPath := flag.String("snapshot", "", "engine state file: restored at startup, written on SIGINT/SIGTERM")
 	shards := flag.Int("shards", 0, "run the sharded streaming engine with N shards instead of batch iterations (0 = batch)")
 	buffer := flag.Int("buffer", 1024, "per-shard task buffer limit (sharded mode only)")
+	redundancy := flag.Int("redundancy", 0, "collect this many answers per task before resolving it (0 disables the quality layer; streaming modes only)")
+	goldRate := flag.Float64("gold-rate", 0.2, "fraction of tasks auto-marked gold for online grading (with -redundancy)")
+	goldFile := flag.String("gold", "", "optional gold answer-key file from hta-gen -gold-out (with -redundancy)")
+	aggMethod := flag.String("agg", "weighted", "answer aggregation method: majority, weighted or em (with -redundancy)")
+	quarantineFloor := flag.Float64("quarantine-floor", 0.4, "quarantine workers whose gold accuracy drops below this (with -redundancy; 0 disables)")
 	nodeName := flag.String("node", "", "cluster member name: also serve the cluster RPC plane under /cluster/ (requires -shards >= 1)")
 	gatewayMode := flag.Bool("gateway", false, "run as the cluster gateway: no local engine, ops routed across -peers")
 	peersSpec := flag.String("peers", "", "cluster membership as name=url,name=url (gateway mode only)")
@@ -175,6 +197,52 @@ func main() {
 			log.Fatalf("hta-server: reading %s: %v", *tasksPath, err)
 		}
 	}
+	var qtracker *quality.Tracker
+	if *redundancy > 0 {
+		if *shards <= 0 && !*gatewayMode {
+			log.Fatal("hta-server: -redundancy requires a streaming backend (-shards >= 1 or -gateway)")
+		}
+		method, err := quality.ParseMethod(*aggMethod)
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		qcfg := quality.Config{
+			K:               *redundancy,
+			GoldRate:        *goldRate,
+			GoldSalt:        uint64(*seed),
+			Method:          method,
+			QuarantineFloor: *quarantineFloor,
+		}
+		var restoredQ bool
+		qtracker, restoredQ, err = buildTracker(qcfg, qualitySnapshotPath(*snapshotPath))
+		if err != nil {
+			log.Fatalf("hta-server: %v", err)
+		}
+		if restoredQ {
+			st := qtracker.Stats()
+			fmt.Printf("restored quality tracker state from %s (%d answers, %d resolved, %d workers)\n",
+				qualitySnapshotPath(*snapshotPath), st.AnswersSubmitted, st.TasksResolved, st.Workers)
+		}
+		if *goldFile != "" {
+			f, err := os.Open(*goldFile)
+			if err != nil {
+				log.Fatalf("hta-server: %v", err)
+			}
+			gold, err := workload.ReadGold(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("hta-server: reading %s: %v", *goldFile, err)
+			}
+			for _, g := range gold {
+				if err := qtracker.AddGold(g.TaskID, g.Answer); err != nil {
+					log.Fatalf("hta-server: gold task %s: %v", g.TaskID, err)
+				}
+			}
+			fmt.Printf("loaded %d gold answers from %s\n", len(gold), *goldFile)
+		}
+		srvCfg.Quality = qtracker
+		srvCfg.Redundancy = *redundancy
+	}
 	var clusterNode *cluster.Node
 	if *gatewayMode {
 		if *shards > 0 || *nodeName != "" {
@@ -190,7 +258,7 @@ func main() {
 		}
 		defer gw.Close()
 		if len(preload) > 0 {
-			streamPreload(gw, preload, *tasksPath)
+			streamPreload(gw, qtracker, *redundancy, preload, *tasksPath)
 		}
 		// In gateway mode -snapshot writes the merged cluster cut at
 		// shutdown; startup restore happens per node, not here.
@@ -198,7 +266,7 @@ func main() {
 	} else if *shards > 0 {
 		scfg := shard.Config{
 			Shards: *shards,
-			Stream: stream.Config{Xmax: *xmax, BufferLimit: *buffer},
+			Stream: stream.Config{Xmax: *xmax, BufferLimit: *buffer, WithTrust: qtracker != nil},
 			Tracer: tracer,
 		}
 		eng, restored, err := buildShardEngine(scfg, *snapshotPath)
@@ -212,7 +280,7 @@ func main() {
 				*snapshotPath, st.Shards, st.Workers, st.Buffered)
 		}
 		if len(preload) > 0 {
-			streamPreload(eng, preload, *tasksPath)
+			streamPreload(eng, qtracker, *redundancy, preload, *tasksPath)
 		}
 		if *nodeName != "" {
 			clusterNode, err = cluster.NewNode(cluster.NodeConfig{Name: *nodeName, Engine: eng})
@@ -295,6 +363,10 @@ func main() {
 	default:
 		fmt.Printf("assignment service listening on %s (Xmax=%d, +%d random)\n", bound, *xmax, *extra)
 	}
+	if qtracker != nil {
+		fmt.Printf("quality layer active: redundancy=%d, agg=%s, gold-rate=%.2f, quarantine-floor=%.2f\n",
+			*redundancy, qtracker.Method(), *goldRate, *quarantineFloor)
+	}
 	select {
 	case err := <-errCh:
 		log.Fatalf("hta-server: %v", err)
@@ -308,6 +380,13 @@ func main() {
 				log.Fatalf("hta-server: snapshot: %v", err)
 			}
 			fmt.Printf("saved engine state to %s\n", *snapshotPath)
+			if qtracker != nil {
+				qpath := qualitySnapshotPath(*snapshotPath)
+				if err := saveQualitySnapshot(qtracker, qpath); err != nil {
+					log.Fatalf("hta-server: quality snapshot: %v", err)
+				}
+				fmt.Printf("saved quality tracker state to %s\n", qpath)
+			}
 		}
 	}
 }
@@ -337,23 +416,92 @@ func parsePeers(spec string) ([]cluster.PeerSpec, error) {
 }
 
 // streamPreload offers a task file into a streaming backend (in-process
-// engine or cluster gateway), reporting each task's fate.
-func streamPreload(backend platform.StreamBackend, preload []*core.Task, path string) {
+// engine or cluster gateway), reporting each task's fate. With the
+// quality layer active each logical task is observed by the tracker
+// (auto-gold marking) and replicated into k engine tasks, mirroring what
+// POST /api/tasks does for runtime uploads.
+func streamPreload(backend platform.StreamBackend, tr *quality.Tracker, k int, preload []*core.Task, path string) {
+	if tr == nil {
+		k = 1
+	}
 	var assigned, buffered, dropped int
 	for _, t := range preload {
-		switch wid, err := backend.OfferTaskCtx(context.Background(), t); {
-		case err == nil && wid != "":
-			assigned++
-		case err == nil:
-			buffered++
-		case errors.Is(err, stream.ErrBufferFull):
-			dropped++
-		default:
-			log.Fatalf("hta-server: loading tasks: %v", err)
+		if tr != nil {
+			tr.ObserveTask(t.ID)
+		}
+		for j := 0; j < k; j++ {
+			offer := t
+			if tr != nil {
+				cp := *t
+				cp.ID = quality.ReplicaID(t.ID, j)
+				offer = &cp
+			}
+			switch wid, err := backend.OfferTaskCtx(context.Background(), offer); {
+			case err == nil && wid != "":
+				assigned++
+			case err == nil:
+				buffered++
+			case errors.Is(err, stream.ErrBufferFull):
+				dropped++
+			default:
+				log.Fatalf("hta-server: loading tasks: %v", err)
+			}
 		}
 	}
-	fmt.Printf("streamed %d tasks from %s (%d assigned, %d buffered, %d dropped)\n",
-		len(preload), path, assigned, buffered, dropped)
+	fmt.Printf("streamed %d tasks from %s as %d engine tasks (%d assigned, %d buffered, %d dropped)\n",
+		len(preload), path, len(preload)*k, assigned, buffered, dropped)
+}
+
+// qualitySnapshotPath derives the tracker's state file from the engine
+// snapshot path ("" stays "", so no-snapshot runs skip persistence).
+func qualitySnapshotPath(snapshotPath string) string {
+	if snapshotPath == "" {
+		return ""
+	}
+	return snapshotPath + ".quality"
+}
+
+// buildTracker restores the quality tracker from its snapshot when one
+// exists, otherwise starts fresh.
+func buildTracker(cfg quality.Config, path string) (*quality.Tracker, bool, error) {
+	if path == "" {
+		tr, err := quality.New(cfg)
+		return tr, false, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		tr, err := quality.New(cfg)
+		return tr, false, err
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	tr, err := quality.Restore(f, cfg)
+	if err != nil {
+		return nil, false, fmt.Errorf("restoring %s: %w", path, err)
+	}
+	return tr, true, nil
+}
+
+// saveQualitySnapshot writes the tracker state atomically via a temp
+// file, like saveSnapshot.
+func saveQualitySnapshot(tr *quality.Tracker, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := tr.Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // buildShardEngine restores the sharded streaming engine from the

@@ -610,3 +610,79 @@ func TestPeerPipelineWindowRecoversAfterErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterTrustRoundTrip: trust set through the gateway RPC lands on
+// the owning node, reads back, and survives a merged snapshot restored
+// node by node at a *different* shard count — the same path a rolling
+// re-shard takes.
+func TestClusterTrustRoundTrip(t *testing.T) {
+	tc := newTestCluster(t, 3, 2, 64, 2)
+	gw := tc.gw
+	workers, tasks := testWorkload(t, 13, 9, 30)
+	for _, w := range workers {
+		if _, err := gw.AddWorker(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, task := range tasks {
+		if _, err := gw.OfferTask(task); err != nil && err != stream.ErrBufferFull {
+			t.Fatal(err)
+		}
+	}
+	// A spread of values, including an exact 0 (quarantine) — the wire
+	// encoding must not drop the zero.
+	want := map[string]float64{}
+	for i, w := range workers {
+		v := []float64{0.9, 0.35, 0, 0.7}[i%4]
+		if _, err := gw.SetTrust(w.ID, v); err != nil {
+			t.Fatalf("SetTrust(%s): %v", w.ID, err)
+		}
+		want[w.ID] = v
+	}
+	for id, v := range want {
+		got, err := gw.Trust(id)
+		if err != nil {
+			t.Fatalf("Trust(%s): %v", id, err)
+		}
+		if got != v {
+			t.Fatalf("worker %s: trust %v over RPC, want %v", id, got, v)
+		}
+	}
+	if _, err := gw.SetTrust("ghost", 1); err == nil {
+		t.Fatal("SetTrust on unknown worker accepted")
+	}
+
+	var buf bytes.Buffer
+	if err := gw.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc mergedSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, ns := range doc.Nodes {
+		eng, err := shard.Restore(bytes.NewReader(ns.Engine), shard.Config{
+			Shards: 5, StealInterval: -1, // re-shard 2 → 5 on restore
+			Stream:   stream.Config{Xmax: 2, BufferLimit: 64},
+			Registry: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatalf("restore of %s's cut: %v", ns.Name, err)
+		}
+		for id, v := range want {
+			got, err := eng.Trust(id)
+			if err != nil {
+				continue // worker lives on another node
+			}
+			if got != v {
+				t.Fatalf("worker %s on %s: trust %v after restore, want %v", id, ns.Name, got, v)
+			}
+			seen++
+		}
+		eng.Close()
+	}
+	if seen != len(want) {
+		t.Fatalf("restored cuts cover %d workers, want %d", seen, len(want))
+	}
+}

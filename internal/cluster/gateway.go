@@ -598,6 +598,52 @@ func (g *Gateway) Worker(workerID string) (*core.Worker, error) {
 	return wireToWorker(*res.Worker)
 }
 
+// Trust returns the worker's trust multiplier from its owning node.
+func (g *Gateway) Trust(workerID string) (float64, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return 0, err
+	}
+	res, err := p.do(Op{Op: opTrust, WorkerID: workerID})
+	if err != nil {
+		return 0, err
+	}
+	if !res.OK {
+		return 0, resultErr(res)
+	}
+	return res.Value, nil
+}
+
+// SetTrust updates the worker's trust multiplier on its owning node
+// (stream.Assigner.SetTrust semantics). Tasks drained by a lifted
+// quarantine are returned.
+func (g *Gateway) SetTrust(workerID string, trust float64) ([]*core.Task, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.do(Op{Op: opSetTrust, WorkerID: workerID, Trust: &trust})
+	if err != nil {
+		return nil, err
+	}
+	if !res.OK {
+		return nil, resultErr(res)
+	}
+	out := make([]*core.Task, 0, len(res.Tasks))
+	for _, twr := range res.Tasks {
+		t, err := wireToTask(twr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 // Completed returns how many tasks the worker finished.
 func (g *Gateway) Completed(workerID string) (int, error) {
 	g.opGate.RLock()

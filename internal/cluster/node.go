@@ -241,6 +241,21 @@ func (n *Node) apply(op *Op) OpResult {
 			return fail(err)
 		}
 		return OpResult{OK: true, Count: c}
+	case opSetTrust:
+		if op.Trust == nil {
+			return fail(errors.New("cluster: set_trust without value"))
+		}
+		drained, err := n.eng.SetTrust(op.WorkerID, *op.Trust)
+		if err != nil {
+			return fail(err)
+		}
+		return OpResult{OK: true, Tasks: tasksToWire(drained)}
+	case opTrust:
+		v, err := n.eng.Trust(op.WorkerID)
+		if err != nil {
+			return fail(err)
+		}
+		return OpResult{OK: true, Value: v}
 	case opWorkers:
 		return OpResult{OK: true, IDs: n.eng.WorkerIDs()}
 	case opStats:

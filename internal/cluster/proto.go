@@ -33,6 +33,8 @@ const (
 	opWorkers      = "workers"       // WorkerIDs()
 	opStats        = "stats"         // Stats()
 	opObjective    = "objective"     // Objective()
+	opSetTrust     = "set_trust"     // SetTrust(worker, value); returns drained tasks
+	opTrust        = "trust"         // Trust(worker)
 )
 
 // Error codes carried in OpResult.Code so the gateway can map node-side
@@ -104,6 +106,9 @@ type Op struct {
 	TaskID   string      `json:"task_id,omitempty"`
 	Worker   *workerWire `json:"worker,omitempty"`
 	WorkerID string      `json:"worker_id,omitempty"`
+	// Trust carries the value of a set_trust op (pointer so 0 — quarantine
+	// — survives omitempty semantics).
+	Trust *float64 `json:"trust,omitempty"`
 }
 
 // OpResult is the outcome of one op, index-aligned with its frame.

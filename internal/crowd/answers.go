@@ -1,0 +1,34 @@
+package crowd
+
+import "math/rand"
+
+// AnswerOption draws the categorical answer a worker gives to an
+// L-option task whose correct option is truth: the truth with
+// probability pCorrect (clamped to [0, 1]), otherwise a uniform draw
+// over the L-1 wrong options. This is the bridge between the session
+// simulation's per-task correctness probability (Params.BaseAccuracy
+// plus the engagement and relevance terms, times SimWorker.Skill) and
+// the quality layer's vote alphabet: feeding these draws into
+// quality.Tracker.Submit reproduces a one-coin worker with accuracy
+// pCorrect exactly — the model the EM aggregator assumes.
+func AnswerOption(rng *rand.Rand, pCorrect float64, truth, options int) int {
+	if options < 2 || truth < 0 || truth >= options {
+		return truth
+	}
+	if pCorrect < 0 {
+		pCorrect = 0
+	}
+	if pCorrect > 1 {
+		pCorrect = 1
+	}
+	if rng.Float64() < pCorrect {
+		return truth
+	}
+	// Uniform over the wrong options: draw from L-1 slots and skip past
+	// the truth so every wrong option is equally likely.
+	wrong := rng.Intn(options - 1)
+	if wrong >= truth {
+		wrong++
+	}
+	return wrong
+}

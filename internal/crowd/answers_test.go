@@ -1,0 +1,52 @@
+package crowd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAnswerOptionDistribution: the draw matches the one-coin model —
+// P(truth) = pCorrect, and the wrong options split the rest evenly.
+func TestAnswerOptionDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const options, truth, p, n = 4, 2, 0.7, 40000
+	counts := make([]int, options)
+	for i := 0; i < n; i++ {
+		counts[AnswerOption(rng, p, truth, options)]++
+	}
+	if got := float64(counts[truth]) / n; math.Abs(got-p) > 0.02 {
+		t.Fatalf("P(truth) = %.3f, want ~%.2f", got, p)
+	}
+	wrongEach := (1 - p) / float64(options-1)
+	for l, c := range counts {
+		if l == truth {
+			continue
+		}
+		if got := float64(c) / n; math.Abs(got-wrongEach) > 0.02 {
+			t.Fatalf("P(option %d) = %.3f, want ~%.3f", l, got, wrongEach)
+		}
+	}
+}
+
+func TestAnswerOptionEdges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		if got := AnswerOption(rng, 1, 3, 4); got != 3 {
+			t.Fatalf("pCorrect=1 answered %d", got)
+		}
+		if got := AnswerOption(rng, 0, 3, 4); got == 3 {
+			t.Fatal("pCorrect=0 answered the truth")
+		}
+		if got := AnswerOption(rng, 2.5, 1, 4); got != 1 {
+			t.Fatalf("clamped pCorrect>1 answered %d", got)
+		}
+	}
+	// Degenerate inputs pass through rather than panic.
+	if got := AnswerOption(rng, 0.5, 0, 1); got != 0 {
+		t.Fatalf("options=1: %d", got)
+	}
+	if got := AnswerOption(rng, 0.5, -1, 4); got != -1 {
+		t.Fatalf("negative truth: %d", got)
+	}
+}

@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"github.com/htacs/ata/internal/quality"
+)
+
+// The pr8 report answers the quality layer's acceptance question: under
+// a mixed honest/spammy crowd, does paying for redundancy k and smarter
+// aggregation actually buy answer accuracy? One simulated crowd answers
+// the same task set at k ∈ {1, 3, 5}; gold tasks are injected at the
+// tracker's configured rate, grades drive the online accuracy estimates
+// and quarantines exactly as the platform does, and every resolved task
+// is scored against ground truth under all three aggregators.
+
+// pr8Shape fixes the crowd. The shape is deliberately independent of
+// Options.Scale — the accuracy contrast, not the wall-clock, is the
+// measurement, and it needs enough tasks per worker for the estimates to
+// converge.
+type pr8Shape struct {
+	Tasks     int     // logical tasks offered (gold included)
+	Workers   int     // crowd size
+	Options   int     // answer alphabet L
+	SpamFrac  float64 // fraction of workers answering uniformly at random
+	HonestAcc float64 // P(truth) for the rest
+	GoldRate  float64 // tracker auto-gold fraction
+}
+
+var defaultPR8Shape = pr8Shape{
+	Tasks: 360, Workers: 60, Options: 4,
+	SpamFrac: 0.4, HonestAcc: 0.85, GoldRate: 0.2,
+}
+
+// PR8Point is one redundancy level of the sweep.
+type PR8Point struct {
+	K           int     `json:"k"`
+	EvalTasks   int     `json:"eval_tasks"` // non-gold tasks scored
+	GoldTasks   int     `json:"gold_tasks"`
+	MajorityAcc float64 `json:"majority_acc"`
+	WeightedAcc float64 `json:"weighted_acc"`
+	EMAcc       float64 `json:"em_acc"`
+	Quarantined int     `json:"quarantined"`
+	Spammers    int     `json:"spammers"`
+	ElapsedNs   int64   `json:"elapsed_ns"` // sim + all three aggregations
+}
+
+// PR8Report is the payload of BENCH_PR8.json.
+type PR8Report struct {
+	Note                      string     `json:"note"`
+	Tasks                     int        `json:"tasks"`
+	Workers                   int        `json:"workers"`
+	Options                   int        `json:"options"`
+	SpamFrac                  float64    `json:"spam_frac"`
+	HonestAcc                 float64    `json:"honest_acc"`
+	GoldRate                  float64    `json:"gold_rate"`
+	Points                    []PR8Point `json:"points"`
+	WeightedBeatsMajorityAtK3 bool       `json:"weighted_beats_majority_at_k3"`
+	EMBeatsMajorityAtK3       bool       `json:"em_beats_majority_at_k3"`
+	MeetsTarget               bool       `json:"meets_target"`
+}
+
+// SweepPR8 simulates the crowd at k ∈ {1, 3, 5} and scores the three
+// aggregators. The acceptance figure: at k = 3 (and beyond) both the
+// accuracy-weighted vote and the EM estimator must beat plain majority —
+// if they don't, the trust layer is dead weight and the PR should not
+// ship.
+func SweepPR8(o Options) (*PR8Report, error) {
+	o.applyDefaults()
+	shape := defaultPR8Shape
+	report := &PR8Report{
+		Note: "answer accuracy vs redundancy k under a 40% spammy crowd: gold grades drive online accuracy estimates and quarantines; weighted and EM aggregation are scored against plain majority on the identical vote sets.",
+		Tasks: shape.Tasks, Workers: shape.Workers, Options: shape.Options,
+		SpamFrac: shape.SpamFrac, HonestAcc: shape.HonestAcc, GoldRate: shape.GoldRate,
+	}
+	for _, k := range []int{1, 3, 5} {
+		point, err := measurePR8(o, k, shape)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: pr8 k=%d: %w", k, err)
+		}
+		report.Points = append(report.Points, point)
+		if k == 3 {
+			report.WeightedBeatsMajorityAtK3 = point.WeightedAcc > point.MajorityAcc
+			report.EMBeatsMajorityAtK3 = point.EMAcc > point.MajorityAcc
+		}
+	}
+	report.MeetsTarget = report.WeightedBeatsMajorityAtK3 && report.EMBeatsMajorityAtK3
+	return report, nil
+}
+
+func measurePR8(o Options, k int, shape pr8Shape) (PR8Point, error) {
+	start := time.Now()
+	rng := rand.New(rand.NewSource(o.Seed + int64(100*k)))
+	tr, err := quality.New(quality.Config{
+		K: k, Options: shape.Options,
+		GoldRate: shape.GoldRate, GoldSalt: uint64(o.Seed) + 1,
+		QuarantineFloor: 0.35, MinGold: 4,
+	})
+	if err != nil {
+		return PR8Point{}, err
+	}
+
+	spammers := int(float64(shape.Workers) * shape.SpamFrac)
+	point := PR8Point{K: k, Spammers: spammers}
+
+	// Ground truth: gold tasks carry the tracker's synthesized answer (so
+	// grading is consistent with scoring); the rest draw uniformly.
+	truth := make([]int, shape.Tasks)
+	ids := make([]string, shape.Tasks)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%04d", i)
+		tr.ObserveTask(ids[i])
+		if ans, ok := tr.GoldAnswer(ids[i]); ok {
+			truth[i] = ans
+			point.GoldTasks++
+		} else {
+			truth[i] = rng.Intn(shape.Options)
+		}
+	}
+
+	answer := func(w, taskIdx int) int {
+		if w < spammers || rng.Float64() >= shape.HonestAcc {
+			return rng.Intn(shape.Options)
+		}
+		return truth[taskIdx]
+	}
+
+	// The crowd answers task by task: k accepted submissions each, from
+	// distinct workers, skipping anyone the tracker has quarantined —
+	// exactly what the platform's replica re-assignment converges to.
+	collected := make([]quality.TaskVotes, 0, shape.Tasks)
+	for i, id := range ids {
+		var votes []quality.Vote
+		accepted := 0
+		for _, w := range rng.Perm(shape.Workers) {
+			if accepted == k {
+				break
+			}
+			wid := fmt.Sprintf("w%03d", w)
+			opt := answer(w, i)
+			res, err := tr.Submit(wid, id, opt)
+			if err != nil {
+				continue // quarantined; replacement worker takes the slot
+			}
+			accepted++
+			if !res.Gold {
+				votes = append(votes, quality.Vote{Worker: wid, Option: opt})
+			}
+		}
+		if len(votes) > 0 {
+			collected = append(collected, quality.TaskVotes{TaskID: id, Votes: votes})
+		}
+	}
+	if !tr.Stats().Conserved() {
+		return PR8Point{}, fmt.Errorf("tracker conservation broken: %+v", tr.Stats())
+	}
+
+	// Score the three aggregators on the identical vote sets. Weighted
+	// uses the gold-driven online estimates; EM learns from the votes
+	// alone.
+	acc := map[string]float64{}
+	for _, rep := range tr.Reputations() {
+		acc[rep.Worker] = rep.Accuracy
+		if rep.Quarantined {
+			point.Quarantined++
+		}
+	}
+	em, err := quality.Aggregate(collected, shape.Options, quality.EMConfig{})
+	if err != nil {
+		return PR8Point{}, err
+	}
+	var majOK, wOK, emOK int
+	for _, tv := range collected {
+		i := 0
+		fmt.Sscanf(tv.TaskID, "t%04d", &i) //nolint:errcheck
+		if m, _ := quality.Majority(tv.Votes, shape.Options); m == truth[i] {
+			majOK++
+		}
+		if wgt, _ := quality.Weighted(tv.Votes, shape.Options, acc, 0.5); wgt == truth[i] {
+			wOK++
+		}
+		if quality.ArgMax(em.Posteriors[tv.TaskID]) == truth[i] {
+			emOK++
+		}
+	}
+	point.EvalTasks = len(collected)
+	n := float64(len(collected))
+	point.MajorityAcc = float64(majOK) / n
+	point.WeightedAcc = float64(wOK) / n
+	point.EMAcc = float64(emOK) / n
+	point.ElapsedNs = time.Since(start).Nanoseconds()
+	return point, nil
+}
+
+// RenderPR8 prints the sweep as an aligned table with the verdict.
+func (r *PR8Report) RenderPR8(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "k\teval tasks\tmajority\tweighted\tEM\tquarantined\ttime (ms)")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "%d\t%d\t%.3f\t%.3f\t%.3f\t%d/%d\t%.1f\n",
+			p.K, p.EvalTasks, p.MajorityAcc, p.WeightedAcc, p.EMAcc,
+			p.Quarantined, p.Spammers, float64(p.ElapsedNs)/1e6)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "\nat k=3: weighted beats majority: %v, EM beats majority: %v -> target met: %v\n",
+		r.WeightedBeatsMajorityAtK3, r.EMBeatsMajorityAtK3, r.MeetsTarget)
+	return err
+}
+
+// WritePR8JSON writes the report as indented JSON (BENCH_PR8.json).
+func (r *PR8Report) WritePR8JSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

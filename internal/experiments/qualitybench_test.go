@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSweepPR8MeetsTarget is the acceptance criterion run as a test: at
+// k=3 under the 40% spammy crowd, both trust-aware aggregators must beat
+// plain majority, and the report must survive a JSON round trip with its
+// elapsed_ns leaves intact (the CI compare gate keys on them).
+func TestSweepPR8MeetsTarget(t *testing.T) {
+	report, err := SweepPR8(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Points) != 3 {
+		t.Fatalf("points: %d, want 3 (k = 1, 3, 5)", len(report.Points))
+	}
+	if !report.MeetsTarget {
+		t.Fatalf("target missed: %+v", report.Points)
+	}
+	var k3 PR8Point
+	for _, p := range report.Points {
+		if p.EvalTasks == 0 || p.ElapsedNs <= 0 {
+			t.Fatalf("degenerate point: %+v", p)
+		}
+		for _, acc := range []float64{p.MajorityAcc, p.WeightedAcc, p.EMAcc} {
+			if acc <= 0 || acc > 1 {
+				t.Fatalf("accuracy %v out of range: %+v", acc, p)
+			}
+		}
+		if p.K == 3 {
+			k3 = p
+		}
+	}
+	if k3.WeightedAcc <= k3.MajorityAcc || k3.EMAcc <= k3.MajorityAcc {
+		t.Fatalf("k=3 contrast inverted: %+v", k3)
+	}
+	if k3.Quarantined == 0 {
+		t.Fatal("no spammer quarantined at k=3 — the gold loop never fired")
+	}
+
+	var buf bytes.Buffer
+	if err := report.WritePR8JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	nums, err := FlattenNumbers(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nsLeaves := 0
+	for k := range nums {
+		if strings.HasSuffix(k, "_ns") {
+			nsLeaves++
+		}
+	}
+	if nsLeaves != 3 {
+		t.Fatalf("JSON carries %d *_ns leaves, want 3 (one per k)", nsLeaves)
+	}
+	var back PR8Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.MeetsTarget || len(back.Points) != 3 {
+		t.Fatalf("round-tripped report diverged: %+v", back)
+	}
+	if err := report.RenderPR8(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSweepPR8Deterministic: the same seed reproduces the same accuracy
+// figures — only the elapsed_ns timing may move.
+func TestSweepPR8Deterministic(t *testing.T) {
+	a, err := SweepPR8(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepPR8(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		pa.ElapsedNs, pb.ElapsedNs = 0, 0
+		if pa != pb {
+			t.Fatalf("point %d diverged across identical seeds: %+v vs %+v", i, pa, pb)
+		}
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/quality"
 	"github.com/htacs/ata/internal/question"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
@@ -54,6 +55,17 @@ type ServerConfig struct {
 	// ReassignTotal triggers a new iteration once this many completions
 	// accumulated since the last one (default 25).
 	ReassignTotal int
+	// Quality attaches the answer-quality and trust layer to the streaming
+	// modes (requires Shards): POST /api/answers collects redundant
+	// answers, gold probes grade workers online, and reputation changes
+	// are pushed into the backend via SetTrust so the assignment objective
+	// becomes relevance × diversity × trust. See internal/quality.
+	Quality *quality.Tracker
+	// Redundancy replicates each task uploaded via POST /api/tasks into k
+	// assignment copies ("id~r0" … "id~rk-1") so k distinct workers answer
+	// it. Defaults to Quality.K() when Quality is set (they must agree —
+	// the tracker resolves a task at its k-th answer), else 1.
+	Redundancy int
 	// Questions optionally attaches graded content: workers see prompts
 	// and options with their tasks, submit answers on completion, and the
 	// platform grades them against the bank's ground truth — the paper's
@@ -119,6 +131,27 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Shards != nil && cfg.Questions != nil {
 		return nil, errors.New("platform: graded questions are not supported with the sharded streaming engine")
 	}
+	if cfg.Quality != nil && cfg.Shards == nil {
+		return nil, errors.New("platform: the quality layer requires the streaming backend (Shards)")
+	}
+	if cfg.Quality != nil {
+		if cfg.Redundancy == 0 {
+			cfg.Redundancy = cfg.Quality.K()
+		}
+		if cfg.Redundancy != cfg.Quality.K() {
+			return nil, fmt.Errorf("platform: Redundancy = %d but the quality tracker resolves at k = %d",
+				cfg.Redundancy, cfg.Quality.K())
+		}
+	}
+	if cfg.Redundancy == 0 {
+		cfg.Redundancy = 1
+	}
+	if cfg.Redundancy < 1 {
+		return nil, fmt.Errorf("platform: Redundancy = %d", cfg.Redundancy)
+	}
+	if cfg.Redundancy > 1 && cfg.Shards == nil {
+		return nil, errors.New("platform: redundancy requires the streaming backend (Shards)")
+	}
 	if cfg.Universe < 1 {
 		return nil, fmt.Errorf("platform: Universe = %d", cfg.Universe)
 	}
@@ -170,6 +203,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			"POST /api/workers/{id}/complete": s.handleShardComplete,
 			"DELETE /api/workers/{id}":        s.handleShardLeave,
 			"GET /api/stats":                  s.handleShardStats,
+		}
+		if cfg.Quality != nil {
+			handlers["POST /api/answers"] = s.handleSubmitAnswer
+			handlers["GET /api/answers"] = s.handleAnswers
+			handlers["GET /api/workers/{id}/reputation"] = s.handleReputation
 		}
 	}
 	mux := http.NewServeMux()

@@ -11,6 +11,7 @@ import (
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/cluster"
 	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/quality"
 	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
 )
@@ -35,6 +36,10 @@ type StreamBackend interface {
 	ActiveTasks(workerID string) ([]*core.Task, error)
 	Worker(workerID string) (*core.Worker, error)
 	Completed(workerID string) (int, error)
+	// SetTrust/Trust carry the quality layer's reputation multiplier into
+	// the assignment objective (stream.Config.WithTrust); 0 quarantines.
+	SetTrust(workerID string, trust float64) ([]*core.Task, error)
+	Trust(workerID string) (float64, error)
 	WorkerIDs() []string
 	Stats() shard.Stats
 	Objective() float64
@@ -47,11 +52,14 @@ var (
 )
 
 // AddTasksResult is the response of POST /api/tasks in sharded mode: the
-// fate of the offered batch. Assigned+Buffered+Dropped = len(tasks).
+// fate of the offered batch. With redundancy each uploaded task becomes
+// Replicas assignment copies, so Assigned+Buffered+Dropped =
+// len(tasks)·Replicas.
 type AddTasksResult struct {
 	Assigned int `json:"assigned"`
 	Buffered int `json:"buffered"`
 	Dropped  int `json:"dropped"`
+	Replicas int `json:"replicas,omitempty"`
 }
 
 func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
@@ -74,24 +82,43 @@ func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
 			Keywords: bitset.FromIndices(s.cfg.Universe, t.Keywords...),
 		})
 	}
-	var res AddTasksResult
+	res := AddTasksResult{}
+	if s.cfg.Redundancy > 1 {
+		res.Replicas = s.cfg.Redundancy
+	}
 	for _, t := range tasks {
-		wid, err := s.cfg.Shards.OfferTaskCtx(r.Context(), t)
-		switch {
-		case err == nil && wid != "":
-			res.Assigned++
-		case err == nil:
-			res.Buffered++
-		case errors.Is(err, stream.ErrBufferFull):
-			// Counted by the engine; the batch keeps going — parity with
-			// a task intake that sheds load instead of failing wholesale.
-			res.Dropped++
-		case errors.Is(err, shard.ErrClosed):
-			writeErr(w, http.StatusServiceUnavailable, err)
-			return
-		default:
-			writeErr(w, http.StatusBadRequest, err)
-			return
+		if s.cfg.Quality != nil {
+			// Logical registration: applies the auto-gold rule before any
+			// replica can be answered.
+			s.cfg.Quality.ObserveTask(t.ID)
+		}
+		for j := 0; j < s.cfg.Redundancy; j++ {
+			replica := t
+			if s.cfg.Redundancy > 1 {
+				// Copies share the keyword set (read-only); the "~" replica
+				// suffix is outside the generator ID alphabet, so logical
+				// IDs round-trip via quality.LogicalID.
+				cp := *t
+				cp.ID = quality.ReplicaID(t.ID, j)
+				replica = &cp
+			}
+			wid, err := s.cfg.Shards.OfferTaskCtx(r.Context(), replica)
+			switch {
+			case err == nil && wid != "":
+				res.Assigned++
+			case err == nil:
+				res.Buffered++
+			case errors.Is(err, stream.ErrBufferFull):
+				// Counted by the engine; the batch keeps going — parity with
+				// a task intake that sheds load instead of failing wholesale.
+				res.Dropped++
+			case errors.Is(err, shard.ErrClosed):
+				writeErr(w, http.StatusServiceUnavailable, err)
+				return
+			default:
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -151,7 +178,11 @@ func (s *Server) handleShardComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(req.Answers) > 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("platform: this deployment has no graded questions"))
+		if s.cfg.Quality != nil {
+			writeErr(w, http.StatusBadRequest, errors.New("platform: submit answers via POST /api/answers"))
+		} else {
+			writeErr(w, http.StatusBadRequest, errors.New("platform: this deployment has no graded questions"))
+		}
 		return
 	}
 	next, err := s.cfg.Shards.CompleteCtx(r.Context(), id, req.TaskID)

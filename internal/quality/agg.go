@@ -1,0 +1,338 @@
+// Package quality is the answer-quality and worker-trust layer: the half
+// of a crowdsourcing system the paper leaves out. The assignment engine
+// decides *who gets which task*; this package decides *whether the
+// answers coming back are any good* (Hettiachchi et al.'s survey argues
+// the two are inseparable). It provides:
+//
+//   - redundant answer collection: each task gathers k answers before it
+//     is considered resolved;
+//   - aggregation: plain majority vote, accuracy-weighted vote (log-odds
+//     weights from per-worker accuracy estimates), and an EM-style
+//     one-coin Dawid–Skene estimator that learns worker accuracies and
+//     item posteriors jointly — all stdlib-only;
+//   - gold-standard injection: a configurable fraction of tasks carry a
+//     known answer, grading drives an online per-worker accuracy
+//     estimate;
+//   - reputation: the accuracy estimate becomes a trust score that
+//     multiplies into the streaming marginal-gain objective (relevance ×
+//     diversity × trust, stream.Config.WithTrust) and quarantines
+//     workers whose gold accuracy drops below a floor.
+//
+// Determinism contract: every aggregation function canonicalizes its
+// input (votes sorted by worker ID within a task, tasks processed in
+// sorted ID order) before any floating-point accumulation, so shuffling
+// workers or answers yields bit-identical posteriors — a property test
+// pins this down.
+package quality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vote is one worker's answer to one task.
+type Vote struct {
+	Worker string `json:"worker"`
+	Option int    `json:"option"`
+}
+
+// sortVotes orders votes canonically: by worker ID, then option. All
+// aggregation folds run over this order, which is what makes them
+// permutation-invariant bit-for-bit.
+func sortVotes(votes []Vote) []Vote {
+	out := append([]Vote(nil), votes...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Option < out[j].Option
+	})
+	return out
+}
+
+// Majority returns the plurality option and its vote count. Ties break
+// toward the lowest option index, so the result is deterministic. options
+// bounds the alphabet; votes outside [0, options) are ignored.
+func Majority(votes []Vote, options int) (option, count int) {
+	if options < 1 {
+		return -1, 0
+	}
+	counts := make([]int, options)
+	for _, v := range votes {
+		if v.Option >= 0 && v.Option < options {
+			counts[v.Option]++
+		}
+	}
+	best, bestN := -1, 0
+	for l, n := range counts {
+		if n > bestN {
+			best, bestN = l, n
+		}
+	}
+	return best, bestN
+}
+
+// Weighted returns the accuracy-weighted winner: each vote carries the
+// log-odds weight log((L-1)·acc/(1-acc)) of its worker's accuracy
+// estimate (acc from the accuracy map, defaultAcc when absent), clamped
+// away from 0 and 1. With equal accuracies every weight is equal and the
+// winner degrades to the plain majority — the property tests pin this.
+// Ties break toward the lowest option index.
+func Weighted(votes []Vote, options int, acc map[string]float64, defaultAcc float64) (option int, weight float64) {
+	if options < 1 {
+		return -1, 0
+	}
+	sums := make([]float64, options)
+	for _, v := range sortVotes(votes) {
+		if v.Option < 0 || v.Option >= options {
+			continue
+		}
+		a, ok := acc[v.Worker]
+		if !ok {
+			a = defaultAcc
+		}
+		sums[v.Option] += logOdds(a, options)
+	}
+	best, bestW := -1, math.Inf(-1)
+	for l, s := range sums {
+		if s > bestW {
+			best, bestW = l, s
+		}
+	}
+	if best >= 0 && sums[best] == 0 {
+		// All-zero weights (every accuracy at chance): fall back to counts
+		// so a resolved task still gets a deterministic answer.
+		best, _ = Majority(votes, options)
+		return best, 0
+	}
+	return best, bestW
+}
+
+// logOdds is the weight of one vote from a worker with accuracy a over an
+// alphabet of L options, clamped to keep the weight finite.
+func logOdds(a float64, options int) float64 {
+	const eps = 1e-6
+	if a < eps {
+		a = eps
+	}
+	if a > 1-eps {
+		a = 1 - eps
+	}
+	return math.Log(float64(options-1) * a / (1 - a))
+}
+
+// TaskVotes is one task's collected answers, the unit of EM aggregation.
+type TaskVotes struct {
+	TaskID string `json:"task_id"`
+	Votes  []Vote `json:"votes"`
+}
+
+// EMConfig parameterizes the Dawid–Skene-lite estimator.
+type EMConfig struct {
+	// Iters is the number of M-step (accuracy re-estimation) rounds. One
+	// E-step always runs, so Iters = 0 computes posteriors from InitAcc
+	// alone — with every worker at the same above-chance accuracy that is
+	// exactly the majority vote, ties included (tested). Default 20.
+	Iters int
+	// InitAcc seeds every worker's accuracy (default 0.7).
+	InitAcc float64
+	// PriorCorrect/PriorTotal add a Laplace prior to the M-step so a
+	// worker seen on few tasks is not driven to 0 or 1. Defaults 1 and 2.
+	PriorCorrect float64
+	PriorTotal   float64
+	// Tol stops iterating early when no accuracy moved by more than this
+	// (default 1e-9).
+	Tol float64
+}
+
+func (c *EMConfig) defaults() {
+	if c.Iters == 0 {
+		c.Iters = 20
+	}
+	if c.Iters < 0 {
+		c.Iters = 0
+	}
+	if c.InitAcc == 0 {
+		c.InitAcc = 0.7
+	}
+	if c.PriorCorrect == 0 {
+		c.PriorCorrect = 1
+	}
+	if c.PriorTotal == 0 {
+		c.PriorTotal = 2
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-9
+	}
+}
+
+// EMResult is the estimator's output: per-task option posteriors (rows
+// sum to 1) and per-worker accuracy estimates.
+type EMResult struct {
+	// Posteriors[taskID][l] = P(truth = l | votes). Every row is a valid
+	// distribution: finite, non-negative, summing to 1 within 1e-9 (the
+	// fuzz target asserts this for arbitrary vote matrices).
+	Posteriors map[string][]float64
+	// Accuracy[worker] is the converged one-coin accuracy estimate.
+	Accuracy map[string]float64
+}
+
+// Aggregate runs the one-coin Dawid–Skene EM over a batch of tasks:
+//
+//	E-step: P_i(l) ∝ Π_votes [acc_w if vote = l else (1-acc_w)/(L-1)]
+//	M-step: acc_w = (Σ_i P_i(vote_wi) + priorC) / (n_w + priorT)
+//
+// computed in log space (posteriors normalized by log-sum-exp) so no
+// vote matrix can overflow to NaN/Inf. Input order does not matter: the
+// batch is canonicalized (tasks by ID, votes by worker) before any
+// arithmetic, so permutations yield bit-identical results.
+func Aggregate(tasks []TaskVotes, options int, cfg EMConfig) (*EMResult, error) {
+	if options < 2 {
+		return nil, fmt.Errorf("quality: options = %d, need >= 2", options)
+	}
+	cfg.defaults()
+
+	// Canonicalize: tasks in ID order, votes in worker order, out-of-range
+	// votes dropped. Duplicate task IDs merge their vote lists.
+	merged := make(map[string][]Vote, len(tasks))
+	ids := make([]string, 0, len(tasks))
+	for _, tv := range tasks {
+		if _, ok := merged[tv.TaskID]; !ok {
+			ids = append(ids, tv.TaskID)
+		}
+		for _, v := range tv.Votes {
+			if v.Option >= 0 && v.Option < options {
+				merged[tv.TaskID] = append(merged[tv.TaskID], v)
+			}
+		}
+	}
+	sort.Strings(ids)
+	canon := make([]TaskVotes, len(ids))
+	workerSet := map[string]struct{}{}
+	for i, id := range ids {
+		canon[i] = TaskVotes{TaskID: id, Votes: sortVotes(merged[id])}
+		for _, v := range canon[i].Votes {
+			workerSet[v.Worker] = struct{}{}
+		}
+	}
+	workers := make([]string, 0, len(workerSet))
+	for w := range workerSet {
+		workers = append(workers, w)
+	}
+	sort.Strings(workers)
+	widx := make(map[string]int, len(workers))
+	for i, w := range workers {
+		widx[w] = i
+	}
+
+	acc := make([]float64, len(workers))
+	for i := range acc {
+		acc[i] = clampAcc(cfg.InitAcc)
+	}
+	post := make([][]float64, len(canon))
+	for i := range post {
+		post[i] = make([]float64, options)
+	}
+	logp := make([]float64, options)
+
+	estep := func() {
+		for i, tv := range canon {
+			for l := range logp {
+				logp[l] = 0
+			}
+			// Accumulate per-option log-odds deltas instead of full
+			// log-likelihoods: P(l) ∝ Π [a_w if vote=l else (1-a_w)/(L-1)]
+			// factors into a common base (identical for every l, cancelled
+			// by normalization) times exp(Σ_{votes for l} logOdds(a_w)).
+			// Summing only the deltas keeps ties exact: options backed by
+			// equally-accurate vote sets get bit-identical scores, so the
+			// argmax tie rule (lowest index) matches Majority's instead of
+			// being decided by float addition order.
+			for _, v := range tv.Votes {
+				a := acc[widx[v.Worker]]
+				logp[v.Option] += math.Log(a) - math.Log((1-a)/float64(options-1))
+			}
+			// Normalize via log-sum-exp: subtract the max so the largest
+			// exponent is 0 and the sum cannot overflow or vanish.
+			maxL := logp[0]
+			for _, v := range logp[1:] {
+				if v > maxL {
+					maxL = v
+				}
+			}
+			var z float64
+			for l := 0; l < options; l++ {
+				post[i][l] = math.Exp(logp[l] - maxL)
+				z += post[i][l]
+			}
+			for l := 0; l < options; l++ {
+				post[i][l] /= z
+			}
+		}
+	}
+
+	estep()
+	for it := 0; it < cfg.Iters; it++ {
+		// M-step: fold each worker's posterior mass in canonical task
+		// order (tasks ascending, votes sorted within).
+		sumP := make([]float64, len(workers))
+		n := make([]float64, len(workers))
+		for i, tv := range canon {
+			for _, v := range tv.Votes {
+				k := widx[v.Worker]
+				sumP[k] += post[i][v.Option]
+				n[k]++
+			}
+		}
+		moved := 0.0
+		for k := range workers {
+			na := clampAcc((sumP[k] + cfg.PriorCorrect) / (n[k] + cfg.PriorTotal))
+			if d := math.Abs(na - acc[k]); d > moved {
+				moved = d
+			}
+			acc[k] = na
+		}
+		estep()
+		if moved <= cfg.Tol {
+			break
+		}
+	}
+
+	res := &EMResult{
+		Posteriors: make(map[string][]float64, len(canon)),
+		Accuracy:   make(map[string]float64, len(workers)),
+	}
+	for i, tv := range canon {
+		res.Posteriors[tv.TaskID] = post[i]
+	}
+	for k, w := range workers {
+		res.Accuracy[w] = acc[k]
+	}
+	return res, nil
+}
+
+// clampAcc keeps an accuracy estimate strictly inside (0, 1) so its log
+// odds stay finite.
+func clampAcc(a float64) float64 {
+	const eps = 1e-6
+	if a < eps {
+		return eps
+	}
+	if a > 1-eps {
+		return 1 - eps
+	}
+	return a
+}
+
+// ArgMax returns the index of the largest posterior entry, ties toward
+// the lowest index — the same tie rule Majority uses.
+func ArgMax(p []float64) int {
+	best, bestV := -1, math.Inf(-1)
+	for l, v := range p {
+		if v > bestV {
+			best, bestV = l, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,65 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzAggregate feeds arbitrary vote matrices (decoded from raw bytes)
+// through the EM estimator and asserts the structural contract: it never
+// errors on options >= 2, posteriors contain no NaN/Inf, every row sums
+// to 1, and accuracies stay strictly inside (0, 1). Run by CI alongside
+// the obs/lsap fuzzers.
+func FuzzAggregate(f *testing.F) {
+	f.Add([]byte{3, 2, 0, 1, 1, 0, 2, 1}, uint8(10))
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(1))
+	f.Fuzz(func(t *testing.T, data []byte, iters uint8) {
+		if len(data) == 0 {
+			return
+		}
+		// Decode: first byte fixes the option count, then (task, worker,
+		// option) triples. Out-of-range options are intentionally kept —
+		// Aggregate must drop them, not die on them.
+		options := 2 + int(data[0]%6)
+		var batch []TaskVotes
+		tasks := map[byte]int{}
+		for i := 1; i+2 < len(data); i += 3 {
+			tid := data[i] % 16
+			idx, ok := tasks[tid]
+			if !ok {
+				idx = len(batch)
+				tasks[tid] = idx
+				batch = append(batch, TaskVotes{TaskID: string(rune('A' + tid))})
+			}
+			batch[idx].Votes = append(batch[idx].Votes, Vote{
+				Worker: string(rune('a' + data[i+1]%24)),
+				Option: int(data[i+2]) - 2, // can be negative or past options
+			})
+		}
+		res, err := Aggregate(batch, options, EMConfig{Iters: int(iters % 32)})
+		if err != nil {
+			t.Fatalf("Aggregate errored on valid options=%d: %v", options, err)
+		}
+		for id, p := range res.Posteriors {
+			if len(p) != options {
+				t.Fatalf("task %s: %d posterior entries, want %d", id, len(p), options)
+			}
+			var sum float64
+			for _, v := range p {
+				if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+					t.Fatalf("task %s: posterior entry %v", id, v)
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("task %s: posterior sums to %v", id, sum)
+			}
+		}
+		for w, a := range res.Accuracy {
+			if !(a > 0 && a < 1) {
+				t.Fatalf("worker %s: accuracy %v outside (0, 1)", w, a)
+			}
+		}
+	})
+}

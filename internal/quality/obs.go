@@ -1,0 +1,47 @@
+package quality
+
+import "github.com/htacs/ata/internal/obs"
+
+// Metrics are the quality layer's instruments. The accounting mirrors the
+// tracker's conservation law (Stats.Conserved): every accepted non-gold
+// answer either sits in a pending partial set or has been consumed by a
+// resolution, so at quiescence
+//
+//	Answers = K · Consensus + Pending.
+type Metrics struct {
+	// Answers counts accepted non-gold answers (duplicates, late votes on
+	// resolved tasks, and quarantined submitters are rejected first).
+	Answers *obs.Counter
+	// Consensus counts tasks that collected their k-th answer.
+	Consensus *obs.Counter
+	// Gold counts gold answers graded against ground truth.
+	Gold *obs.Counter
+	// Quarantines counts workers quarantined for low gold accuracy.
+	Quarantines *obs.Counter
+	// Pending gauges the votes currently held on unresolved tasks.
+	Pending *obs.Gauge
+	// Quarantined gauges the workers currently quarantined.
+	Quarantined *obs.Gauge
+}
+
+// NewMetrics registers the quality instruments on r (obs.Default() when
+// nil).
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &Metrics{
+		Answers: r.Counter("hta_quality_answers_total",
+			"non-gold answers accepted toward consensus"),
+		Consensus: r.Counter("hta_quality_consensus_total",
+			"tasks resolved by collecting their k-th answer"),
+		Gold: r.Counter("hta_quality_gold_total",
+			"gold answers graded against known ground truth"),
+		Quarantines: r.Counter("hta_quality_quarantines_total",
+			"workers quarantined for gold accuracy below the floor"),
+		Pending: r.Gauge("hta_quality_pending_votes",
+			"answers held on tasks that have not reached k votes"),
+		Quarantined: r.Gauge("hta_quality_quarantined_workers",
+			"workers currently quarantined"),
+	}
+}

@@ -1,0 +1,242 @@
+package quality
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newTracker(t *testing.T, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTrackerResolvesAtK(t *testing.T) {
+	tr := newTracker(t, Config{K: 3, Options: 4})
+	for i, w := range []string{"w0", "w1", "w2"} {
+		res, err := tr.Submit(w, "t1", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantResolved := i == 2; res.Resolved != wantResolved {
+			t.Fatalf("vote %d: resolved=%v", i, res.Resolved)
+		}
+	}
+	ans := tr.Answers()
+	if len(ans) != 1 || ans[0].TaskID != "t1" || ans[0].Option != 2 {
+		t.Fatalf("answers = %+v", ans)
+	}
+	if st := tr.Stats(); !st.Conserved() || st.TasksResolved != 1 || st.PendingPartial != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Replica IDs map onto the same logical task.
+	if _, err := tr.Submit("w3", "t1~r0", 1); !errors.Is(err, ErrTaskResolved) {
+		t.Fatalf("vote on resolved task via replica ID: %v", err)
+	}
+}
+
+func TestTrackerRejectsDuplicatesAndBadOptions(t *testing.T) {
+	tr := newTracker(t, Config{K: 2, Options: 4})
+	if _, err := tr.Submit("w0", "t1", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Submit("w0", "t1~r1", 1); !errors.Is(err, ErrDuplicateVote) {
+		t.Fatalf("duplicate (worker, logical task): %v", err)
+	}
+	if _, err := tr.Submit("w0", "t2", 4); err == nil {
+		t.Fatal("out-of-range option accepted")
+	}
+	if _, err := tr.Submit("", "t2", 0); err == nil {
+		t.Fatal("empty worker accepted")
+	}
+	if st := tr.Stats(); st.AnswersSubmitted != 1 || !st.Conserved() {
+		t.Fatalf("rejections leaked into accounting: %+v", st)
+	}
+}
+
+func TestGoldGradingAndQuarantine(t *testing.T) {
+	tr := newTracker(t, Config{
+		K: 2, Options: 4, QuarantineFloor: 0.4, MinGold: 3,
+	})
+	for i := 0; i < 5; i++ {
+		if err := tr.AddGold(fmt.Sprintf("g%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A spammer always answers 3: graded wrong every time, quarantined at
+	// the MinGold-th grade once accuracy (0+1)/(3+2)=0.2 < 0.4.
+	var res SubmitResult
+	var err error
+	for i := 0; i < 3; i++ {
+		res, err = tr.Submit("spammer", fmt.Sprintf("g%d", i), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Gold || res.Correct {
+			t.Fatalf("grade %d: %+v", i, res)
+		}
+	}
+	if !res.Quarantined || res.Trust != 0 {
+		t.Fatalf("after 3 wrong golds: %+v", res)
+	}
+	if _, err := tr.Submit("spammer", "t-normal", 0); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantined submit: %v", err)
+	}
+	// An honest worker stays clear and its trust tracks its accuracy.
+	for i := 0; i < 4; i++ {
+		res, err = tr.Submit("honest", fmt.Sprintf("g%d", i), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Quarantined || res.Trust <= 0.5 {
+		t.Fatalf("honest worker: %+v", res)
+	}
+	rep, ok := tr.Reputation("spammer")
+	if !ok || !rep.Quarantined || rep.GoldSeen != 3 || rep.GoldCorrect != 0 {
+		t.Fatalf("spammer reputation: %+v", rep)
+	}
+	st := tr.Stats()
+	if st.Quarantined != 1 || st.GoldGraded != 7 || st.AnswersSubmitted != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if !st.Conserved() {
+		t.Fatalf("gold answers broke conservation: %+v", st)
+	}
+}
+
+func TestAutoGoldIsDeterministicFraction(t *testing.T) {
+	tr := newTracker(t, Config{K: 1, Options: 4, GoldRate: 0.25, GoldSalt: 7})
+	tr2 := newTracker(t, Config{K: 1, Options: 4, GoldRate: 0.25, GoldSalt: 7})
+	gold := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("g%04d-t%03d", i/100, i%100)
+		tr.ObserveTask(id)
+		tr2.ObserveTask(id + "~r1") // replica observation agrees
+		a1, ok1 := tr.GoldAnswer(id)
+		a2, ok2 := tr2.GoldAnswer(id)
+		if ok1 != ok2 || a1 != a2 {
+			t.Fatalf("task %s: gold marking diverged across trackers/replicas", id)
+		}
+		if ok1 {
+			gold++
+			if a1 < 0 || a1 >= 4 {
+				t.Fatalf("task %s: gold answer %d", id, a1)
+			}
+		}
+	}
+	if frac := float64(gold) / n; frac < 0.20 || frac > 0.30 {
+		t.Fatalf("auto-gold fraction %.3f, want ~0.25", frac)
+	}
+}
+
+func TestTrackerConservationUnderRandomLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	tr := newTracker(t, Config{
+		K: 3, Options: 4, GoldRate: 0.2, QuarantineFloor: 0.35, MinGold: 4,
+	})
+	for i := 0; i < 200; i++ {
+		tr.ObserveTask(fmt.Sprintf("t%03d", i))
+	}
+	for ev := 0; ev < 5000; ev++ {
+		w := fmt.Sprintf("w%02d", rng.Intn(25))
+		task := fmt.Sprintf("t%03d", rng.Intn(200))
+		_, err := tr.Submit(w, task, rng.Intn(4))
+		if err != nil && !errors.Is(err, ErrQuarantined) &&
+			!errors.Is(err, ErrDuplicateVote) && !errors.Is(err, ErrTaskResolved) {
+			t.Fatal(err)
+		}
+		if ev%500 == 0 {
+			if st := tr.Stats(); !st.Conserved() {
+				t.Fatalf("event %d: conservation broken: %+v", ev, st)
+			}
+		}
+	}
+	if st := tr.Stats(); !st.Conserved() {
+		t.Fatalf("final conservation broken: %+v", st)
+	}
+}
+
+// TestTrackerSnapshotRoundTrip: snapshot mid-aggregation (partial votes,
+// gold tallies, a quarantined worker), restore, and require bit-identical
+// reputation and answers — re-snapshotting must reproduce the document
+// byte for byte.
+func TestTrackerSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cfg := Config{K: 3, Options: 4, GoldRate: 0.25, QuarantineFloor: 0.4, MinGold: 3, Method: MethodEM}
+	tr := newTracker(t, cfg)
+	for i := 0; i < 80; i++ {
+		tr.ObserveTask(fmt.Sprintf("t%03d", i))
+	}
+	for ev := 0; ev < 1200; ev++ {
+		tr.Submit(fmt.Sprintf("w%02d", rng.Intn(15)), fmt.Sprintf("t%03d", rng.Intn(80)), rng.Intn(4)) //nolint:errcheck
+	}
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(bytes.NewReader(buf.Bytes()), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.Snapshot(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot → restore → snapshot is not byte-identical")
+	}
+	repA, repB := tr.Reputations(), restored.Reputations()
+	if len(repA) == 0 || len(repA) != len(repB) {
+		t.Fatalf("reputation counts: %d vs %d", len(repA), len(repB))
+	}
+	for i := range repA {
+		if repA[i] != repB[i] {
+			t.Fatalf("reputation diverged: %+v vs %+v", repA[i], repB[i])
+		}
+	}
+	ansA, ansB := tr.Answers(), restored.Answers()
+	if len(ansA) != len(ansB) {
+		t.Fatalf("answer counts: %d vs %d", len(ansA), len(ansB))
+	}
+	for i := range ansA {
+		if ansA[i] != ansB[i] {
+			t.Fatalf("answer diverged: %+v vs %+v", ansA[i], ansB[i])
+		}
+	}
+	if !restored.Stats().Conserved() {
+		t.Fatalf("restored stats not conserved: %+v", restored.Stats())
+	}
+	// K mismatch is rejected, not silently re-interpreted.
+	if _, err := Restore(bytes.NewReader(buf.Bytes()), Config{K: 5, Options: 4}); err == nil {
+		t.Fatal("k mismatch accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{K: -1}, {Options: 1}, {GoldRate: 1.5}, {GoldRate: -0.1},
+		{QuarantineFloor: 2}, {Method: "bogus"},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := ParseMethod("EM"); err != nil {
+		t.Fatal("case-insensitive method parse failed")
+	}
+	if got := LogicalID("t42~r3"); got != "t42" {
+		t.Fatalf("LogicalID = %q", got)
+	}
+	if got := ReplicaID("t42", 3); got != "t42~r3" {
+		t.Fatalf("ReplicaID = %q", got)
+	}
+}

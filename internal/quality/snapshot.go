@@ -1,0 +1,134 @@
+package quality
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wire format for Tracker snapshots. Deterministic: tasks and workers are
+// written in sorted ID order with votes in arrival order, so two snapshots
+// of the same state are byte-identical regardless of map iteration.
+type trackerSnap struct {
+	Version          int          `json:"version"`
+	K                int          `json:"k"`
+	Options          int          `json:"options"`
+	AnswersSubmitted int64        `json:"answers_submitted"`
+	TasksResolved    int64        `json:"tasks_resolved"`
+	PendingPartial   int64        `json:"pending_partial"`
+	GoldGraded       int64        `json:"gold_graded"`
+	Tasks            []taskSnap   `json:"tasks"`
+	Workers          []workerSnap `json:"workers"`
+}
+
+type taskSnap struct {
+	ID         string `json:"id"`
+	Gold       bool   `json:"gold,omitempty"`
+	GoldAnswer int    `json:"gold_answer,omitempty"`
+	Resolved   bool   `json:"resolved,omitempty"`
+	Votes      []Vote `json:"votes,omitempty"`
+}
+
+type workerSnap struct {
+	ID          string `json:"id"`
+	Answers     int64  `json:"answers"`
+	GoldSeen    int64  `json:"gold_seen"`
+	GoldCorrect int64  `json:"gold_correct"`
+	Quarantined bool   `json:"quarantined,omitempty"`
+}
+
+const trackerSnapVersion = 1
+
+// Snapshot writes the tracker's full state — partial answer sets, gold
+// marks, per-worker gold tallies, quarantine flags — as deterministic
+// JSON. Restoring it round-trips reputation bit-identically.
+func (tr *Tracker) Snapshot(w io.Writer) error {
+	tr.mu.Lock()
+	snap := trackerSnap{
+		Version:          trackerSnapVersion,
+		K:                tr.cfg.K,
+		Options:          tr.cfg.Options,
+		AnswersSubmitted: tr.answersSubmitted,
+		TasksResolved:    tr.tasksResolved,
+		PendingPartial:   tr.pendingPartial,
+		GoldGraded:       tr.goldGraded,
+	}
+	for id, ts := range tr.tasks {
+		snap.Tasks = append(snap.Tasks, taskSnap{
+			ID: id, Gold: ts.gold, GoldAnswer: ts.goldAnswer,
+			Resolved: ts.resolved,
+			Votes:    append([]Vote(nil), ts.votes...),
+		})
+	}
+	for id, ws := range tr.workers {
+		snap.Workers = append(snap.Workers, workerSnap{
+			ID: id, Answers: ws.answers,
+			GoldSeen: ws.goldSeen, GoldCorrect: ws.goldCorrect,
+			Quarantined: ws.quarantined,
+		})
+	}
+	tr.mu.Unlock()
+	sort.Slice(snap.Tasks, func(i, j int) bool { return snap.Tasks[i].ID < snap.Tasks[j].ID })
+	sort.Slice(snap.Workers, func(i, j int) bool { return snap.Workers[i].ID < snap.Workers[j].ID })
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// Restore rebuilds a tracker from a Snapshot stream under a fresh
+// configuration. K and Options must match the snapshot (changing either
+// mid-flight would break the conservation law and gold grading); every
+// other knob — method, floors, gold rate — may differ.
+func Restore(r io.Reader, cfg Config) (*Tracker, error) {
+	var snap trackerSnap
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("quality: decode snapshot: %w", err)
+	}
+	if snap.Version != trackerSnapVersion {
+		return nil, fmt.Errorf("quality: snapshot version %d, want %d", snap.Version, trackerSnapVersion)
+	}
+	if cfg.K == 0 {
+		cfg.K = snap.K
+	}
+	if cfg.Options == 0 {
+		cfg.Options = snap.Options
+	}
+	tr, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if tr.cfg.K != snap.K {
+		return nil, fmt.Errorf("quality: snapshot has k=%d, config wants k=%d", snap.K, tr.cfg.K)
+	}
+	if tr.cfg.Options != snap.Options {
+		return nil, fmt.Errorf("quality: snapshot has options=%d, config wants %d", snap.Options, tr.cfg.Options)
+	}
+	tr.answersSubmitted = snap.AnswersSubmitted
+	tr.tasksResolved = snap.TasksResolved
+	tr.pendingPartial = snap.PendingPartial
+	tr.goldGraded = snap.GoldGraded
+	for _, t := range snap.Tasks {
+		ts := &taskState{
+			gold: t.Gold, goldAnswer: t.GoldAnswer, resolved: t.Resolved,
+			votes: append([]Vote(nil), t.Votes...),
+			voted: make(map[string]struct{}, len(t.Votes)),
+		}
+		for _, v := range t.Votes {
+			ts.voted[v.Worker] = struct{}{}
+		}
+		tr.tasks[t.ID] = ts
+	}
+	for _, w := range snap.Workers {
+		tr.workers[w.ID] = &workerStats{
+			answers: w.Answers, goldSeen: w.GoldSeen,
+			goldCorrect: w.GoldCorrect, quarantined: w.Quarantined,
+		}
+		if w.Quarantined {
+			tr.quarantinedNow++
+		}
+	}
+	tr.cfg.Metrics.Pending.Set(float64(tr.pendingPartial))
+	tr.cfg.Metrics.Quarantined.Set(float64(tr.quarantinedNow))
+	return tr, nil
+}

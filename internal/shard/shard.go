@@ -525,6 +525,37 @@ func (e *Engine) Completed(workerID string) (int, error) {
 	return n, err
 }
 
+// Trust returns the worker's trust multiplier on its owning shard.
+func (e *Engine) Trust(workerID string) (float64, error) {
+	release, err := e.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	var v float64
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		v, err = asn.Trust(workerID)
+	})
+	return v, err
+}
+
+// SetTrust updates the worker's trust multiplier on its owning shard
+// (stream.Assigner.SetTrust semantics: 0 quarantines under
+// Config.Stream.WithTrust; lifting a quarantine drains that shard's
+// buffer into the worker and returns the tasks assigned).
+func (e *Engine) SetTrust(workerID string, trust float64) ([]*core.Task, error) {
+	release, err := e.begin()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	var drained []*core.Task
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		drained, err = asn.SetTrust(workerID, trust)
+	})
+	return drained, err
+}
+
 // Worker returns the registered worker record.
 func (e *Engine) Worker(workerID string) (*core.Worker, error) {
 	release, err := e.begin()

@@ -28,6 +28,9 @@ type workerSnap struct {
 	Keywords []int      `json:"keywords"`
 	Done     int        `json:"done"`
 	Active   []taskSnap `json:"active,omitempty"`
+	// Trust is the reputation multiplier; omitted (nil) when 1.0 so
+	// pre-trust snapshots and trust-free engines serialize identically.
+	Trust *float64 `json:"trust,omitempty"`
 }
 
 type shardSnap struct {
@@ -101,6 +104,9 @@ func (e *Engine) Snapshot(w io.Writer) error {
 					ID: id, Alpha: wk.Alpha, Beta: wk.Beta,
 					Universe: wk.Keywords.Len(), Keywords: wk.Keywords.Indices(),
 					Done: done,
+				}
+				if trust, terr := a.asn.Trust(id); terr == nil && trust != 1 {
+					wsnap.Trust = &trust
 				}
 				for _, t := range active {
 					wsnap.Active = append(wsnap.Active, taskToSnap(t))
@@ -182,7 +188,14 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 					if _, aerr = asn.AddWorker(w); aerr != nil {
 						return
 					}
-					aerr = asn.RestoreDone(w.ID, wsnap.Done)
+					if aerr = asn.RestoreDone(w.ID, wsnap.Done); aerr != nil {
+						return
+					}
+					if wsnap.Trust != nil {
+						// Applied before any buffer re-materialization, so a
+						// restored quarantine never sees a drain.
+						_, aerr = asn.SetTrust(w.ID, *wsnap.Trust)
+					}
 				})
 				if aerr != nil {
 					return aerr

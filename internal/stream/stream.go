@@ -57,6 +57,12 @@ type Config struct {
 	// instruments on obs.Default(); pass NewMetrics over a private
 	// registry for isolation.
 	Metrics *Metrics
+	// WithTrust multiplies each worker's per-worker trust score (SetTrust,
+	// default 1.0) into the marginal gain, extending the objective to
+	// relevance × diversity × trust. A worker with trust 0 is quarantined:
+	// it receives no new tasks at all. Off by default — the scoring path is
+	// then bit-identical to a trust-free assigner.
+	WithTrust bool
 }
 
 // workerState is one worker's streaming state plus its slice of the
@@ -66,6 +72,7 @@ type workerState struct {
 	active []*core.Task // currently assigned, not yet completed
 	sumRel float64      // Σ rel(t, w) over active
 	done   int          // completed count
+	trust  float64      // reputation multiplier; 0 = quarantined (Config.WithTrust)
 
 	// Gain cache: rel[i] = rel(buffer[i], worker); rows[s][i] =
 	// d(buffer[i], active[s]). Both stay aligned with the assigner's
@@ -220,7 +227,7 @@ func (a *Assigner) AddWorker(w *core.Worker) ([]*core.Task, error) {
 	if _, dup := a.workers[w.ID]; dup {
 		return nil, fmt.Errorf("stream: duplicate worker %q", w.ID)
 	}
-	ws := &workerState{worker: w}
+	ws := &workerState{worker: w, trust: 1}
 	ws.activeKw = func(i int) *bitset.Set { return ws.active[i].Keywords }
 	a.workers[w.ID] = ws
 	a.order = append(a.order, w.ID)
@@ -436,7 +443,13 @@ func (a *Assigner) bestFree(t *core.Task) (id string, gain, rel float64) {
 		if len(ws.active) >= a.cfg.Xmax {
 			continue
 		}
+		if a.cfg.WithTrust && ws.trust <= 0 {
+			continue // quarantined: never a candidate
+		}
 		g, r := a.scoreFresh(ws, t)
+		if a.cfg.WithTrust {
+			g *= ws.trust
+		}
 		if g > bestGain+1e-12 || (g > bestGain-1e-12 && r > bestRel) {
 			bestQ, bestGain, bestRel = wid, g, r
 		}
@@ -567,6 +580,54 @@ func (a *Assigner) RestoreDone(workerID string, n int) error {
 	return nil
 }
 
+// Trust returns the worker's current trust multiplier (1.0 until SetTrust
+// changes it; 0 means quarantined under Config.WithTrust).
+func (a *Assigner) Trust(workerID string) (float64, error) {
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return 0, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	return ws.trust, nil
+}
+
+// SetTrust updates the worker's trust multiplier. trust must be finite
+// and >= 0; 0 quarantines the worker (no new assignments while
+// Config.WithTrust is on — its current active set is untouched, matching
+// the quality layer's "quarantine blocks future work, keeps collected
+// votes" rule). Lifting a quarantine (0 → positive) drains the buffer
+// into the worker's free capacity exactly like AddWorker, and the tasks
+// assigned by that drain are returned. Without WithTrust the value is
+// stored (and round-trips through snapshots) but does not affect scoring.
+func (a *Assigner) SetTrust(workerID string, trust float64) ([]*core.Task, error) {
+	if trust < 0 || !isFinite(trust) {
+		return nil, fmt.Errorf("stream: trust %v, must be finite and >= 0", trust)
+	}
+	ws, ok := a.workers[workerID]
+	if !ok {
+		return nil, fmt.Errorf("stream: unknown worker %q", workerID)
+	}
+	wasQuarantined := ws.trust <= 0
+	ws.trust = trust
+	if !a.cfg.WithTrust || !wasQuarantined || trust <= 0 {
+		return nil, nil
+	}
+	var assigned []*core.Task
+	for len(ws.active) < a.cfg.Xmax {
+		t := a.pullBest(ws)
+		if t == nil {
+			break
+		}
+		assigned = append(assigned, t)
+	}
+	if len(assigned) > 0 {
+		a.metrics.DrainBatch.Observe(float64(len(assigned)))
+	}
+	return assigned, nil
+}
+
+// isFinite reports x is neither NaN nor ±Inf without importing math.
+func isFinite(x float64) bool { return x-x == 0 }
+
 // marginalGain is Δ(q, k) from the package comment.
 func (a *Assigner) marginalGain(ws *workerState, t *core.Task) float64 {
 	var sumDiv float64
@@ -590,6 +651,12 @@ func (a *Assigner) marginalGain(ws *workerState, t *core.Task) float64 {
 // repaired scan is the cheapest correct structure.
 func (a *Assigner) pullBest(ws *workerState) *core.Task {
 	if len(a.buffer) == 0 || len(ws.active) >= a.cfg.Xmax {
+		return nil
+	}
+	// A quarantined worker's freed slot pulls nothing. (When trust is
+	// positive it needs no gain scaling here: a constant per-worker factor
+	// cannot change which buffered task wins this worker's argmax.)
+	if a.cfg.WithTrust && ws.trust <= 0 {
 		return nil
 	}
 	// The fold below adds the cached rows in slot order — the order

@@ -1,0 +1,154 @@
+package stream
+
+import (
+	"math"
+	"testing"
+
+	"github.com/htacs/ata/internal/bitset"
+	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+)
+
+func trustWorker(id string, universe int, kw ...int) *core.Worker {
+	return &core.Worker{ID: id, Alpha: 0.5, Beta: 0.5,
+		Keywords: bitset.FromIndices(universe, kw...)}
+}
+
+func trustTask(id string, universe int, kw ...int) *core.Task {
+	return &core.Task{ID: id, Keywords: bitset.FromIndices(universe, kw...)}
+}
+
+// TestWithTrustBiasesRouting: two workers equally placed except for
+// trust — the trusted one must win the offer, because trust multiplies
+// the marginal gain.
+func TestWithTrustBiasesRouting(t *testing.T) {
+	a, err := NewAssigner(Config{Xmax: 2, WithTrust: true, Metrics: NewMetrics(obs.NewRegistry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical keyword profiles: without trust the tie would break by
+	// relevance (equal) and then arrival order.
+	if _, err := a.AddWorker(trustWorker("w-low", 16, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddWorker(trustWorker("w-high", 16, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Seed both with one active task so marginal gains are positive.
+	if _, err := a.OfferTask(trustTask("seed1", 16, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.OfferTask(trustTask("seed2", 16, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetTrust("w-low", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetTrust("w-high", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	wid, err := a.OfferTask(trustTask("probe", 16, 0, 1, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wid != "w-high" {
+		t.Fatalf("offer went to %q, want the higher-trust worker", wid)
+	}
+}
+
+// TestQuarantineBlocksAssignmentAndLiftDrains: a trust-0 worker receives
+// nothing — offers buffer rather than assign, completions pull nothing —
+// and lifting the quarantine drains the backlog like a fresh AddWorker.
+func TestQuarantineBlocksAssignmentAndLiftDrains(t *testing.T) {
+	a, err := NewAssigner(Config{Xmax: 2, WithTrust: true, Metrics: NewMetrics(obs.NewRegistry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddWorker(trustWorker("w0", 16, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.OfferTask(trustTask("t-before", 16, 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetTrust("w0", 0); err != nil {
+		t.Fatal(err)
+	}
+	// New offers must buffer: the only worker is quarantined.
+	for _, id := range []string{"t1", "t2"} {
+		wid, err := a.OfferTask(trustTask(id, 16, 0, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wid != "" {
+			t.Fatalf("task %s assigned to quarantined worker %q", id, wid)
+		}
+	}
+	// Completing the pre-quarantine task frees a slot, but the freed slot
+	// must not pull from the buffer.
+	next, err := a.Complete("w0", "t-before")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != nil {
+		t.Fatalf("quarantined worker pulled %q from the buffer", next.ID)
+	}
+	if v, _ := a.Trust("w0"); v != 0 {
+		t.Fatalf("Trust = %v, want 0", v)
+	}
+	// Lifting the quarantine drains the buffer up to Xmax.
+	drained, err := a.SetTrust("w0", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(drained) != 2 {
+		t.Fatalf("lift drained %d tasks, want 2", len(drained))
+	}
+	if v, _ := a.Trust("w0"); v != 0.8 {
+		t.Fatalf("Trust = %v, want 0.8", v)
+	}
+}
+
+// TestTrustOffPathIsUnaffected: without WithTrust the stored trust value
+// must not change routing — the trust-free configuration stays
+// bit-identical to the pre-trust assigner.
+func TestTrustOffPathIsUnaffected(t *testing.T) {
+	a, err := NewAssigner(Config{Xmax: 1, Metrics: NewMetrics(obs.NewRegistry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddWorker(trustWorker("w0", 16, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.SetTrust("w0", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Trust 0 without WithTrust: the worker still gets the offer.
+	wid, err := a.OfferTask(trustTask("t0", 16, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wid != "w0" {
+		t.Fatalf("offer went to %q; trust must be inert without WithTrust", wid)
+	}
+}
+
+func TestSetTrustValidation(t *testing.T) {
+	a, err := NewAssigner(Config{Xmax: 1, WithTrust: true, Metrics: NewMetrics(obs.NewRegistry())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AddWorker(trustWorker("w0", 16, 0, 1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := a.SetTrust("w0", bad); err == nil {
+			t.Fatalf("SetTrust(%v) accepted", bad)
+		}
+	}
+	if _, err := a.SetTrust("ghost", 1); err == nil {
+		t.Fatal("SetTrust on unknown worker accepted")
+	}
+	if _, err := a.Trust("ghost"); err == nil {
+		t.Fatal("Trust on unknown worker accepted")
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"encoding/json"
+
+	"github.com/htacs/ata/internal/core"
+)
+
+// GoldAnswer is one entry of a gold answer key: a task with a known
+// correct option, used by the quality layer to grade workers online
+// (quality.Tracker.AddGold). hta-gen emits these files with -gold-out;
+// hta-server loads them with -gold.
+type GoldAnswer struct {
+	TaskID string `json:"task_id"`
+	Answer int    `json:"answer"`
+}
+
+// Gold samples a gold answer key from a task list: each task is marked
+// gold with probability rate, carrying a known answer drawn uniformly
+// from [0, options). The draw is seeded, so the same invocation
+// reproduces the same key.
+func Gold(tasks []*core.Task, rate float64, options int, seed int64) ([]GoldAnswer, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("workload: gold rate %v outside [0, 1]", rate)
+	}
+	if options < 2 {
+		return nil, fmt.Errorf("workload: gold options %d, need >= 2", options)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []GoldAnswer
+	for _, t := range tasks {
+		if rng.Float64() < rate {
+			out = append(out, GoldAnswer{TaskID: t.ID, Answer: rng.Intn(options)})
+		}
+	}
+	return out, nil
+}
+
+// WriteGold streams a gold answer key as JSON lines.
+func WriteGold(w io.Writer, gold []GoldAnswer) error {
+	enc := json.NewEncoder(w)
+	for _, g := range gold {
+		if err := enc.Encode(g); err != nil {
+			return fmt.Errorf("workload: encoding gold %s: %w", g.TaskID, err)
+		}
+	}
+	return nil
+}
+
+// ReadGold parses a key written by WriteGold, rejecting empty IDs,
+// negative answers, and duplicate tasks.
+func ReadGold(r io.Reader) ([]GoldAnswer, error) {
+	dec := json.NewDecoder(r)
+	seen := map[string]struct{}{}
+	var out []GoldAnswer
+	for {
+		var rec GoldAnswer
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("workload: decoding gold %d: %w", len(out), err)
+		}
+		if rec.TaskID == "" {
+			return nil, fmt.Errorf("workload: gold entry %d has no task ID", len(out))
+		}
+		if rec.Answer < 0 {
+			return nil, fmt.Errorf("workload: gold task %q has answer %d", rec.TaskID, rec.Answer)
+		}
+		if _, dup := seen[rec.TaskID]; dup {
+			return nil, fmt.Errorf("workload: gold task %q listed twice", rec.TaskID)
+		}
+		seen[rec.TaskID] = struct{}{}
+		out = append(out, rec)
+	}
+}

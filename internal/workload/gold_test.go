@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestGoldRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(Config{Universe: 64, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := gen.Tasks(20, 5)
+	gold, err := Gold(tasks, 0.3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(gold); n < 10 || n > 50 {
+		t.Fatalf("gold entries: %d of %d tasks at rate 0.3", n, len(tasks))
+	}
+	again, err := Gold(tasks, 0.3, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(gold) {
+		t.Fatalf("same seed drew %d then %d entries", len(gold), len(again))
+	}
+	for i := range gold {
+		if gold[i] != again[i] {
+			t.Fatalf("entry %d diverged across identical seeds: %+v vs %+v", i, gold[i], again[i])
+		}
+		if gold[i].Answer < 0 || gold[i].Answer >= 4 {
+			t.Fatalf("entry %d answer out of range: %+v", i, gold[i])
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteGold(&buf, gold); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGold(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(gold) {
+		t.Fatalf("round trip: %d entries, want %d", len(back), len(gold))
+	}
+	for i := range gold {
+		if back[i] != gold[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, back[i], gold[i])
+		}
+	}
+}
+
+func TestGoldValidation(t *testing.T) {
+	if _, err := Gold(nil, 1.5, 4, 1); err == nil {
+		t.Error("rate 1.5 accepted")
+	}
+	if _, err := Gold(nil, 0.5, 1, 1); err == nil {
+		t.Error("options 1 accepted")
+	}
+	for _, bad := range []string{
+		`{"task_id":"","answer":0}`,
+		`{"task_id":"t1","answer":-1}`,
+		`{"task_id":"t1","answer":0}` + "\n" + `{"task_id":"t1","answer":1}`,
+	} {
+		if _, err := ReadGold(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
