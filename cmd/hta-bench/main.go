@@ -41,6 +41,12 @@
 // accuracy-weighted and EM aggregation are scored against plain majority
 // on identical vote sets; with -gate it exits non-zero when either
 // trust-aware aggregator fails to beat majority at k=3 (BENCH_PR8.json).
+//
+// -fig pr9 measures the cluster observability stack's overhead on the pr7
+// gateway workload at 3 nodes: federated metrics + 1/16 head sampling
+// with cross-node spans + ops journals, against all of it disabled; with
+// -gate it exits non-zero when the overhead exceeds the 2% budget
+// (BENCH_PR9.json).
 package main
 
 import (
@@ -81,7 +87,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7 or pr8")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8 or pr9")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -90,7 +96,7 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"diversity-kernel parallelism: 0 = serial (paper's path), N > 0 = N goroutines, -1 = all cores; results are bit-identical")
 	format := flag.String("format", "table", "output format: table or csv")
-	jsonPath := flag.String("json", "", "with -fig pr2/pr3/pr4/pr5: also write the report as JSON to this path (e.g. BENCH_PR2.json)")
+	jsonPath := flag.String("json", "", "with a -fig prN report: also write it as JSON to this path (e.g. BENCH_PR2.json)")
 	traceOut := flag.String("trace-out", "", "with -fig pr4: write a sample solver trace as Chrome trace-event JSON to this path")
 	baselinePath := flag.String("baseline", "BENCH_PR5.json", "with -fig pr6: bench JSON whose shards=1 point is the speedup baseline")
 	minSpeedup := flag.Float64("min-speedup", experiments.DefaultPR6Target, "with -fig pr6 -gate: required single-shard speedup over -baseline")
@@ -340,8 +346,34 @@ func main() {
 				report.SpeedupAt4, report.TargetSpeedup, report.BatchedBeatsUnbatched)
 			os.Exit(1)
 		}
+	case "pr9":
+		// Not a paper figure: the cluster observability overhead report —
+		// the pr7 gateway workload at 3 nodes with federated metrics, 1/16
+		// head sampling (remote spans on every node) and ops journals live,
+		// against the same cluster with all of it off, judged by the 2%
+		// budget.
+		fmt.Printf("PR 9 report: cluster observability overhead on the pr7 gateway workload (3 nodes)\n\n")
+		var report *experiments.PR9Report
+		report, err = experiments.SweepPR9(opts)
+		if err == nil {
+			err = report.RenderPR9(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR9JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *gate && !report.WithinBudget {
+			fmt.Fprintf(os.Stderr, "hta-bench: pr9 gate: observability overhead %.2f%% exceeds the %.0f%% budget\n",
+				report.MaxOverheadPct, report.BudgetPct)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7 or pr8)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8 or pr9)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

@@ -2,7 +2,10 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -11,7 +14,9 @@ import (
 	"testing"
 	"time"
 
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/platform"
+	"github.com/htacs/ata/internal/trace"
 	"github.com/htacs/ata/internal/workload"
 )
 
@@ -123,7 +128,10 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 		nodes = append(nodes, p)
 		peerParts = append(peerParts, fmt.Sprintf("%s=http://%s", name, p.addr))
 	}
-	gw := startServer(t, bin, "-gateway", "-peers", strings.Join(peerParts, ","))
+	// The gateway traces every request (-trace-sample 1 overrides the
+	// startServer default of 0) so the cross-node stitching assertions
+	// below never race a sampling decision.
+	gw := startServer(t, bin, "-gateway", "-peers", strings.Join(peerParts, ","), "-trace-sample", "1")
 
 	client := platform.NewClient("http://"+gw.addr, nil)
 
@@ -181,12 +189,12 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 	for _, w := range churners {
 		churnerByID[w.ID] = w.Keywords.Indices()
 	}
-	trace, err := gen.Churn(churners, 20, 0.6)
+	churn, err := gen.Churn(churners, 20, 0.6)
 	if err != nil {
 		t.Fatal(err)
 	}
 	live := 0
-	for _, ev := range trace {
+	for _, ev := range churn {
 		if ev.Arrive {
 			if _, err := client.Register(ev.Worker, churnerByID[ev.Worker]); err != nil {
 				t.Fatalf("churn arrival %s: %v", ev.Worker, err)
@@ -221,9 +229,125 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 		t.Fatal("no completions were routed")
 	}
 
-	// Clean shutdown: gateway first (drains routing), then the nodes.
+	// Federated metrics: the gateway's /metrics must carry every member's
+	// series under per-node labels plus its own, and the build-info /
+	// uptime satellites.
+	metrics := httpGetBody(t, "http://"+gw.addr+"/metrics")
+	for _, want := range []string{
+		`node="n0"`, `node="n1"`, `node="n2"`, `node="gateway"`,
+		"hta_build_info", "hta_uptime_seconds", "# TYPE",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("federated /metrics missing %q", want)
+		}
+	}
+
+	// Cross-node stitching: at least one trace fetched through
+	// /debug/trace?cluster=1 must hold spans recorded on the gateway AND
+	// spans recorded on a member, merged under one trace ID. Polled
+	// because root spans enter the ring only after the response is
+	// written.
+	deadline := time.Now().Add(10 * time.Second)
+	stitched := false
+	for !stitched && time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + gw.addr + "/debug/trace?cluster=1&format=wire&n=0")
+		if err != nil {
+			t.Fatalf("cluster trace fetch: %v", err)
+		}
+		traces, err := trace.ReadWire(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding cluster traces: %v", err)
+		}
+		for _, tr := range traces {
+			var gwSpans, nodeSpans int
+			for _, sp := range tr.Spans {
+				switch node, _ := sp.Attrs["node"].(string); {
+				case node == "gateway":
+					gwSpans++
+				case strings.HasPrefix(node, "n"):
+					nodeSpans++
+				}
+			}
+			if gwSpans > 0 && nodeSpans > 0 {
+				stitched = true
+				break
+			}
+		}
+		if !stitched {
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	if !stitched {
+		t.Error("no stitched trace: nothing in /debug/trace?cluster=1 spans both the gateway and a node")
+	}
+
+	// Induced failover: kill n2 outright (no graceful drain) and wait for
+	// the gateway's heartbeat loop (500ms period, 3 strikes) to declare it
+	// dead, requeue its tasks, and journal the failover under the lost
+	// node's name.
+	if err := nodes[2].cmd.Process.Kill(); err != nil {
+		t.Fatalf("killing n2: %v", err)
+	}
+	nodes[2].cmd.Wait()
+	deadline = time.Now().Add(20 * time.Second)
+	failedOver := false
+	for !failedOver && time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + gw.addr + "/api/events")
+		if err != nil {
+			t.Fatalf("events fetch: %v", err)
+		}
+		events, err := ops.ReadEvents(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decoding events: %v", err)
+		}
+		for _, ev := range events {
+			if ev.Type == ops.EventFailover && ev.Node == "n2" {
+				failedOver = true
+				break
+			}
+		}
+		if !failedOver {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if !failedOver {
+		t.Fatal("killed n2 but /api/events never recorded a failover for it")
+	}
+
+	// The failover must drag the verbose health score below perfect.
+	var health ops.Health
+	if err := json.Unmarshal([]byte(httpGetBody(t, "http://"+gw.addr+"/healthz?verbose=1")), &health); err != nil {
+		t.Fatalf("decoding verbose healthz: %v", err)
+	}
+	if health.Score >= 1 || health.Events == 0 {
+		t.Errorf("verbose healthz after failover: score=%g events=%d, want a penalised window", health.Score, health.Events)
+	}
+
+	// Clean shutdown: gateway first (drains routing), then the surviving
+	// nodes (n2 was killed by the failover induction above).
 	gw.terminate(t)
-	for _, p := range nodes {
+	for _, p := range nodes[:2] {
 		p.terminate(t)
 	}
+}
+
+// httpGetBody fetches a URL and returns the body, failing the test on any
+// transport error or non-200 status.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return string(body)
 }

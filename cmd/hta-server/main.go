@@ -74,9 +74,10 @@
 //	GET    /api/answers               aggregated consensus + conservation stats
 //	GET    /api/workers/{id}/reputation
 //	GET    /api/stats
-//	GET    /metrics                   Prometheus text (or ?format=json)
-//	GET    /healthz                   200 ok / 503 draining
-//	GET    /debug/trace?n=K           last K retained traces (&format=tree for text)
+//	GET    /api/events                ops event journal (gateway: merged across nodes; ?local=1)
+//	GET    /metrics                   Prometheus text (gateway: federated with per-node labels; ?local=1)
+//	GET    /healthz                   200 ok / 503 draining (?verbose=1 for the journal health score)
+//	GET    /debug/trace?n=K           last K retained traces (&format=tree for text; gateway: &cluster=1 stitches all nodes)
 //	GET    /debug/pprof/              net/http/pprof profiling suite
 package main
 
@@ -99,6 +100,7 @@ import (
 	"github.com/htacs/ata/internal/adaptive"
 	"github.com/htacs/ata/internal/cluster"
 	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/platform"
 	"github.com/htacs/ata/internal/quality"
 	"github.com/htacs/ata/internal/shard"
@@ -252,7 +254,8 @@ func main() {
 		if err != nil {
 			log.Fatalf("hta-server: %v", err)
 		}
-		gw, err := cluster.NewGateway(cluster.GatewayConfig{Peers: peers, Logger: logger})
+		ops.SetDefaultNode("gateway")
+		gw, err := cluster.NewGateway(cluster.GatewayConfig{Peers: peers, Logger: logger, Tracer: tracer})
 		if err != nil {
 			log.Fatalf("hta-server: %v", err)
 		}
@@ -283,7 +286,8 @@ func main() {
 			streamPreload(eng, qtracker, *redundancy, preload, *tasksPath)
 		}
 		if *nodeName != "" {
-			clusterNode, err = cluster.NewNode(cluster.NodeConfig{Name: *nodeName, Engine: eng})
+			ops.SetDefaultNode(*nodeName)
+			clusterNode, err = cluster.NewNode(cluster.NodeConfig{Name: *nodeName, Engine: eng, Tracer: tracer})
 			if err != nil {
 				log.Fatalf("hta-server: %v", err)
 			}

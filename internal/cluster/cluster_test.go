@@ -590,7 +590,7 @@ func TestPeerPipelineWindowRecoversAfterErrors(t *testing.T) {
 		node.ServeHTTP(w, r)
 	}))
 	defer srv.Close()
-	p := newPeer("n0", srv.URL, srv.Client(), 8, 2, 2, time.Millisecond)
+	p := newPeer("n0", srv.URL, srv.Client(), obs.NewRegistry(), 8, 2, 2, time.Millisecond)
 	var wg sync.WaitGroup
 	for i := 0; i < 20; i++ {
 		wg.Add(1)

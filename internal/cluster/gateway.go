@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,8 +17,10 @@ import (
 
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // ErrNoNodes is returned when every cluster member has been removed from
@@ -60,10 +63,22 @@ type GatewayConfig struct {
 	// FailAfter is the consecutive failures (health probes or frames)
 	// before a node is declared dead and its tasks requeued (default 3).
 	FailAfter int
-	// Registry receives the gateway instruments (obs.Default() when nil).
+	// Registry receives the gateway instruments (obs.Default() when nil),
+	// including the per-peer RPC internals, and is merged into the
+	// federated snapshot as node "gateway".
 	Registry *obs.Registry
 	// Logger receives membership events (slog.Default() when nil).
 	Logger *slog.Logger
+	// Tracer records the gateway's RPC and heartbeat spans and is the
+	// local ring cluster-trace stitching merges with the nodes' rings
+	// (trace.Default() when nil).
+	Tracer *trace.Recorder
+	// Journal records membership events — failovers, re-partitions, joins,
+	// snapshot cuts (ops.Default() when nil).
+	Journal *ops.Journal
+	// FederationInterval bounds the staleness of the cached federated
+	// metrics snapshot (default 2s; negative = refetch on every read).
+	FederationInterval time.Duration
 }
 
 // ledgerEntry records where a pending (active or buffered) task lives, so
@@ -114,9 +129,19 @@ func newGwMetrics(r *obs.Registry) *gwMetrics {
 // and drops a node suffers between its last heartbeat and its death are
 // lost from the global count.
 type Gateway struct {
-	cfg GatewayConfig
-	log *slog.Logger
-	met *gwMetrics
+	cfg     GatewayConfig
+	log     *slog.Logger
+	met     *gwMetrics
+	reg     *obs.Registry
+	tracer  *trace.Recorder
+	journal *ops.Journal
+
+	// fedMu serializes federation scrapes and guards the TTL cache — a
+	// burst of /metrics reads coalesces into one fan-out per interval.
+	fedMu   sync.Mutex
+	fedAt   time.Time
+	fedSnap obs.Snapshot
+	fedOK   bool
 
 	// opGate is the snapshot barrier: every op holds it for read, a
 	// merged snapshot holds it for write — a cluster-wide quiesce point,
@@ -189,6 +214,18 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default()
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = ops.Default()
+	}
+	if cfg.FederationInterval == 0 {
+		cfg.FederationInterval = 2 * time.Second
+	}
 	names := make([]string, 0, len(cfg.Peers))
 	peers := make(map[string]*peer, len(cfg.Peers))
 	for _, ps := range cfg.Peers {
@@ -200,7 +237,7 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		}
 		names = append(names, ps.Name)
 		peers[ps.Name] = newPeer(ps.Name, strings.TrimRight(ps.URL, "/"), cfg.HTTPClient,
-			cfg.MaxBatch, cfg.Window, cfg.FrameRetries, cfg.RetryBackoff)
+			cfg.Registry, cfg.MaxBatch, cfg.Window, cfg.FrameRetries, cfg.RetryBackoff)
 	}
 	ring, err := NewRing(names, cfg.VirtualNodes)
 	if err != nil {
@@ -211,6 +248,9 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		cfg:         cfg,
 		log:         cfg.Logger,
 		met:         newGwMetrics(cfg.Registry),
+		reg:         cfg.Registry,
+		tracer:      cfg.Tracer,
+		journal:     cfg.Journal,
 		ring:        ring,
 		peers:       peers,
 		order:       names,
@@ -328,7 +368,7 @@ func (g *Gateway) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error
 	g.seen[t.ID] = struct{}{}
 	g.seenMu.Unlock()
 	g.submitted.Add(1)
-	wid, node, err := g.routeTask(t)
+	wid, node, err := g.routeTask(ctx, t)
 	if err != nil {
 		// Rejected everywhere: the task may be re-offered later, so it
 		// leaves the duplicate filter (mirroring the engine), and the
@@ -346,8 +386,10 @@ func (g *Gateway) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error
 }
 
 // routeTask is the scatter/commit/buffer core, shared by offers and
-// failover requeues (which must not re-count Submitted).
-func (g *Gateway) routeTask(t *core.Task) (wid, node string, err error) {
+// failover requeues (which must not re-count Submitted). A sampled ctx
+// opens one RPC span per scatter/commit/buffer leg, each propagated to
+// its node, so the stitched trace shows the whole routing fan-out.
+func (g *Gateway) routeTask(ctx context.Context, t *core.Task) (wid, node string, err error) {
 	peers := g.livePeers()
 	if len(peers) == 0 {
 		return "", "", ErrNoNodes
@@ -356,7 +398,7 @@ func (g *Gateway) routeTask(t *core.Task) (wid, node string, err error) {
 	scoreOp := Op{Op: opScore, Task: &tw}
 	calls := make([]*call, len(peers))
 	for i, p := range peers {
-		calls[i] = p.doAsync(scoreOp)
+		calls[i] = p.doAsyncCtx(ctx, scoreOp)
 	}
 	type scored struct {
 		p       *peer
@@ -401,7 +443,7 @@ func (g *Gateway) routeTask(t *core.Task) (wid, node string, err error) {
 		if !s.free {
 			break
 		}
-		res, err := s.p.do(commitOp)
+		res, err := s.p.doCtx(ctx, commitOp)
 		if err == nil && res.OK {
 			return res.WorkerID, s.p.name, nil
 		}
@@ -416,7 +458,7 @@ func (g *Gateway) routeTask(t *core.Task) (wid, node string, err error) {
 	})
 	bufferOp := Op{Op: opBuffer, Task: &tw}
 	for _, s := range answers {
-		res, err := s.p.do(bufferOp)
+		res, err := s.p.doCtx(ctx, bufferOp)
 		if err == nil && res.OK {
 			return "", s.p.name, nil
 		}
@@ -452,7 +494,7 @@ func (g *Gateway) AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Tas
 		return nil, fmt.Errorf("%w: %s", ErrPeerDown, name)
 	}
 	ww := workerToWire(w)
-	res, err := p.do(Op{Op: opAddWorker, Worker: &ww})
+	res, err := p.doCtx(ctx, Op{Op: opAddWorker, Worker: &ww})
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +534,7 @@ func (g *Gateway) RemoveWorkerCtx(ctx context.Context, id string) ([]*core.Task,
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.do(Op{Op: opRemoveWorker, WorkerID: id})
+	res, err := p.doCtx(ctx, Op{Op: opRemoveWorker, WorkerID: id})
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +577,7 @@ func (g *Gateway) CompleteCtx(ctx context.Context, workerID, taskID string) (*co
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.do(Op{Op: opComplete, WorkerID: workerID, TaskID: taskID})
+	res, err := p.doCtx(ctx, Op{Op: opComplete, WorkerID: workerID, TaskID: taskID})
 	if err != nil {
 		return nil, err
 	}
@@ -805,6 +847,7 @@ func (g *Gateway) Snapshot(w io.Writer) error {
 	doc.Submitted = g.submitted.Load()
 	doc.Completed = g.completed.Load()
 	doc.Dropped = g.dropped.Load() + dead
+	g.journal.Emit(ops.EventSnapshot, "gateway", "nodes", strconv.Itoa(len(doc.Nodes)))
 	buf, err := encodeJSON(&doc)
 	if err != nil {
 		return err
@@ -837,7 +880,9 @@ func (g *Gateway) heartbeat() {
 // drive membership deterministically with the background loop disabled.
 func (g *Gateway) CheckHealth(ctx context.Context) {
 	for _, p := range g.livePeers() {
-		h, err := p.health(ctx)
+		hctx, sp := g.tracer.Start(ctx, "cluster.heartbeat", trace.Str("peer", p.name))
+		h, err := p.health(hctx)
+		sp.End()
 		if err != nil {
 			if int(p.fails.Add(1)) >= g.cfg.FailAfter {
 				g.dropNode(p.name)
@@ -902,7 +947,7 @@ func (g *Gateway) dropNode(name string) {
 	g.ledgerMu.Unlock()
 	requeued, lost := 0, 0
 	for _, t := range orphans {
-		_, node, err := g.routeTask(t)
+		_, node, err := g.routeTask(context.Background(), t)
 		if err != nil {
 			g.seenMu.Lock()
 			delete(g.seen, t.ID)
@@ -918,6 +963,12 @@ func (g *Gateway) dropNode(name string) {
 	}
 	g.met.Requeued.Add(float64(requeued))
 	g.met.Lost.Add(float64(lost))
+	g.journal.Emit(ops.EventFailover, name,
+		"live", strconv.Itoa(live),
+		"requeued", strconv.Itoa(requeued),
+		"lost", strconv.Itoa(lost))
+	g.journal.Emit(ops.EventRepartition, name,
+		"reason", "failover", "live", strconv.Itoa(live))
 	g.log.Warn("cluster node dropped",
 		"node", name, "live", live, "requeued", requeued, "lost", lost)
 }
@@ -943,7 +994,7 @@ func (g *Gateway) AddNode(name, url string) error {
 	}
 	g.mu.Unlock()
 	p := newPeer(name, strings.TrimRight(url, "/"), g.cfg.HTTPClient,
-		g.cfg.MaxBatch, g.cfg.Window, g.cfg.FrameRetries, g.cfg.RetryBackoff)
+		g.reg, g.cfg.MaxBatch, g.cfg.Window, g.cfg.FrameRetries, g.cfg.RetryBackoff)
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	h, err := p.health(ctx)
 	cancel()
@@ -977,6 +1028,9 @@ func (g *Gateway) AddNode(name, url string) error {
 	live := len(g.order)
 	g.mu.Unlock()
 	g.met.Nodes.Set(float64(live))
+	g.journal.Emit(ops.EventNodeJoin, name, "live", strconv.Itoa(live))
+	g.journal.Emit(ops.EventRepartition, name,
+		"reason", "join", "live", strconv.Itoa(live))
 	g.log.Info("cluster node joined", "node", name, "live", live)
 	return nil
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,8 +10,11 @@ import (
 	"sync"
 
 	"github.com/htacs/ata/internal/core"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/shard"
 	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // Node is the server half of the cluster RPC protocol: an http.Handler
@@ -23,10 +27,14 @@ import (
 //	GET  /cluster/health   liveness + load picture (the heartbeat target)
 //	GET  /cluster/snapshot the node's quiesced engine snapshot (merge input)
 type Node struct {
-	Name   string
-	eng    *shard.Engine
-	mux    *http.ServeMux
-	frames *frameCache
+	Name    string
+	eng     *shard.Engine
+	mux     *http.ServeMux
+	frames  *frameCache
+	tracer  *trace.Recorder
+	journal *ops.Journal
+
+	dedupHits *obs.Counter
 }
 
 // NodeConfig parameterizes a Node.
@@ -40,6 +48,16 @@ type NodeConfig struct {
 	// responses are kept so a retried frame replays instead of
 	// re-applying. Default 1024.
 	FrameCache int
+	// Tracer records node-side apply spans for ops that carry a sampled
+	// trace context (trace.Default() when nil). The gateway pulls this
+	// ring's wire form when stitching cluster traces.
+	Tracer *trace.Recorder
+	// Registry receives the node's RPC instruments (obs.Default() when
+	// nil).
+	Registry *obs.Registry
+	// Journal receives node-side operational events, e.g. snapshot cuts
+	// (ops.Default() when nil).
+	Journal *ops.Journal
 }
 
 // NewNode validates the configuration and builds the handler.
@@ -53,7 +71,21 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.FrameCache == 0 {
 		cfg.FrameCache = 1024
 	}
-	n := &Node{Name: cfg.Name, eng: cfg.Engine, frames: newFrameCache(cfg.FrameCache)}
+	if cfg.Tracer == nil {
+		cfg.Tracer = trace.Default()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default()
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = ops.Default()
+	}
+	n := &Node{
+		Name: cfg.Name, eng: cfg.Engine, frames: newFrameCache(cfg.FrameCache),
+		tracer: cfg.Tracer, journal: cfg.Journal,
+		dedupHits: cfg.Registry.Counter("hta_cluster_replay_dedup_hits_total",
+			"retried frames answered from the replay cache instead of re-applying"),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /cluster/batch", n.handleBatch)
 	mux.HandleFunc("GET /cluster/health", n.handleHealth)
@@ -80,6 +112,12 @@ type Health struct {
 }
 
 func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
+	// Heartbeats propagate trace context in headers (there is no frame to
+	// carry it); a sampled probe records its node-side handling.
+	if sc, err := trace.ParseSpanContext(r.Header.Get("X-Trace-Id"), r.Header.Get("X-Span-Id")); err == nil && sc.Valid() {
+		_, sp := n.tracer.StartRemote(r.Context(), sc, "node.health", trace.Str("node", n.Name))
+		defer sp.End()
+	}
 	st := n.eng.Stats()
 	h := Health{
 		Node: n.Name, Shards: st.Shards, Workers: st.Workers,
@@ -97,6 +135,7 @@ func (n *Node) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (n *Node) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	n.journal.Emit(ops.EventSnapshot, n.Name)
 	w.Header().Set("Content-Type", "application/json")
 	if err := n.eng.Snapshot(w); err != nil {
 		// Headers are gone; the gateway detects the truncated document.
@@ -117,11 +156,13 @@ func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// finish rather than racing it.
 	if frame.ID != "" {
 		if cached, inflight := n.frames.begin(frame.ID); cached != nil {
+			n.dedupHits.Inc()
 			_, _ = w.Write(cached)
 			return
 		} else if inflight != nil {
 			<-inflight
 			if cached, _ := n.frames.begin(frame.ID); cached != nil {
+				n.dedupHits.Inc()
 				_, _ = w.Write(cached)
 				return
 			}
@@ -132,7 +173,7 @@ func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	res := FrameResult{Results: make([]OpResult, len(frame.Ops))}
 	for i := range frame.Ops {
-		res.Results[i] = n.apply(&frame.Ops[i])
+		res.Results[i] = n.apply(r.Context(), &frame.Ops[i])
 	}
 	buf, err := encodeJSON(&res)
 	if err != nil {
@@ -147,8 +188,24 @@ func (n *Node) handleBatch(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(buf.Bytes())
 }
 
-// apply runs one op against the engine.
-func (n *Node) apply(op *Op) OpResult {
+// apply runs one op against the engine. An op carrying a sampled trace
+// context (propagated from the gateway's RPC span) joins that trace: a
+// "node.apply" span wraps decode + engine work, and ctx-aware engine
+// paths nest their own spans beneath it, so the stitched cluster trace
+// shows gateway coalescing, wire time, and shard apply in one tree.
+func (n *Node) apply(ctx context.Context, op *Op) OpResult {
+	if op.Span != nil {
+		if sc, err := trace.ParseSpanContext(op.Span.TraceID, op.Span.SpanID); err == nil && sc.Valid() {
+			var sp *trace.Span
+			ctx, sp = n.tracer.StartRemote(ctx, sc, "node.apply",
+				trace.Str("node", n.Name), trace.Str("op", op.Op))
+			defer sp.End()
+		}
+	}
+	return n.applyOp(ctx, op)
+}
+
+func (n *Node) applyOp(ctx context.Context, op *Op) OpResult {
 	fail := func(err error) OpResult {
 		r := OpResult{Err: err.Error()}
 		switch {
@@ -168,7 +225,9 @@ func (n *Node) apply(op *Op) OpResult {
 		if err != nil {
 			return fail(err)
 		}
+		trace.Event(ctx, "node.decode", trace.Str("task", t.ID))
 		gain, rel, free := n.eng.BestGain(t)
+		trace.Event(ctx, "node.score", trace.Float("gain", gain), trace.Bool("free", free))
 		return OpResult{OK: true, Gain: gain, Rel: rel, Free: free, Backlog: n.eng.BufferLen()}
 	case opCommit:
 		if op.Task == nil {
@@ -178,7 +237,9 @@ func (n *Node) apply(op *Op) OpResult {
 		if err != nil {
 			return fail(err)
 		}
+		trace.Event(ctx, "node.decode", trace.Str("task", t.ID))
 		wid, ok := n.eng.TryAssign(t)
+		trace.Event(ctx, "node.commit", trace.Str("worker", wid), trace.Bool("ok", ok))
 		return OpResult{OK: ok, WorkerID: wid}
 	case opBuffer:
 		if op.Task == nil {
@@ -188,12 +249,13 @@ func (n *Node) apply(op *Op) OpResult {
 		if err != nil {
 			return fail(err)
 		}
+		trace.Event(ctx, "node.decode", trace.Str("task", t.ID))
 		if err := n.eng.BufferAny(t); err != nil {
 			return fail(err)
 		}
 		return OpResult{OK: true}
 	case opComplete:
-		next, err := n.eng.Complete(op.WorkerID, op.TaskID)
+		next, err := n.eng.CompleteCtx(ctx, op.WorkerID, op.TaskID)
 		if err != nil {
 			return fail(err)
 		}
@@ -211,13 +273,14 @@ func (n *Node) apply(op *Op) OpResult {
 		if err != nil {
 			return fail(err)
 		}
-		drained, err := n.eng.AddWorker(wk)
+		trace.Event(ctx, "node.decode", trace.Str("worker", wk.ID))
+		drained, err := n.eng.AddWorkerCtx(ctx, wk)
 		if err != nil {
 			return fail(err)
 		}
 		return OpResult{OK: true, Tasks: tasksToWire(drained)}
 	case opRemoveWorker:
-		dropped, err := n.eng.RemoveWorker(op.WorkerID)
+		dropped, err := n.eng.RemoveWorkerCtx(ctx, op.WorkerID)
 		if err != nil {
 			return fail(err)
 		}

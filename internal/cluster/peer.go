@@ -14,6 +14,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/trace"
 )
 
 // ErrPeerDown is returned for operations addressed to a node the gateway
@@ -28,6 +31,7 @@ type call struct {
 	op   Op
 	res  OpResult
 	err  error
+	span *trace.Span // RPC span, ended when the call resolves (nil unsampled)
 	done chan struct{}
 }
 
@@ -44,6 +48,7 @@ func getCall(op Op) *call {
 func putCall(c *call) {
 	c.op = Op{}
 	c.res = OpResult{}
+	c.span = nil
 	callPool.Put(c)
 }
 
@@ -74,6 +79,13 @@ type peer struct {
 	frames atomic.Int64
 	ops    atomic.Int64
 
+	// RPC-internal instruments (per peer, labeled peer="name"): realized
+	// frame coalescing, pipelining-window occupancy, and retry pressure —
+	// the previously invisible internals the federated /metrics surfaces.
+	batchSize  *obs.Histogram
+	windowOcc  *obs.Gauge
+	retriesCtr *obs.Counter
+
 	// health state, owned by the gateway's heartbeat loop.
 	down  atomic.Bool
 	fails atomic.Int32
@@ -84,10 +96,19 @@ type peer struct {
 	idSeq    atomic.Uint64
 }
 
-func newPeer(name, base string, hc *http.Client, maxBatch, window, retries int, backoff time.Duration) *peer {
+func newPeer(name, base string, hc *http.Client, reg *obs.Registry, maxBatch, window, retries int, backoff time.Duration) *peer {
+	if reg == nil {
+		reg = obs.Default()
+	}
 	p := &peer{
 		name: name, base: base, hc: hc,
 		maxBatch: maxBatch, window: window, retries: retries, backoff: backoff,
+		batchSize: reg.Histogram("hta_cluster_frame_batch_size",
+			"ops coalesced into each RPC frame", obs.SizeBuckets(), obs.L("peer", name)),
+		windowOcc: reg.Gauge("hta_cluster_window_inflight",
+			"frames currently in flight in the pipelining window", obs.L("peer", name)),
+		retriesCtr: reg.Counter("hta_cluster_frame_retries_total",
+			"frame retry attempts (same frame ID, replay-deduplicated node-side)", obs.L("peer", name)),
 	}
 	binary.LittleEndian.PutUint64(p.idPrefix[:], rand.Uint64())
 	return p
@@ -107,6 +128,29 @@ func (p *peer) frameID() string {
 func (p *peer) do(op Op) (OpResult, error) {
 	c := p.doAsync(op)
 	return p.wait(c)
+}
+
+// doCtx is do with trace propagation (see doAsyncCtx).
+func (p *peer) doCtx(ctx context.Context, op Op) (OpResult, error) {
+	c := p.doAsyncCtx(ctx, op)
+	return p.wait(c)
+}
+
+// doAsyncCtx is doAsync plus cross-node trace propagation: when ctx
+// carries a sampled span, a "cluster.rpc" child opens here — covering
+// coalesce wait, wire time, and the node-side apply — and its identity
+// rides inside the op so the node joins the same trace. Unsampled
+// contexts take the plain path untouched.
+func (p *peer) doAsyncCtx(ctx context.Context, op Op) *call {
+	if sp := trace.FromContext(ctx); sp != nil {
+		_, rpc := trace.Start(ctx, "cluster.rpc",
+			trace.Str("peer", p.name), trace.Str("op", op.Op))
+		op.Span = &SpanRef{TraceID: rpc.TraceID().String(), SpanID: rpc.SpanID().String()}
+		c := p.doAsync(op)
+		c.span = rpc
+		return c
+	}
+	return p.doAsync(op)
 }
 
 // doAsync enqueues op and returns the pending call; the caller must
@@ -133,10 +177,17 @@ func (p *peer) doAsync(op Op) *call {
 }
 
 // wait blocks until the call resolves, recycles it, and returns the
-// outcome.
+// outcome. The RPC span (if any) ends here — its duration is the full
+// client-observed trip: queue wait, wire, node apply, decode.
 func (p *peer) wait(c *call) (OpResult, error) {
 	<-c.done
 	res, err := c.res, c.err
+	if c.span != nil {
+		if err != nil {
+			c.span.SetAttrs(trace.Str("error", err.Error()))
+		}
+		c.span.End()
+	}
 	putCall(c)
 	return res, err
 }
@@ -157,6 +208,7 @@ func (p *peer) maybeSendLocked() {
 		}
 		p.pending = p.pending[:rest]
 		p.inflight++
+		p.windowOcc.Set(float64(p.inflight))
 		go p.send(batch)
 	}
 }
@@ -169,11 +221,13 @@ func (p *peer) send(batch []*call) {
 	defer func() {
 		p.mu.Lock()
 		p.inflight--
+		p.windowOcc.Set(float64(p.inflight))
 		if !p.closed {
 			p.maybeSendLocked()
 		}
 		p.mu.Unlock()
 	}()
+	p.batchSize.Observe(float64(len(batch)))
 	frame := Frame{ID: p.frameID(), Ops: make([]Op, len(batch))}
 	for i, c := range batch {
 		frame.Ops[i] = c.op
@@ -211,6 +265,7 @@ func (p *peer) roundTrip(frame *Frame) (*FrameResult, error) {
 	var lastErr error
 	for attempt := 0; attempt < p.retries; attempt++ {
 		if attempt > 0 {
+			p.retriesCtr.Inc()
 			d := p.backoff << (attempt - 1)
 			if d <= 0 || d > time.Second {
 				d = time.Second
@@ -316,11 +371,17 @@ func (p *peer) snapshot(ctx context.Context) ([]byte, error) {
 	return io.ReadAll(resp.Body)
 }
 
-// health probes GET /cluster/health once.
+// health probes GET /cluster/health once. A sampled context propagates
+// its trace identity in headers so the node's handling joins the
+// heartbeat's trace.
 func (p *peer) health(ctx context.Context) (*Health, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.base+"/cluster/health", nil)
 	if err != nil {
 		return nil, err
+	}
+	if sc, ok := trace.SpanContextFromContext(ctx); ok {
+		req.Header.Set("X-Trace-Id", sc.TraceID.String())
+		req.Header.Set("X-Span-Id", sc.SpanID.String())
 	}
 	resp, err := p.hc.Do(req)
 	if err != nil {

@@ -99,6 +99,17 @@ func wireToWorker(s workerWire) (*core.Worker, error) {
 		Keywords: bitset.FromIndices(s.Universe, s.Keywords...)}, nil
 }
 
+// SpanRef is the trace context one op carries across the wire: the
+// originating request's trace ID and the RPC span opened for this op,
+// both in 16-hex-digit form. Trace context rides per op, not per frame,
+// because a frame coalesces ops from unrelated requests. Absence is the
+// negative head-sampling decision — an unsampled request serializes
+// nothing and the node records nothing.
+type SpanRef struct {
+	TraceID string `json:"t"`
+	SpanID  string `json:"s"`
+}
+
 // Op is one operation inside a frame.
 type Op struct {
 	Op       string      `json:"op"`
@@ -109,6 +120,8 @@ type Op struct {
 	// Trust carries the value of a set_trust op (pointer so 0 — quarantine
 	// — survives omitempty semantics).
 	Trust *float64 `json:"trust,omitempty"`
+	// Span propagates the sampled trace context (nil when unsampled).
+	Span *SpanRef `json:"span,omitempty"`
 }
 
 // OpResult is the outcome of one op, index-aligned with its frame.

@@ -268,6 +268,20 @@ func (c *pr7Cluster) stop() {
 // drive the timed loop of Complete+Offer pairs from shape.drivers
 // concurrent clients with churn arrivals and departures interleaved.
 func runPR7(seed int64, nodes, maxBatch int, shape pr7Shape) (pr7Run, error) {
+	c, err := startPR7Cluster(nodes, maxBatch, shape)
+	if err != nil {
+		return pr7Run{}, err
+	}
+	defer c.stop()
+	return drivePR7(c, seed, shape)
+}
+
+// drivePR7 replays one seeded churn workload through an already-started
+// cluster — fill to steady state (untimed), then the timed driver loop —
+// and reports the run outcome. Shared by the pr7 throughput sweep and the
+// pr9 observability-overhead sweep, which differ only in how the cluster
+// is constructed.
+func drivePR7(c *pr7Cluster, seed int64, shape pr7Shape) (pr7Run, error) {
 	gen, err := workload.NewGenerator(workload.Config{Seed: seed})
 	if err != nil {
 		return pr7Run{}, err
@@ -284,12 +298,6 @@ func runPR7(seed int64, nodes, maxBatch int, shape pr7Shape) (pr7Run, error) {
 	}
 	need := shape.workers*shape.xmax + shape.totalBuffer + shape.drivers*shape.steps + 64
 	tasks := gen.Tasks(need/8+1, 8)[:need]
-
-	c, err := startPR7Cluster(nodes, maxBatch, shape)
-	if err != nil {
-		return pr7Run{}, err
-	}
-	defer c.stop()
 	ctx := context.Background()
 
 	for _, w := range base {

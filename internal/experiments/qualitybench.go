@@ -74,7 +74,7 @@ func SweepPR8(o Options) (*PR8Report, error) {
 	o.applyDefaults()
 	shape := defaultPR8Shape
 	report := &PR8Report{
-		Note: "answer accuracy vs redundancy k under a 40% spammy crowd: gold grades drive online accuracy estimates and quarantines; weighted and EM aggregation are scored against plain majority on the identical vote sets.",
+		Note:  "answer accuracy vs redundancy k under a 40% spammy crowd: gold grades drive online accuracy estimates and quarantines; weighted and EM aggregation are scored against plain majority on the identical vote sets.",
 		Tasks: shape.Tasks, Workers: shape.Workers, Options: shape.Options,
 		SpamFrac: shape.SpamFrac, HonestAcc: shape.HonestAcc, GoldRate: shape.GoldRate,
 	}

@@ -195,9 +195,15 @@ func labelMap(labels []Label) map[string]string {
 
 // Handler serves the registry: Prometheus text by default, JSON when the
 // request asks for it (?format=json or an Accept header preferring
-// application/json).
+// application/json), and the lossless mergeable snapshot form on
+// ?format=snapshot (what the gateway's federation poller pulls).
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "snapshot" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.Snapshot().WriteJSON(w)
+			return
+		}
 		wantJSON := req.URL.Query().Get("format") == "json" ||
 			strings.Contains(req.Header.Get("Accept"), "application/json")
 		if wantJSON {

@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Federated metrics: a Snapshot is the full-fidelity serializable form of
+// a registry — counter/gauge values and raw histogram buckets, not the
+// lossy quantile summaries of WriteJSON. One node serves its snapshot at
+// /metrics?format=snapshot; the gateway pulls every member's snapshot,
+// merges them (counters sum, gauges carry node labels, histograms merge
+// bucket-wise), and renders the cluster-wide /metrics with per-node
+// labels plus rollups.
+
+// SeriesSnapshot is one series in serializable form: exactly one of Value
+// (counter/gauge) or Hist (histogram) is set.
+type SeriesSnapshot struct {
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *HistSnapshot     `json:"hist,omitempty"`
+}
+
+// FamilySnapshot is one metric family in serializable form.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Type   MetricType       `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time serializable copy of a whole registry.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"families"`
+}
+
+// histSnapshotJSON is the wire shape of HistSnapshot. Min/Max are omitted
+// when the histogram is empty — their ±Inf sentinels are not encodable as
+// JSON numbers.
+type histSnapshotJSON struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    *float64  `json:"min,omitempty"`
+	Max    *float64  `json:"max,omitempty"`
+}
+
+// MarshalJSON encodes the snapshot, eliding the ±Inf Min/Max sentinels of
+// an empty histogram (JSON has no Inf literal).
+func (s HistSnapshot) MarshalJSON() ([]byte, error) {
+	j := histSnapshotJSON{Bounds: s.Bounds, Counts: s.Counts, Count: s.Count, Sum: s.Sum}
+	if !math.IsInf(s.Min, 0) {
+		mn := s.Min
+		j.Min = &mn
+	}
+	if !math.IsInf(s.Max, 0) {
+		mx := s.Max
+		j.Max = &mx
+	}
+	return json.Marshal(j)
+}
+
+// UnmarshalJSON decodes the wire form, restoring the ±Inf sentinels when
+// Min/Max were elided.
+func (s *HistSnapshot) UnmarshalJSON(b []byte) error {
+	var j histSnapshotJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.Bounds, s.Counts, s.Count, s.Sum = j.Bounds, j.Counts, j.Count, j.Sum
+	s.Min, s.Max = math.Inf(1), math.Inf(-1)
+	if j.Min != nil {
+		s.Min = *j.Min
+	}
+	if j.Max != nil {
+		s.Max = *j.Max
+	}
+	return nil
+}
+
+// Snapshot copies the registry into serializable form: families in
+// registration order, series sorted by canonical label key.
+func (r *Registry) Snapshot() Snapshot {
+	fams := r.snapshotFamilies()
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(fams))}
+	for _, f := range fams {
+		fs := FamilySnapshot{Name: f.name, Type: f.typ, Help: f.help, Series: []SeriesSnapshot{}}
+		for _, s := range f.series {
+			ss := SeriesSnapshot{Labels: labelMap(s.labels)}
+			switch m := s.metric.(type) {
+			case *Counter:
+				v := m.Value()
+				ss.Value = &v
+			case *Gauge:
+				v := m.Value()
+				ss.Value = &v
+			case *Histogram:
+				snap := m.Snapshot()
+				ss.Hist = &snap
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		out.Families = append(out.Families, fs)
+	}
+	return out
+}
+
+// WriteJSON serializes the snapshot (the body of /metrics?format=snapshot).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	return json.NewEncoder(w).Encode(s)
+}
+
+// ReadSnapshot parses a serialized snapshot.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("obs: decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// MergeHist merges two histogram snapshots bucket-wise: counts add
+// element-wise, Count and Sum add, Min/Max take the extremes. The merge is
+// exact for count and sum (the invariants the property test pins down) and
+// loses no bucket resolution, so quantiles estimated from the merge stay
+// within the bounds of the bucket holding the merged rank. Bounds must be
+// identical (all registries build them from the same generators); an empty
+// side (no bounds, no observations) merges to the other side unchanged.
+func MergeHist(a, b HistSnapshot) (HistSnapshot, error) {
+	if len(a.Bounds) == 0 && a.Count == 0 {
+		return cloneHist(b), nil
+	}
+	if len(b.Bounds) == 0 && b.Count == 0 {
+		return cloneHist(a), nil
+	}
+	if len(a.Bounds) != len(b.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("obs: merge histogram: %d vs %d bounds", len(a.Bounds), len(b.Bounds))
+	}
+	for i := range a.Bounds {
+		if a.Bounds[i] != b.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("obs: merge histogram: bound %d differs (%g vs %g)", i, a.Bounds[i], b.Bounds[i])
+		}
+	}
+	m := cloneHist(a)
+	if len(b.Counts) != len(m.Counts) {
+		return HistSnapshot{}, fmt.Errorf("obs: merge histogram: %d vs %d buckets", len(m.Counts), len(b.Counts))
+	}
+	for i, c := range b.Counts {
+		m.Counts[i] += c
+	}
+	m.Count += b.Count
+	m.Sum += b.Sum
+	m.Min = math.Min(m.Min, b.Min)
+	m.Max = math.Max(m.Max, b.Max)
+	return m, nil
+}
+
+func cloneHist(s HistSnapshot) HistSnapshot {
+	cp := s
+	cp.Bounds = append([]float64(nil), s.Bounds...)
+	cp.Counts = append([]uint64(nil), s.Counts...)
+	return cp
+}
+
+// NodeLabel is the label key the federation layer stamps onto every
+// per-node series in a merged snapshot.
+const NodeLabel = "node"
+
+// MergeSnapshots federates per-node registry snapshots into one
+// cluster-wide snapshot, keyed by node name:
+//
+//   - counters: one series per node with a node="name" label, plus a
+//     rollup series (original labels only) summing across nodes;
+//   - gauges: per-node labeled series only (a sum of instantaneous values
+//     is rarely meaningful);
+//   - histograms: per-node labeled series plus a bucket-wise merged
+//     rollup (skipped if bucket bounds ever disagree).
+//
+// A series that already carries a node label keeps it (the federation
+// never overwrites identity). Families are sorted by name and series by
+// canonical label key, so the merged output is deterministic regardless
+// of per-node registration order.
+func MergeSnapshots(nodes map[string]Snapshot) Snapshot {
+	names := make([]string, 0, len(nodes))
+	for n := range nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	type mergedFam struct {
+		fam     FamilySnapshot
+		rollup  map[string]*SeriesSnapshot // canonical label key → rollup series
+		rollKey []string                   // insertion order of rollup keys
+		rollOK  bool                       // histogram rollup still mergeable
+	}
+	byName := make(map[string]*mergedFam)
+	var order []string
+
+	for _, node := range names {
+		for _, f := range nodes[node].Families {
+			mf, ok := byName[f.Name]
+			if !ok {
+				mf = &mergedFam{
+					fam:    FamilySnapshot{Name: f.Name, Type: f.Type, Help: f.Help, Series: []SeriesSnapshot{}},
+					rollup: make(map[string]*SeriesSnapshot),
+					rollOK: true,
+				}
+				byName[f.Name] = mf
+				order = append(order, f.Name)
+			}
+			for _, s := range f.Series {
+				key := mapLabelKey(s.Labels)
+				// Per-node series: original labels + node label.
+				ns := SeriesSnapshot{Labels: withNodeLabel(s.Labels, node)}
+				if s.Value != nil {
+					v := *s.Value
+					ns.Value = &v
+				}
+				if s.Hist != nil {
+					h := cloneHist(*s.Hist)
+					ns.Hist = &h
+				}
+				mf.fam.Series = append(mf.fam.Series, ns)
+
+				// Rollups: counters sum, histograms merge bucket-wise.
+				switch f.Type {
+				case TypeCounter:
+					ru, ok := mf.rollup[key]
+					if !ok {
+						ru = &SeriesSnapshot{Labels: copyLabels(s.Labels), Value: new(float64)}
+						mf.rollup[key] = ru
+						mf.rollKey = append(mf.rollKey, key)
+					}
+					if s.Value != nil && ru.Value != nil {
+						*ru.Value += *s.Value
+					}
+				case TypeHistogram:
+					if !mf.rollOK || s.Hist == nil {
+						break
+					}
+					ru, ok := mf.rollup[key]
+					if !ok {
+						h := cloneHist(*s.Hist)
+						mf.rollup[key] = &SeriesSnapshot{Labels: copyLabels(s.Labels), Hist: &h}
+						mf.rollKey = append(mf.rollKey, key)
+						break
+					}
+					merged, err := MergeHist(*ru.Hist, *s.Hist)
+					if err != nil {
+						mf.rollOK = false // incompatible bounds: drop the rollup, keep per-node series
+						break
+					}
+					ru.Hist = &merged
+				}
+			}
+		}
+	}
+
+	sort.Strings(order)
+	out := Snapshot{Families: make([]FamilySnapshot, 0, len(order))}
+	for _, name := range order {
+		mf := byName[name]
+		fam := FamilySnapshot{Name: mf.fam.Name, Type: mf.fam.Type, Help: mf.fam.Help, Series: []SeriesSnapshot{}}
+		if mf.fam.Type != TypeGauge && mf.rollOK {
+			sort.Strings(mf.rollKey)
+			for _, k := range mf.rollKey {
+				fam.Series = append(fam.Series, *mf.rollup[k])
+			}
+		}
+		perNode := mf.fam.Series
+		sort.SliceStable(perNode, func(i, j int) bool {
+			return mapLabelKey(perNode[i].Labels) < mapLabelKey(perNode[j].Labels)
+		})
+		fam.Series = append(fam.Series, perNode...)
+		out.Families = append(out.Families, fam)
+	}
+	return out
+}
+
+// withNodeLabel copies labels and adds node=name unless a node label is
+// already present.
+func withNodeLabel(labels map[string]string, node string) map[string]string {
+	out := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		out[k] = v
+	}
+	if _, ok := out[NodeLabel]; !ok {
+		out[NodeLabel] = node
+	}
+	return out
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// mapLabelKey is labelKey over the map form.
+func mapLabelKey(labels map[string]string) string {
+	return labelKey(labelsFromMap(labels))
+}
+
+// labelsFromMap converts the JSON map form back to a sorted label set.
+func labelsFromMap(labels map[string]string) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, len(labels))
+	for k, v := range labels {
+		out = append(out, Label{Key: k, Value: v})
+	}
+	return sortLabels(out)
+}
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format — the same output shape as Registry.WritePrometheus, but driven
+// from serialized (possibly merged) data. The gateway uses it to serve
+// the federated /metrics.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, f := range s.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, ser := range f.Series {
+			labels := labelsFromMap(ser.Labels)
+			switch {
+			case ser.Hist != nil:
+				if err := writePromHistogram(w, f.Name, labels, *ser.Hist); err != nil {
+					return err
+				}
+			case ser.Value != nil:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, renderLabels(labels), fmtFloat(*ser.Value)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestMergeHistProperty pins the federation invariants: merging two
+// histogram snapshots preserves count and sum exactly, keeps bucket
+// totals consistent, and quantile estimates over the merge stay within
+// the bounds of the bucket holding the pooled exact quantile.
+func TestMergeHistProperty(t *testing.T) {
+	bounds := DurationBuckets()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		ha, hb := newHistogram(bounds), newHistogram(bounds)
+		var all []float64
+		na, nb := rng.Intn(300), rng.Intn(300)
+		observe := func(h *Histogram, n int) {
+			for i := 0; i < n; i++ {
+				// Log-uniform across the bucket range, occasionally past
+				// the last bound (the +Inf overflow bucket).
+				v := math.Pow(10, rng.Float64()*9-6.5)
+				h.Observe(v)
+				all = append(all, v)
+			}
+		}
+		observe(ha, na)
+		observe(hb, nb)
+		m, err := MergeHist(ha.Snapshot(), hb.Snapshot())
+		if err != nil {
+			t.Fatalf("trial %d: MergeHist: %v", trial, err)
+		}
+		if m.Count != uint64(na+nb) {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, m.Count, na+nb)
+		}
+		var bucketTotal uint64
+		for _, c := range m.Counts {
+			bucketTotal += c
+		}
+		if bucketTotal != m.Count {
+			t.Fatalf("trial %d: bucket total %d != count %d", trial, bucketTotal, m.Count)
+		}
+		var exactSum float64
+		for _, v := range all {
+			exactSum += v
+		}
+		if math.Abs(m.Sum-exactSum) > 1e-9*math.Max(1, math.Abs(exactSum)) {
+			t.Fatalf("trial %d: merged sum %g, want %g", trial, m.Sum, exactSum)
+		}
+		if len(all) == 0 {
+			continue
+		}
+		sort.Float64s(all)
+		if m.Min != all[0] || m.Max != all[len(all)-1] {
+			t.Fatalf("trial %d: merged min/max %g/%g, want %g/%g",
+				trial, m.Min, m.Max, all[0], all[len(all)-1])
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			est := m.Quantile(q)
+			// Exact pooled quantile by the same rank rule the estimator
+			// uses (first cumulative count reaching q·N).
+			idx := int(math.Ceil(q*float64(len(all)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			exact := all[idx]
+			bi := sort.SearchFloat64s(bounds, exact)
+			lo := math.Inf(-1)
+			if bi > 0 {
+				lo = bounds[bi-1]
+			}
+			hi := math.Inf(1)
+			if bi < len(bounds) {
+				hi = bounds[bi]
+			}
+			// The estimate must land inside the bucket holding the exact
+			// quantile, tightened by the observed range.
+			if est < math.Max(lo, m.Min)-1e-12 || est > math.Min(hi, m.Max)+1e-12 {
+				t.Fatalf("trial %d: q=%g estimate %g outside bucket (%g, %g] (exact %g, range [%g, %g])",
+					trial, q, est, lo, hi, exact, m.Min, m.Max)
+			}
+		}
+	}
+}
+
+func TestMergeHistEdges(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	h := newHistogram(bounds)
+	h.Observe(1.5)
+	h.Observe(3)
+	empty := newHistogram(bounds).Snapshot()
+	empty.Bounds = nil // a node that never registered the family
+	empty.Counts = nil
+
+	m, err := MergeHist(h.Snapshot(), empty)
+	if err != nil || m.Count != 2 {
+		t.Fatalf("empty right side: %v count=%d", err, m.Count)
+	}
+	m, err = MergeHist(empty, h.Snapshot())
+	if err != nil || m.Count != 2 {
+		t.Fatalf("empty left side: %v count=%d", err, m.Count)
+	}
+
+	other := newHistogram([]float64{1, 3, 9}).Snapshot()
+	other.Count = 1
+	if _, err := MergeHist(h.Snapshot(), other); err == nil {
+		t.Fatal("mismatched bounds: want error")
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	mk := func(reqs float64, lat ...float64) Snapshot {
+		r := NewRegistry()
+		r.Counter("reqs_total", "requests", L("endpoint", "/api")).Add(reqs)
+		r.Gauge("in_flight", "").Set(reqs / 2)
+		h := r.Histogram("latency_seconds", "", DurationBuckets())
+		for _, v := range lat {
+			h.Observe(v)
+		}
+		return r.Snapshot()
+	}
+	merged := MergeSnapshots(map[string]Snapshot{
+		"n0": mk(3, 0.1, 0.2),
+		"n1": mk(5, 0.4),
+	})
+
+	fam := func(name string) *FamilySnapshot {
+		for i := range merged.Families {
+			if merged.Families[i].Name == name {
+				return &merged.Families[i]
+			}
+		}
+		t.Fatalf("family %s missing", name)
+		return nil
+	}
+
+	// Counter: rollup (no node label) sums across nodes, plus one labeled
+	// series per node.
+	reqs := fam("reqs_total")
+	var rollup, perNode int
+	for _, s := range reqs.Series {
+		if _, ok := s.Labels[NodeLabel]; ok {
+			perNode++
+			continue
+		}
+		rollup++
+		if s.Value == nil || *s.Value != 8 {
+			t.Fatalf("counter rollup = %v, want 8", s.Value)
+		}
+	}
+	if rollup != 1 || perNode != 2 {
+		t.Fatalf("counter series: %d rollup, %d per-node", rollup, perNode)
+	}
+
+	// Gauge: per-node only, no rollup.
+	for _, s := range fam("in_flight").Series {
+		if _, ok := s.Labels[NodeLabel]; !ok {
+			t.Fatalf("gauge rollup series should not exist: %+v", s)
+		}
+	}
+
+	// Histogram: per-node plus a bucket-merged rollup.
+	lat := fam("latency_seconds")
+	var histRollup *HistSnapshot
+	perNode = 0
+	for _, s := range lat.Series {
+		if _, ok := s.Labels[NodeLabel]; ok {
+			perNode++
+			continue
+		}
+		histRollup = s.Hist
+	}
+	if perNode != 2 || histRollup == nil {
+		t.Fatalf("histogram series: %d per-node, rollup=%v", perNode, histRollup)
+	}
+	if histRollup.Count != 3 || math.Abs(histRollup.Sum-0.7) > 1e-12 {
+		t.Fatalf("histogram rollup count=%d sum=%g, want 3/0.7", histRollup.Count, histRollup.Sum)
+	}
+}
+
+func TestSnapshotJSONRoundtrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "help").Inc()
+	r.Histogram("h_seconds", "", []float64{1, 2}) // empty: ±Inf min/max elided
+	r.Histogram("h2_seconds", "", []float64{1, 2}).Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range got.Families {
+		for _, s := range f.Series {
+			if s.Hist == nil {
+				continue
+			}
+			switch f.Name {
+			case "h_seconds":
+				if !math.IsInf(s.Hist.Min, 1) || !math.IsInf(s.Hist.Max, -1) {
+					t.Fatalf("empty hist sentinels lost: min=%g max=%g", s.Hist.Min, s.Hist.Max)
+				}
+			case "h2_seconds":
+				if s.Hist.Min != 1.5 || s.Hist.Max != 1.5 || s.Hist.Count != 1 {
+					t.Fatalf("hist roundtrip: %+v", s.Hist)
+				}
+			}
+		}
+	}
+
+	// The merged form must render as valid Prometheus text.
+	var prom bytes.Buffer
+	merged := MergeSnapshots(map[string]Snapshot{"a": got})
+	if err := merged.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom.Bytes(), []byte(`c_total{node="a"} 1`)) {
+		t.Fatalf("merged exposition missing node label:\n%s", prom.String())
+	}
+}

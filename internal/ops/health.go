@@ -1,0 +1,66 @@
+package ops
+
+import "time"
+
+// Cluster health scoring: a recent-window read over the journal that
+// turns discrete incidents into one number a dashboard can alarm on.
+// The score starts at 1.0 and pays a penalty per event inside the
+// window, weighted by severity; it is a smell detector (how rough has
+// the last few minutes been?), not an SLO.
+
+// Penalty weights per event type inside the scoring window. Types not
+// listed cost nothing (steals and snapshot cuts are routine operations,
+// not incidents).
+var healthPenalty = map[string]float64{
+	EventFailover:    0.30,
+	EventRepartition: 0.10,
+	EventQuarantine:  0.05,
+	EventWatermark:   0.02,
+}
+
+// DefaultHealthWindow is the scoring window verbose healthz uses.
+const DefaultHealthWindow = 5 * time.Minute
+
+// Health is the verbose healthz payload: the score, its inputs, and a
+// coarse status bucket.
+type Health struct {
+	Score  float64        `json:"score"`  // 1.0 = quiet, 0.0 = on fire
+	Status string         `json:"status"` // ok | degraded | critical
+	Window string         `json:"window"` // scoring window, e.g. "5m0s"
+	Events int            `json:"events"` // events inside the window
+	Counts map[string]int `json:"counts,omitempty"`
+}
+
+// Score computes the cluster health over events within window of now.
+// Events outside the window (or from the future, clock skew aside) still
+// appear in Counts totals only if inside; the score is clamped to [0, 1].
+func Score(events []Event, now time.Time, window time.Duration) Health {
+	if window <= 0 {
+		window = DefaultHealthWindow
+	}
+	cutoff := now.Add(-window)
+	h := Health{Score: 1.0, Window: window.String(), Counts: map[string]int{}}
+	for _, ev := range events {
+		if ev.Time.Before(cutoff) {
+			continue
+		}
+		h.Events++
+		h.Counts[ev.Type]++
+		h.Score -= healthPenalty[ev.Type]
+	}
+	if h.Score < 0 {
+		h.Score = 0
+	}
+	switch {
+	case h.Score >= 0.8:
+		h.Status = "ok"
+	case h.Score >= 0.5:
+		h.Status = "degraded"
+	default:
+		h.Status = "critical"
+	}
+	if len(h.Counts) == 0 {
+		h.Counts = nil
+	}
+	return h
+}

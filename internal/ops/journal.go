@@ -1,0 +1,271 @@
+// Package ops is the operational event journal: a bounded, lock-minimal
+// ring of structured events recording the moments an operator needs to
+// reconstruct after the fact — failovers, ring re-partitions, work
+// steals, watermark breaches, quarantine transitions, snapshot cuts.
+//
+// Where obs answers "how much / how fast" and trace answers "why was
+// this request slow", ops answers "what happened to the fleet at 14:03".
+// Events carry timestamps and (when the triggering request was sampled)
+// trace IDs, so a failover in the journal links to the stitched trace
+// that observed it.
+//
+// The design follows the trace recorder: append is one atomic add (slot
+// claim) plus one atomic pointer store, so emitting an event from the
+// failover path or the steal loop never contends; reads (Snapshot, the
+// HTTP handler) copy and may allocate. A package-wide enabled gate turns
+// every append into a single atomic load for overhead benchmarks.
+package ops
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Event types recorded by the system. The set is open — Record accepts
+// any string — but these constants name the transitions the cluster
+// emits today.
+const (
+	EventFailover    = "failover"         // a node was dropped from the ring
+	EventRepartition = "ring_repartition" // the hash ring changed shape
+	EventNodeJoin    = "node_join"        // a node was added to the ring
+	EventSteal       = "steal"            // the work-stealing pass moved tasks
+	EventWatermark   = "watermark_breach" // a shard backlog crossed the steal watermark
+	EventQuarantine  = "quarantine"       // a worker's gold accuracy fell below the floor
+	EventSnapshot    = "snapshot_cut"     // a state snapshot was cut
+)
+
+// Event is one journal entry. Attrs hold small, flat detail (counts,
+// names, reasons) — the journal is a flight recorder, not a log sink.
+type Event struct {
+	Seq     uint64            `json:"seq"`
+	Time    time.Time         `json:"time"`
+	Type    string            `json:"type"`
+	Node    string            `json:"node,omitempty"`
+	TraceID string            `json:"trace_id,omitempty"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// enabled gates every append. Default on; the pr9 overhead benchmark
+// flips it to measure the journal's own cost.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns journal appends on or off globally.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether appends are currently recorded.
+func Enabled() bool { return enabled.Load() }
+
+// timeNow is swapped by tests for deterministic timestamps.
+var timeNow = time.Now
+
+// defaultNode is the process-wide node identity, stamped onto events
+// recorded without one — hta-server sets it once at startup so
+// engine-level emitters (shard steals, quality quarantines) need no
+// name plumbing.
+var defaultNode atomic.Pointer[string]
+
+// SetDefaultNode sets the identity stamped onto events whose Node is
+// empty.
+func SetDefaultNode(name string) { defaultNode.Store(&name) }
+
+// DefaultNode returns the process-wide node identity ("" unset).
+func DefaultNode() string {
+	if p := defaultNode.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// Journal is the bounded event ring. The nil *Journal is inert — every
+// method is a no-op — so components can hold an optional journal without
+// branching.
+type Journal struct {
+	head atomic.Uint64 // next ring slot (monotone; slot = head & mask)
+	seq  atomic.Uint64 // global event sequence
+	ring []atomic.Pointer[Event]
+	mask uint64
+}
+
+// NewJournal builds a journal retaining up to capacity events (rounded up
+// to a power of two, minimum 1).
+func NewJournal(capacity int) *Journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Journal{ring: make([]atomic.Pointer[Event], c), mask: uint64(c - 1)}
+}
+
+// std is the process-wide journal every backend records into by default.
+var std = NewJournal(1024)
+
+// Default returns the process-wide journal.
+func Default() *Journal { return std }
+
+// Capacity returns the ring size.
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.ring)
+}
+
+// Record appends one event. Seq and Time are filled in here (a zero
+// ev.Time is stamped with the current time); the caller provides Type,
+// Node, TraceID and Attrs. Safe for concurrent use; never blocks.
+func (j *Journal) Record(ev Event) {
+	if j == nil || !enabled.Load() {
+		return
+	}
+	ev.Seq = j.seq.Add(1)
+	if ev.Time.IsZero() {
+		ev.Time = timeNow()
+	}
+	if ev.Node == "" {
+		ev.Node = DefaultNode()
+	}
+	j.ring[(j.head.Add(1)-1)&j.mask].Store(&ev)
+}
+
+// Emit is the convenience form of Record for call sites without a
+// pre-built Event: attrs are flat key/value pairs ("k1", "v1", "k2",
+// "v2", …; a trailing odd key is dropped). The trace ID, when the
+// context carries a sampled span, should be passed via RecordCtx instead.
+func (j *Journal) Emit(typ, node string, attrs ...string) {
+	if j == nil || !enabled.Load() {
+		return
+	}
+	j.Record(Event{Type: typ, Node: node, Attrs: attrMap(attrs)})
+}
+
+// RecordCtx is Emit plus trace correlation: when ctx carries a sampled
+// span (detected via the IDFromContext hook), the event records its trace
+// ID so the journal entry links to the stitched trace.
+func (j *Journal) RecordCtx(ctx context.Context, typ, node string, attrs ...string) {
+	if j == nil || !enabled.Load() {
+		return
+	}
+	ev := Event{Type: typ, Node: node, Attrs: attrMap(attrs)}
+	if IDFromContext != nil {
+		ev.TraceID = IDFromContext(ctx)
+	}
+	j.Record(ev)
+}
+
+// IDFromContext extracts the sampled trace ID (16-hex-digit form) from a
+// context, or "" when untraced. It is a package hook rather than a direct
+// dependency so ops stays import-free of trace; internal/platform wires
+// it at init.
+var IDFromContext func(ctx context.Context) string
+
+func attrMap(kv []string) map[string]string {
+	if len(kv) < 2 {
+		return nil
+	}
+	m := make(map[string]string, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		m[kv[i]] = kv[i+1]
+	}
+	return m
+}
+
+// Snapshot returns up to n of the most recent events, oldest first
+// (n <= 0 or n > capacity returns everything retained).
+func (j *Journal) Snapshot(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	if n <= 0 || n > len(j.ring) {
+		n = len(j.ring)
+	}
+	h := j.head.Load()
+	out := make([]Event, 0, n)
+	for i := 0; i < len(j.ring) && len(out) < n; i++ {
+		if uint64(i) >= h {
+			break // ring never filled this far back
+		}
+		if ev := j.ring[(h-1-uint64(i))&j.mask].Load(); ev != nil {
+			out = append(out, *ev)
+		}
+	}
+	for i, k := 0, len(out)-1; i < k; i, k = i+1, k-1 {
+		out[i], out[k] = out[k], out[i]
+	}
+	return out
+}
+
+// Merge joins event lists from several journals (gateway + nodes) into
+// one timeline ordered by timestamp, ties broken by (node, seq) so the
+// merged view is deterministic for same-clock events.
+func Merge(lists ...[]Event) []Event {
+	var total int
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Event, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, k int) bool {
+		if !out[i].Time.Equal(out[k].Time) {
+			return out[i].Time.Before(out[k].Time)
+		}
+		if out[i].Node != out[k].Node {
+			return out[i].Node < out[k].Node
+		}
+		return out[i].Seq < out[k].Seq
+	})
+	return out
+}
+
+// eventsFile is the JSON envelope of /api/events.
+type eventsFile struct {
+	Events []Event `json:"events"`
+}
+
+// WriteEvents serializes events as the /api/events JSON envelope.
+func WriteEvents(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	return json.NewEncoder(w).Encode(eventsFile{Events: events})
+}
+
+// ReadEvents parses the /api/events JSON envelope.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	var f eventsFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("ops: decode events: %w", err)
+	}
+	return f.Events, nil
+}
+
+// Handler serves the journal's retained events as JSON, newest-complete
+// oldest-first: GET /api/events?n=K (n defaults to everything retained).
+func (j *Journal) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		n := 0
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "ops: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteEvents(w, j.Snapshot(n))
+	})
+}

@@ -1,0 +1,187 @@
+package ops
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestJournalRingRetention(t *testing.T) {
+	j := NewJournal(8)
+	if j.Capacity() != 8 {
+		t.Fatalf("capacity = %d", j.Capacity())
+	}
+	for i := 0; i < 20; i++ {
+		j.Record(Event{Type: EventSteal, Node: "n0"})
+	}
+	evs := j.Snapshot(0)
+	if len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("snapshot not oldest-first contiguous: seq %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != 20 {
+		t.Fatalf("newest seq = %d, want 20", evs[len(evs)-1].Seq)
+	}
+	if got := j.Snapshot(3); len(got) != 3 || got[2].Seq != 20 {
+		t.Fatalf("Snapshot(3) = %d events ending at seq %d", len(got), got[len(got)-1].Seq)
+	}
+}
+
+// TestJournalConcurrent hammers Record from many goroutines while a
+// reader snapshots continuously — the -race run of this test is the
+// lock-freedom proof for the append path.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	const writers, each = 8, 500
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() {
+		defer readerDone.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range j.Snapshot(0) {
+				if ev.Type == "" || ev.Seq == 0 {
+					panic("torn event escaped the ring")
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Emit(EventWatermark, "n0", "writer", "x")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+	evs := j.Snapshot(0)
+	if len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+	seen := make(map[uint64]bool)
+	for _, ev := range evs {
+		if seen[ev.Seq] {
+			t.Fatalf("duplicate seq %d", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	}
+}
+
+func TestJournalDefaultsAndCtx(t *testing.T) {
+	defer SetDefaultNode("")
+	defer func() { IDFromContext = nil }()
+
+	SetDefaultNode("n7")
+	j := NewJournal(4)
+	j.Emit(EventQuarantine, "", "worker", "w1")
+	evs := j.Snapshot(0)
+	if len(evs) != 1 || evs[0].Node != "n7" || evs[0].Attrs["worker"] != "w1" {
+		t.Fatalf("default node / attrs: %+v", evs)
+	}
+
+	IDFromContext = func(ctx context.Context) string { return "00000000000000ab" }
+	j.RecordCtx(context.Background(), EventFailover, "n1", "live", "2")
+	evs = j.Snapshot(1)
+	if evs[0].TraceID != "00000000000000ab" {
+		t.Fatalf("trace correlation: %+v", evs[0])
+	}
+
+	// The nil journal and a disabled journal are inert.
+	var nilJ *Journal
+	nilJ.Emit(EventSteal, "n0")
+	if nilJ.Snapshot(0) != nil {
+		t.Fatal("nil journal snapshot")
+	}
+	SetEnabled(false)
+	j.Emit(EventSteal, "n0")
+	SetEnabled(true)
+	if got := j.Snapshot(0); len(got) != 2 {
+		t.Fatalf("disabled append recorded: %d events", len(got))
+	}
+}
+
+func TestMergeOrdering(t *testing.T) {
+	t0 := time.Unix(100, 0)
+	a := []Event{
+		{Seq: 1, Time: t0.Add(2 * time.Second), Type: EventSteal, Node: "a"},
+		{Seq: 2, Time: t0.Add(4 * time.Second), Type: EventSteal, Node: "a"},
+	}
+	b := []Event{
+		{Seq: 1, Time: t0.Add(1 * time.Second), Type: EventFailover, Node: "b"},
+		{Seq: 2, Time: t0.Add(2 * time.Second), Type: EventSteal, Node: "b"},
+	}
+	m := Merge(a, b)
+	if len(m) != 4 {
+		t.Fatalf("merged %d", len(m))
+	}
+	if m[0].Node != "b" || m[1].Node != "a" || m[2].Node != "b" || m[3].Node != "a" {
+		t.Fatalf("merge order: %+v", m)
+	}
+}
+
+func TestEventsJSONRoundtrip(t *testing.T) {
+	in := []Event{{Seq: 1, Time: time.Unix(5, 0).UTC(), Type: EventFailover, Node: "n2",
+		TraceID: "00000000000000cd", Attrs: map[string]string{"live": "2"}}}
+	var buf bytes.Buffer
+	if err := WriteEvents(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Node != "n2" || out[0].Attrs["live"] != "2" || !out[0].Time.Equal(in[0].Time) {
+		t.Fatalf("roundtrip: %+v", out)
+	}
+}
+
+func TestHealthScore(t *testing.T) {
+	now := time.Unix(1000, 0)
+	evs := []Event{
+		{Time: now.Add(-time.Minute), Type: EventFailover, Node: "n2"},
+		{Time: now.Add(-time.Minute), Type: EventRepartition, Node: "n2"},
+		{Time: now.Add(-30 * time.Second), Type: EventSteal, Node: "n0"}, // free
+		{Time: now.Add(-time.Hour), Type: EventFailover, Node: "n1"},     // outside window
+	}
+	h := Score(evs, now, 5*time.Minute)
+	if h.Events != 3 {
+		t.Fatalf("events in window = %d, want 3", h.Events)
+	}
+	want := 1.0 - 0.30 - 0.10
+	if h.Score < want-1e-9 || h.Score > want+1e-9 {
+		t.Fatalf("score = %g, want %g", h.Score, want)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("status = %s", h.Status)
+	}
+	if h.Counts[EventFailover] != 1 || h.Counts[EventSteal] != 1 {
+		t.Fatalf("counts: %+v", h.Counts)
+	}
+
+	if q := Score(nil, now, 0); q.Score != 1 || q.Status != "ok" {
+		t.Fatalf("quiet: %+v", q)
+	}
+	many := make([]Event, 10)
+	for i := range many {
+		many[i] = Event{Time: now, Type: EventFailover}
+	}
+	if c := Score(many, now, time.Minute); c.Score != 0 || c.Status != "critical" {
+		t.Fatalf("clamp: %+v", c)
+	}
+}

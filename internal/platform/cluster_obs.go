@@ -1,0 +1,134 @@
+package platform
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"strconv"
+	"time"
+
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
+	"github.com/htacs/ata/internal/trace"
+)
+
+// Version identifies the build in hta_build_info; override at link time
+// with -ldflags "-X github.com/htacs/ata/internal/platform.Version=v1.2".
+var Version = "dev"
+
+// processStart anchors hta_uptime_seconds.
+var processStart = time.Now()
+
+// ClusterObserver is the cluster-wide observability surface a streaming
+// backend may implement; the gateway does. The platform detects it
+// structurally (no cluster import) and, when present, serves federated
+// views: /metrics merged across members, /debug/trace?cluster=1 stitched
+// from every retention ring, /api/events as one timeline.
+type ClusterObserver interface {
+	ClusterTraces(ctx context.Context, n int) []trace.WireTrace
+	ClusterEvents(ctx context.Context) []ops.Event
+	FederatedSnapshot(ctx context.Context) obs.Snapshot
+}
+
+// The journal stays import-free of trace; the platform closes the loop so
+// events recorded under a sampled request carry its trace ID.
+func init() {
+	ops.IDFromContext = func(ctx context.Context) string {
+		if sc, ok := trace.SpanContextFromContext(ctx); ok && sc.Valid() {
+			return sc.TraceID.String()
+		}
+		return ""
+	}
+}
+
+// registerObsRoutes mounts the observability surface: /metrics, /healthz,
+// /api/events, /debug/trace and pprof. A backend implementing
+// ClusterObserver gets the federated forms; everything else serves the
+// process-local views.
+func (s *Server) registerObsRoutes(mux *http.ServeMux) {
+	reg := s.cfg.Metrics
+	reg.Gauge("hta_build_info",
+		"build metadata carried in labels; the value is always 1",
+		obs.L("version", Version), obs.L("go_version", runtime.Version())).Set(1)
+	uptime := reg.Gauge("hta_uptime_seconds", "seconds since process start")
+
+	co, _ := s.cfg.Shards.(ClusterObserver)
+
+	localMetrics := reg.Handler()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		uptime.Set(time.Since(processStart).Seconds())
+		q := r.URL.Query()
+		if co != nil && q.Get("local") == "" {
+			snap := co.FederatedSnapshot(r.Context())
+			if q.Get("format") == "snapshot" {
+				w.Header().Set("Content-Type", "application/json")
+				_ = snap.WriteJSON(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = snap.WritePrometheus(w)
+			return
+		}
+		localMetrics.ServeHTTP(w, r)
+	})
+
+	plainHealthz := obs.HealthzHandler(s.Ready)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("verbose") == "" {
+			plainHealthz.ServeHTTP(w, r)
+			return
+		}
+		var events []ops.Event
+		if co != nil {
+			events = co.ClusterEvents(r.Context())
+		} else {
+			events = s.cfg.Journal.Snapshot(0)
+		}
+		h := ops.Score(events, time.Now(), ops.DefaultHealthWindow)
+		status := http.StatusOK
+		if !s.Ready() {
+			h.Status = "draining"
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, h)
+	})
+
+	localEvents := s.cfg.Journal.Handler()
+	mux.HandleFunc("GET /api/events", func(w http.ResponseWriter, r *http.Request) {
+		if co != nil && r.URL.Query().Get("local") == "" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = ops.WriteEvents(w, co.ClusterEvents(r.Context()))
+			return
+		}
+		localEvents.ServeHTTP(w, r)
+	})
+
+	if co == nil {
+		trace.RegisterDebug(mux, s.cfg.Tracer)
+		return
+	}
+	localTrace := s.cfg.Tracer.Handler()
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("cluster") == "" {
+			localTrace.ServeHTTP(w, r)
+			return
+		}
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: n must be a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		stitched := co.ClusterTraces(r.Context(), n)
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "wire" {
+			_ = trace.WriteWire(w, stitched)
+			return
+		}
+		_ = trace.WriteChromeWire(w, stitched)
+	})
+	trace.RegisterPprof(mux)
+}

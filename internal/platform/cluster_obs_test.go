@@ -1,0 +1,433 @@
+package platform
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/htacs/ata/internal/cluster"
+	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
+	"github.com/htacs/ata/internal/quality"
+	"github.com/htacs/ata/internal/shard"
+	"github.com/htacs/ata/internal/stream"
+	"github.com/htacs/ata/internal/trace"
+)
+
+// obsCluster is a full-stack in-process cluster for the observability
+// e2e tests: each node runs a shard engine, the cluster RPC plane, AND
+// the public platform surface on one listener (exactly what hta-server
+// -node mounts), fronted by a gateway serving the same public surface.
+// Every component gets isolated registries/tracers/journals so the
+// federation genuinely crosses "process" boundaries.
+type obsCluster struct {
+	gw      *cluster.Gateway
+	gwSrv   *httptest.Server
+	nodeSrv []*httptest.Server
+}
+
+func newObsCluster(t *testing.T, n int) *obsCluster {
+	t.Helper()
+	tc := &obsCluster{}
+	specs := make([]cluster.PeerSpec, 0, n)
+	for i := 0; i < n; i++ {
+		reg := obs.NewRegistry()
+		tracer := trace.NewRecorder(64, 1)
+		journal := ops.NewJournal(64)
+		eng, err := shard.New(shard.Config{
+			Shards:        2,
+			StealInterval: -1,
+			Stream:        stream.Config{Xmax: 4, BufferLimit: 64},
+			Registry:      reg,
+			Tracer:        tracer,
+			Journal:       journal,
+		})
+		if err != nil {
+			t.Fatalf("node %d engine: %v", i, err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		name := "n" + string(rune('0'+i))
+		node, err := cluster.NewNode(cluster.NodeConfig{
+			Name: name, Engine: eng, Tracer: tracer, Registry: reg, Journal: journal,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		srv, err := NewServer(ServerConfig{
+			Shards: eng, Universe: 64, Metrics: reg, Tracer: tracer, Journal: journal,
+		})
+		if err != nil {
+			t.Fatalf("node %d server: %v", i, err)
+		}
+		outer := http.NewServeMux()
+		outer.Handle("/cluster/", node)
+		outer.Handle("/", srv)
+		hs := httptest.NewServer(outer)
+		t.Cleanup(hs.Close)
+		tc.nodeSrv = append(tc.nodeSrv, hs)
+		specs = append(specs, cluster.PeerSpec{Name: name, URL: hs.URL})
+	}
+	gwReg := obs.NewRegistry()
+	gwTracer := trace.NewRecorder(64, 1)
+	gwJournal := ops.NewJournal(64)
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Peers:              specs,
+		HeartbeatInterval:  -1,
+		FailAfter:          1,
+		RetryBackoff:       time.Millisecond,
+		Registry:           gwReg,
+		Tracer:             gwTracer,
+		Journal:            gwJournal,
+		FederationInterval: -1, // every read re-federates (no cache staleness in tests)
+	})
+	if err != nil {
+		t.Fatalf("gateway: %v", err)
+	}
+	t.Cleanup(func() { gw.Close() })
+	tc.gw = gw
+	gwSrv, err := NewServer(ServerConfig{
+		Shards: gw, Universe: 64, Metrics: gwReg, Tracer: gwTracer, Journal: gwJournal,
+	})
+	if err != nil {
+		t.Fatalf("gateway server: %v", err)
+	}
+	tc.gwSrv = httptest.NewServer(gwSrv)
+	t.Cleanup(tc.gwSrv.Close)
+	return tc
+}
+
+func httpGet(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, body
+}
+
+// TestClusterStitchedTrace proves the tentpole end to end: one sampled
+// public request on the gateway yields a single distributed trace whose
+// gateway RPC span and node-side apply span share the trace ID, with the
+// remote span parented under the RPC span that carried it.
+func TestClusterStitchedTrace(t *testing.T) {
+	tc := newObsCluster(t, 3)
+	resp, err := http.Post(tc.gwSrv.URL+"/api/workers", "application/json",
+		strings.NewReader(`{"id":"w1","keywords":[1,2,3,4,5,6]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: HTTP %d", resp.StatusCode)
+	}
+	traceID := resp.Header.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("register response carries no X-Trace-Id")
+	}
+
+	// The root span ends moments after the response is written; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	var lastErr string
+	for time.Now().Before(deadline) {
+		code, body := httpGet(t, tc.gwSrv.URL+"/debug/trace?cluster=1&format=wire&n=0")
+		if code != http.StatusOK {
+			t.Fatalf("cluster trace: HTTP %d", code)
+		}
+		traces, err := trace.ReadWire(strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatalf("parse wire traces: %v", err)
+		}
+		var wt *trace.WireTrace
+		for i := range traces {
+			if traces[i].TraceID == traceID {
+				wt = &traces[i]
+				break
+			}
+		}
+		if wt == nil {
+			lastErr = "trace " + traceID + " not yet stitched"
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		var root, rpc, apply *trace.WireSpan
+		for i := range wt.Spans {
+			sp := &wt.Spans[i]
+			switch sp.Name {
+			case "POST /api/workers":
+				root = sp
+			case "cluster.rpc":
+				rpc = sp
+			case "node.apply":
+				apply = sp
+			}
+		}
+		if root == nil || rpc == nil || apply == nil {
+			lastErr = "stitched trace incomplete"
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if got := root.Attrs["node"]; got != "gateway" {
+			t.Fatalf("root span node attr = %v", got)
+		}
+		if got := rpc.Attrs["node"]; got != "gateway" {
+			t.Fatalf("rpc span node attr = %v", got)
+		}
+		nodeAttr, _ := apply.Attrs["node"].(string)
+		if !strings.HasPrefix(nodeAttr, "n") {
+			t.Fatalf("apply span node attr = %v", apply.Attrs["node"])
+		}
+		if apply.Parent != rpc.ID {
+			t.Fatalf("apply parent %s, want rpc span %s", apply.Parent, rpc.ID)
+		}
+		if rpc.Parent != root.ID {
+			t.Fatalf("rpc parent %s, want root span %s", rpc.Parent, root.ID)
+		}
+		return
+	}
+	t.Fatalf("stitched trace never appeared: %s", lastErr)
+}
+
+// TestClusterFederatedMetrics exercises the federated /metrics surface:
+// per-node labels in the Prometheus text, and counter rollups equal to
+// the per-node sum in the snapshot form.
+func TestClusterFederatedMetrics(t *testing.T) {
+	tc := newObsCluster(t, 3)
+	resp, err := http.Post(tc.gwSrv.URL+"/api/workers", "application/json",
+		strings.NewReader(`{"id":"w1","keywords":[1,2,3,4,5,6]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	code, body := httpGet(t, tc.gwSrv.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	text := string(body)
+	for _, want := range []string{`node="n0"`, `node="n1"`, `node="n2"`, `node="gateway"`, "hta_build_info", "# TYPE"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("federated /metrics missing %q:\n%.2000s", want, text)
+		}
+	}
+	if !strings.Contains(text, "hta_uptime_seconds") {
+		t.Fatal("federated /metrics missing hta_uptime_seconds")
+	}
+
+	// ?local=1 bypasses federation: no per-node labels from members.
+	_, localBody := httpGet(t, tc.gwSrv.URL+"/metrics?local=1")
+	if strings.Contains(string(localBody), `node="n0"`) {
+		t.Fatal("?local=1 still federated")
+	}
+
+	code, body = httpGet(t, tc.gwSrv.URL+"/metrics?format=snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("snapshot form: HTTP %d", code)
+	}
+	snap, err := obs.ReadSnapshot(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("parse merged snapshot: %v", err)
+	}
+	checked := false
+	for _, f := range snap.Families {
+		if f.Type != obs.TypeCounter {
+			continue
+		}
+		// For every rollup series (no node label) the per-node series with
+		// matching remaining labels must sum to it.
+		for _, s := range f.Series {
+			if _, ok := s.Labels[obs.NodeLabel]; ok || s.Value == nil {
+				continue
+			}
+			var sum float64
+			for _, p := range f.Series {
+				if _, ok := p.Labels[obs.NodeLabel]; !ok || p.Value == nil {
+					continue
+				}
+				match := true
+				for k, v := range s.Labels {
+					if p.Labels[k] != v {
+						match = false
+						break
+					}
+				}
+				if match && len(p.Labels) == len(s.Labels)+1 {
+					sum += *p.Value
+				}
+			}
+			if sum != *s.Value {
+				t.Fatalf("family %s rollup %v != per-node sum %v", f.Name, *s.Value, sum)
+			}
+			checked = true
+		}
+	}
+	if !checked {
+		t.Fatal("no counter rollups found in merged snapshot")
+	}
+}
+
+// TestClusterFailoverEvents induces a node failure and checks that the
+// journal surfaces it (with the right node ID) through the gateway's
+// merged /api/events, and that the verbose health score reacts.
+func TestClusterFailoverEvents(t *testing.T) {
+	tc := newObsCluster(t, 3)
+	tc.nodeSrv[2].Close() // n2 goes dark
+	tc.gw.CheckHealth(context.Background())
+
+	code, body := httpGet(t, tc.gwSrv.URL+"/api/events")
+	if code != http.StatusOK {
+		t.Fatalf("/api/events: HTTP %d", code)
+	}
+	events, err := ops.ReadEvents(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failover, repartition bool
+	for _, ev := range events {
+		if ev.Type == ops.EventFailover && ev.Node == "n2" {
+			failover = true
+		}
+		if ev.Type == ops.EventRepartition && ev.Node == "n2" {
+			repartition = true
+		}
+	}
+	if !failover || !repartition {
+		t.Fatalf("failover=%v repartition=%v in %+v", failover, repartition, events)
+	}
+
+	code, body = httpGet(t, tc.gwSrv.URL+"/healthz?verbose=1")
+	if code != http.StatusOK {
+		t.Fatalf("verbose healthz: HTTP %d", code)
+	}
+	var h ops.Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("verbose healthz body: %v\n%s", err, body)
+	}
+	if h.Score >= 1 || h.Events < 2 {
+		t.Fatalf("health did not register the failover: %+v", h)
+	}
+	if h.Status != "ok" && h.Status != "degraded" && h.Status != "critical" {
+		t.Fatalf("health status %q", h.Status)
+	}
+}
+
+// TestObsRoutesLocal pins the satellite surface on a single-process
+// streaming deployment: X-Trace-Id on the quality endpoints, build info
+// and uptime in /metrics, the local journal at /api/events, and the
+// verbose health score.
+func TestObsRoutesLocal(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := trace.NewRecorder(16, 1)
+	journal := ops.NewJournal(16)
+	eng, err := shard.New(shard.Config{
+		Shards: 1, Stream: stream.Config{Xmax: 4, BufferLimit: 64, WithTrust: true},
+		Registry: reg, Tracer: tracer, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	qt, err := quality.New(quality.Config{K: 1, Metrics: quality.NewMetrics(reg), Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Shards: eng, Universe: 16, Quality: qt,
+		Metrics: reg, Tracer: tracer, Journal: journal,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+	if resp := post("/api/workers", `{"id":"w1","keywords":[1,2,3,4,5,6]}`); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: HTTP %d", resp.StatusCode)
+	}
+	if resp := post("/api/tasks", `{"tasks":[{"id":"t1","reward":1,"keywords":[1]}]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("add task: HTTP %d", resp.StatusCode)
+	}
+
+	// Satellite: the quality endpoints echo the sampled trace ID.
+	resp := post("/api/answers", `{"worker":"w1","task_id":"t1","option":0}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit answer: HTTP %d", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("POST /api/answers: no X-Trace-Id")
+	}
+	rep, err := http.Get(ts.URL + "/api/workers/w1/reputation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, rep.Body)
+	rep.Body.Close()
+	if rep.StatusCode != http.StatusOK || rep.Header.Get("X-Trace-Id") == "" {
+		t.Fatalf("reputation: HTTP %d, X-Trace-Id %q", rep.StatusCode, rep.Header.Get("X-Trace-Id"))
+	}
+
+	code, body := httpGet(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", code)
+	}
+	text := string(body)
+	if !strings.Contains(text, `hta_build_info{go_version="`) || !strings.Contains(text, `version="dev"`) {
+		t.Fatalf("/metrics missing build info:\n%.1000s", text)
+	}
+	if !strings.Contains(text, "hta_uptime_seconds") {
+		t.Fatal("/metrics missing uptime")
+	}
+
+	journal.Emit(ops.EventQuarantine, "local", "worker", "w9")
+	code, body = httpGet(t, ts.URL+"/api/events")
+	if code != http.StatusOK {
+		t.Fatalf("/api/events: HTTP %d", code)
+	}
+	events, err := ops.ReadEvents(strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.Type == ops.EventQuarantine && ev.Attrs["worker"] == "w9" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("journal event not served: %+v", events)
+	}
+
+	code, body = httpGet(t, ts.URL+"/healthz?verbose=1")
+	var h ops.Health
+	if code != http.StatusOK || json.Unmarshal(body, &h) != nil || h.Status == "" {
+		t.Fatalf("verbose healthz: HTTP %d %s", code, body)
+	}
+
+	// /debug/trace stays mounted in non-cluster mode (pprof rides along).
+	code, _ = httpGet(t, ts.URL+"/debug/trace?format=wire&n=0")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace: HTTP %d", code)
+	}
+	code, _ = httpGet(t, ts.URL+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof: HTTP %d", code)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/quality"
 	"github.com/htacs/ata/internal/question"
 	"github.com/htacs/ata/internal/stream"
@@ -95,6 +96,10 @@ type ServerConfig struct {
 	// (endpoint, status, duration) plus the engine's debug logs. Nil
 	// disables request logging.
 	Logger *slog.Logger
+	// Journal is the operational event journal served at GET /api/events
+	// and scored by GET /healthz?verbose=1. Defaults to ops.Default(), the
+	// process-wide journal the shard and quality layers record into.
+	Journal *ops.Journal
 }
 
 // Server implements the assignment service. All handlers serialize on a
@@ -173,6 +178,9 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.Default()
 	}
+	if cfg.Journal == nil {
+		cfg.Journal = ops.Default()
+	}
 	// Pre-register the rest of the pipeline's metric families (the
 	// streaming assigner's; the solver's register at package init, the
 	// engine's in NewEngine) so the /metrics surface is stable: one scrape
@@ -218,9 +226,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 		mux.HandleFunc(pattern, s.instrument(pattern, h))
 	}
-	mux.Handle("GET /metrics", cfg.Metrics.Handler())
-	mux.Handle("GET /healthz", obs.HealthzHandler(s.Ready))
-	trace.RegisterDebug(mux, cfg.Tracer)
+	s.registerObsRoutes(mux)
 	s.mux = mux
 	return s, nil
 }

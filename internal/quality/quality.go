@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+
+	"github.com/htacs/ata/internal/ops"
 )
 
 // Method selects the consensus rule applied to resolved tasks.
@@ -64,6 +67,9 @@ type Config struct {
 	// Metrics receives the quality instruments; nil registers on
 	// obs.Default().
 	Metrics *Metrics
+	// Journal receives quarantine transition events. Defaults to
+	// ops.Default().
+	Journal *ops.Journal
 }
 
 func (c *Config) defaults() error {
@@ -105,6 +111,9 @@ func (c *Config) defaults() error {
 	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(nil)
+	}
+	if c.Journal == nil {
+		c.Journal = ops.Default()
 	}
 	return nil
 }
@@ -348,6 +357,10 @@ func (tr *Tracker) Submit(workerID, taskID string, option int) (SubmitResult, er
 			tr.quarantinedNow++
 			tr.cfg.Metrics.Quarantines.Inc()
 			tr.cfg.Metrics.Quarantined.Set(float64(tr.quarantinedNow))
+			tr.cfg.Journal.Emit(ops.EventQuarantine, "",
+				"worker", workerID,
+				"accuracy", strconv.FormatFloat(tr.accuracyLocked(ws), 'g', 4, 64),
+				"gold_seen", strconv.FormatInt(ws.goldSeen, 10))
 		}
 	} else {
 		ws.answers++

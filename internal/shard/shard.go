@@ -45,6 +45,7 @@ import (
 
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
@@ -84,6 +85,9 @@ type Config struct {
 	// Tracer records steal-round root spans (routing spans join the
 	// caller's request trace instead). Defaults to trace.Default().
 	Tracer *trace.Recorder
+	// Journal receives operational events (watermark breaches, steal
+	// rounds). Defaults to ops.Default().
+	Journal *ops.Journal
 }
 
 // Engine is the sharded streaming assignment engine. All methods are safe
@@ -94,6 +98,7 @@ type Engine struct {
 	actors  []*actor
 	metrics *Metrics
 	tracer  *trace.Recorder
+	journal *ops.Journal
 
 	// live guards mailbox liveness: operations hold the read side while
 	// they touch mailboxes; Close takes the write side, so no send can
@@ -161,6 +166,9 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Tracer == nil {
 		cfg.Tracer = trace.Default()
 	}
+	if cfg.Journal == nil {
+		cfg.Journal = ops.Default()
+	}
 	ring, err := NewRing(cfg.Shards, cfg.VirtualNodes)
 	if err != nil {
 		return nil, err
@@ -170,6 +178,7 @@ func New(cfg Config) (*Engine, error) {
 		ring:    ring,
 		metrics: NewMetrics(cfg.Registry),
 		tracer:  cfg.Tracer,
+		journal: cfg.Journal,
 		seen:    make(map[string]struct{}),
 	}
 	e.metrics.Shards.Set(float64(cfg.Shards))

@@ -3,8 +3,10 @@ package shard
 import (
 	"context"
 	"sort"
+	"strconv"
 	"time"
 
+	"github.com/htacs/ata/internal/ops"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
@@ -69,7 +71,20 @@ func (e *Engine) StealOnce() int {
 			receivers = append(receivers, i)
 		}
 	}
-	if len(donors) == 0 || len(receivers) == 0 {
+	if len(donors) == 0 {
+		return 0
+	}
+	maxBacklog := 0
+	for _, d := range donors {
+		if backlog[d] > maxBacklog {
+			maxBacklog = backlog[d]
+		}
+	}
+	e.journal.Emit(ops.EventWatermark, "",
+		"shards", strconv.Itoa(len(donors)),
+		"max_backlog", strconv.Itoa(maxBacklog),
+		"watermark", strconv.Itoa(e.cfg.StealWatermark))
+	if len(receivers) == 0 {
 		return 0
 	}
 	sort.Slice(donors, func(i, j int) bool { return backlog[donors[i]] > backlog[donors[j]] })
@@ -105,6 +120,9 @@ func (e *Engine) StealOnce() int {
 		e.metrics.Steals.Inc()
 		e.metrics.StolenTasks.Add(float64(moved))
 		e.metrics.StealBatch.Observe(float64(moved))
+		e.journal.Emit(ops.EventSteal, "",
+			"moved", strconv.Itoa(moved),
+			"pairs", strconv.Itoa(len(plans)))
 	}
 	return moved
 }

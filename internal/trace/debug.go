@@ -15,6 +15,13 @@ func RegisterDebug(mux *http.ServeMux, rec *Recorder) {
 		rec = Default()
 	}
 	mux.Handle("/debug/trace", rec.Handler())
+	RegisterPprof(mux)
+}
+
+// RegisterPprof mounts only the net/http/pprof suite. Backends that serve
+// a custom /debug/trace (the gateway's cluster-stitched view) use this to
+// keep profiling without double-registering the trace route.
+func RegisterPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

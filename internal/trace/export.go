@@ -136,12 +136,14 @@ func fmtAttrs(attrs []Attr) string {
 
 // Handler serves the recorder's retained traces:
 //
-//	GET /debug/trace?n=K            last K traces as Chrome trace-event JSON
+//	GET /debug/trace?n=K              last K traces as Chrome trace-event JSON
 //	GET /debug/trace?n=K&format=tree  the same as a text tree
+//	GET /debug/trace?n=K&format=wire  lossless wire form (for stitching)
 //
 // n defaults to 1 (the most recent trace); n=0 returns everything
 // retained. The JSON form loads directly in Perfetto (ui.perfetto.dev)
-// or chrome://tracing.
+// or chrome://tracing. The wire form is what the gateway pulls from each
+// node to assemble cluster-wide traces.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		n := 1
@@ -152,6 +154,11 @@ func (r *Recorder) Handler() http.Handler {
 				return
 			}
 			n = v
+		}
+		if req.URL.Query().Get("format") == "wire" {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteWire(w, r.WireSnapshot(n))
+			return
 		}
 		traces := r.Snapshot(n)
 		if req.URL.Query().Get("format") == "tree" {

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+)
+
+// Cross-process trace propagation. A SpanContext is the portable identity
+// of one sampled span — trace ID, span ID — in the 16-hex-digit form the
+// cluster RPC frames and heartbeat headers carry. The head-sampling
+// decision travels by presence: only sampled requests serialize a
+// SpanContext at all, so a remote joiner never consults its own sampler
+// (the decision was made once, at the root).
+
+// SpanContext is the wire identity of a live span.
+type SpanContext struct {
+	TraceID TraceID
+	SpanID  SpanID
+}
+
+// Valid reports whether the context names a real span (both IDs nonzero).
+func (sc SpanContext) Valid() bool { return sc.TraceID != 0 && sc.SpanID != 0 }
+
+// SpanContextFromContext extracts the propagation identity of the sampled
+// span in ctx. ok is false for unsampled and untraced contexts — callers
+// serialize nothing, which is exactly how the negative sampling decision
+// propagates.
+func SpanContextFromContext(ctx context.Context) (sc SpanContext, ok bool) {
+	sp := FromContext(ctx)
+	if sp == nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{TraceID: sp.TraceID(), SpanID: sp.SpanID()}, true
+}
+
+// ParseID parses a 16-hex-digit trace or span ID (the String form).
+func ParseID(s string) (uint64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("trace: ID %q: want 16 hex digits", s)
+	}
+	var v uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		var d uint64
+		switch {
+		case c >= '0' && c <= '9':
+			d = uint64(c - '0')
+		case c >= 'a' && c <= 'f':
+			d = uint64(c-'a') + 10
+		case c >= 'A' && c <= 'F':
+			d = uint64(c-'A') + 10
+		default:
+			return 0, fmt.Errorf("trace: ID %q: bad digit %q", s, c)
+		}
+		v = v<<4 | d
+	}
+	return v, nil
+}
+
+// ParseSpanContext parses the wire form of a span context (two 16-digit
+// hex IDs). Either empty string yields an invalid context and no error —
+// absence is the unsampled case, not a failure.
+func ParseSpanContext(traceID, spanID string) (SpanContext, error) {
+	if traceID == "" || spanID == "" {
+		return SpanContext{}, nil
+	}
+	t, err := ParseID(traceID)
+	if err != nil {
+		return SpanContext{}, err
+	}
+	s, err := ParseID(spanID)
+	if err != nil {
+		return SpanContext{}, err
+	}
+	return SpanContext{TraceID: TraceID(t), SpanID: SpanID(s)}, nil
+}
+
+// StartRemote opens a span that continues a trace begun in another
+// process: the new span's trace ID is sc.TraceID and its parent is
+// sc.SpanID, so when the originating process stitches the retention rings
+// together the remote spans nest under the RPC span that carried them.
+// The sampler is bypassed — a valid sc is the affirmative head decision.
+// The local Trace (holding this span and its descendants) is pushed into
+// r's ring when the span ends, exactly like a local root.
+//
+// An invalid sc returns (ctx, nil): the root was not sampled, so the
+// remote side records nothing (every Span method is nil-safe).
+func (r *Recorder) StartRemote(ctx context.Context, sc SpanContext, name string, attrs ...Attr) (context.Context, *Span) {
+	if !sc.Valid() {
+		return ctx, nil
+	}
+	r.sampled.Add(1)
+	tr := &Trace{ID: sc.TraceID, rec: r}
+	sp := tr.startChild(sc.SpanID, name, attrs)
+	return ContextWithSpan(ctx, sp), sp
+}

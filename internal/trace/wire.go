@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Wire form: the serializable shape of retained traces, used to ship one
+// node's retention ring to the gateway for cluster-wide stitching. Unlike
+// the Chrome export (which is layout, not data — pid/tid rows), the wire
+// form is lossless enough to merge: spans keep their real IDs, parents,
+// microsecond timestamps and attributes, and traces keep their trace ID so
+// fragments of one distributed request recorded on different nodes can be
+// reunited by ID.
+
+// WireSpan is one recorded span in serializable form. IDs are the
+// 16-hex-digit String rendering; timestamps are microseconds since the
+// Unix epoch (the same unit the Chrome export uses).
+type WireSpan struct {
+	ID      string         `json:"id"`
+	Parent  string         `json:"parent,omitempty"` // empty for the trace root
+	Name    string         `json:"name"`
+	StartUs int64          `json:"start_us"`
+	DurUs   int64          `json:"dur_us"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+}
+
+// WireTrace is one trace fragment: every span recorded for trace_id by a
+// single recorder. A distributed request yields one fragment per process
+// until MergeWire joins them.
+type WireTrace struct {
+	TraceID string     `json:"trace_id"`
+	Spans   []WireSpan `json:"spans"`
+}
+
+// wireFile is the JSON envelope of /debug/trace?format=wire.
+type wireFile struct {
+	Traces []WireTrace `json:"traces"`
+}
+
+// Wire converts a trace to its serializable form.
+func (t *Trace) Wire() WireTrace {
+	spans := t.Spans()
+	wt := WireTrace{TraceID: t.ID.String(), Spans: make([]WireSpan, 0, len(spans))}
+	for _, sd := range spans {
+		ws := WireSpan{
+			ID:      sd.ID.String(),
+			Name:    sd.Name,
+			StartUs: sd.Start.UnixMicro(),
+			DurUs:   sd.Dur.Microseconds(),
+		}
+		if sd.Parent != 0 {
+			ws.Parent = sd.Parent.String()
+		}
+		if len(sd.Attrs) > 0 {
+			ws.Attrs = make(map[string]any, len(sd.Attrs))
+			for _, a := range sd.Attrs {
+				ws.Attrs[a.Key] = a.Value()
+			}
+		}
+		wt.Spans = append(wt.Spans, ws)
+	}
+	return wt
+}
+
+// WireSnapshot returns up to n of the most recently completed traces in
+// wire form, oldest first (n <= 0 returns everything retained).
+func (r *Recorder) WireSnapshot(n int) []WireTrace {
+	traces := r.Snapshot(n)
+	out := make([]WireTrace, 0, len(traces))
+	for _, tr := range traces {
+		out = append(out, tr.Wire())
+	}
+	return out
+}
+
+// WriteWire serializes trace fragments as the wire JSON envelope.
+func WriteWire(w io.Writer, traces []WireTrace) error {
+	if traces == nil {
+		traces = []WireTrace{}
+	}
+	return json.NewEncoder(w).Encode(wireFile{Traces: traces})
+}
+
+// ReadWire parses the wire JSON envelope.
+func ReadWire(r io.Reader) ([]WireTrace, error) {
+	var f wireFile
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("trace: decode wire traces: %w", err)
+	}
+	return f.Traces, nil
+}
+
+// AnnotateWire stamps key=value onto every span in the fragments that does
+// not already carry the key — the gateway uses it to label each node's
+// spans with the node name before stitching.
+func AnnotateWire(traces []WireTrace, key, value string) {
+	for ti := range traces {
+		for si := range traces[ti].Spans {
+			sp := &traces[ti].Spans[si]
+			if sp.Attrs == nil {
+				sp.Attrs = map[string]any{key: value}
+			} else if _, ok := sp.Attrs[key]; !ok {
+				sp.Attrs[key] = value
+			}
+		}
+	}
+}
+
+// MergeWire stitches trace fragments from any number of recorders into one
+// fragment per trace ID: spans are concatenated and sorted by start time
+// (ties broken by span ID for determinism), and the merged traces are
+// ordered by earliest span start. A distributed request traced on the
+// gateway and two nodes comes back as a single WireTrace whose gateway RPC
+// spans and node apply spans share the trace ID.
+func MergeWire(groups ...[]WireTrace) []WireTrace {
+	byID := make(map[string]*WireTrace)
+	var order []string
+	for _, g := range groups {
+		for _, wt := range g {
+			m, ok := byID[wt.TraceID]
+			if !ok {
+				cp := WireTrace{TraceID: wt.TraceID}
+				byID[wt.TraceID] = &cp
+				order = append(order, wt.TraceID)
+				m = &cp
+			}
+			m.Spans = append(m.Spans, wt.Spans...)
+		}
+	}
+	out := make([]WireTrace, 0, len(order))
+	for _, id := range order {
+		wt := byID[id]
+		sort.SliceStable(wt.Spans, func(i, j int) bool {
+			if wt.Spans[i].StartUs != wt.Spans[j].StartUs {
+				return wt.Spans[i].StartUs < wt.Spans[j].StartUs
+			}
+			return wt.Spans[i].ID < wt.Spans[j].ID
+		})
+		out = append(out, *wt)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := int64(0), int64(0)
+		if len(out[i].Spans) > 0 {
+			si = out[i].Spans[0].StartUs
+		}
+		if len(out[j].Spans) > 0 {
+			sj = out[j].Spans[0].StartUs
+		}
+		return si < sj
+	})
+	return out
+}
+
+// WriteChromeWire renders wire-form traces as Chrome trace-event JSON,
+// one tid per (merged) trace so Perfetto draws each distributed request
+// as a single row with spans nested by ts/dur. This is the stitched view
+// served at the gateway's /debug/trace?cluster=1.
+func WriteChromeWire(w io.Writer, traces []WireTrace) error {
+	out := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for ti, wt := range traces {
+		for _, sp := range wt.Spans {
+			ev := chromeEvent{
+				Name: sp.Name,
+				Cat:  "hta",
+				Ph:   "X",
+				Ts:   sp.StartUs,
+				Dur:  sp.DurUs,
+				Pid:  1,
+				Tid:  ti + 1,
+				Args: map[string]any{
+					"trace_id": wt.TraceID,
+					"span_id":  sp.ID,
+				},
+			}
+			if sp.Parent != "" {
+				ev.Args["parent_id"] = sp.Parent
+			}
+			for k, v := range sp.Attrs {
+				ev.Args[k] = v
+			}
+			out.TraceEvents = append(out.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
