@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short test-race test-shard test-quality vet bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 smoke-cluster experiments live crowd clean
+.PHONY: all build test test-short test-race test-shard test-quality vet bench bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 smoke-cluster experiments live crowd clean
 
 all: build vet test
 
@@ -56,6 +56,12 @@ bench-pr8:
 # journals vs all of it disabled, against the 2% budget.
 bench-pr9:
 	$(GO) run ./cmd/hta-bench -fig pr9 -runs 5 -gate -json BENCH_PR9.json
+
+# Regenerate the predictive-scheduling report (BENCH_PR10.json):
+# deadline-miss rate of predictive vs reactive rebalancing on the
+# bursty-churn deadline workload, gated on predictive winning.
+bench-pr10:
+	$(GO) run ./cmd/hta-bench -fig pr10 -runs 5 -gate -json BENCH_PR10.json
 
 # The multi-process cluster smoke: 3 hta-server nodes + a gateway on
 # ephemeral ports, churn replay, conservation, clean SIGTERM shutdown.

@@ -47,6 +47,12 @@
 // with cross-node spans + ops journals, against all of it disabled; with
 // -gate it exits non-zero when the overhead exceeds the 2% budget
 // (BENCH_PR9.json).
+//
+// -fig pr10 measures the deadline-miss rate of predictive vs reactive
+// rebalancing on a bursty-churn deadline workload (every task deadlined,
+// the shard-0 worker cohort departing and returning on a cycle); with
+// -gate it exits non-zero unless predictive strictly beats reactive
+// (BENCH_PR10.json).
 package main
 
 import (
@@ -87,7 +93,7 @@ func runCompare(oldPath, newPath string, threshold float64) error {
 }
 
 func main() {
-	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8 or pr9")
+	fig := flag.String("fig", "2a", "figure to regenerate: 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9 or pr10")
 	scale := flag.Float64("scale", 0.1, "size multiplier on the paper's setup (1.0 = paper scale)")
 	runs := flag.Int("runs", 3, "measurement runs to average (paper: 10)")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -372,8 +378,33 @@ func main() {
 				report.MaxOverheadPct, report.BudgetPct)
 			os.Exit(1)
 		}
+	case "pr10":
+		// Not a paper figure: the predictive-scheduling report — the
+		// bursty-churn deadline workload replayed under reactive
+		// (watermark-only) and predictive (forecast-driven) rebalancing on
+		// identical seeds, judged by deadline-miss rate.
+		fmt.Printf("PR 10 report: deadline-miss rate, predictive vs reactive rebalancing under bursty churn\n\n")
+		var report *experiments.PR10Report
+		report, err = experiments.SweepPR10(opts)
+		if err == nil {
+			err = report.RenderPR10(os.Stdout)
+		}
+		if err == nil && *jsonPath != "" {
+			var f *os.File
+			if f, err = os.Create(*jsonPath); err == nil {
+				err = report.WritePR10JSON(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+		}
+		if err == nil && *gate && !report.PredictiveBeatsReactive {
+			fmt.Fprintf(os.Stderr, "hta-bench: pr10 gate: predictive miss %.2f%% does not beat reactive %.2f%%\n",
+				report.PredictiveMissPct, report.ReactiveMissPct)
+			os.Exit(1)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8 or pr9)\n", *fig)
+		fmt.Fprintf(os.Stderr, "hta-bench: unknown figure %q (want 2a, 2b, 2c, 3, obj, bg, pr2, pr3, pr4, pr5, pr6, pr7, pr8, pr9 or pr10)\n", *fig)
 		os.Exit(2)
 	}
 	if err != nil {

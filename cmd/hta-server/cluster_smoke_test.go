@@ -124,7 +124,11 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 	var peerParts []string
 	for i := 0; i < 3; i++ {
 		name := fmt.Sprintf("n%d", i)
-		p := startServer(t, bin, "-shards", "1", "-node", name, "-buffer", "256")
+		// -xmax 3 keeps cluster capacity small enough that the deadline
+		// burst below must overflow into the buffers; -deadline-aware with a
+		// fast sweep turns those stranded tasks into journaled expiries.
+		p := startServer(t, bin, "-shards", "1", "-node", name, "-buffer", "256",
+			"-xmax", "3", "-deadline-aware", "-expire-interval", "100ms")
 		nodes = append(nodes, p)
 		peerParts = append(peerParts, fmt.Sprintf("%s=http://%s", name, p.addr))
 	}
@@ -229,6 +233,64 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 		t.Fatal("no completions were routed")
 	}
 
+	// Deadline-annotated replay: every node runs -deadline-aware with a
+	// 100ms expiry sweep, so a burst of tasks carrying near-term absolute
+	// deadlines — sized past the cluster's remaining slot capacity — must
+	// either be assigned in time or expire out of the buffers. Expiry is
+	// the journaled, conserved fate; a silent drop would show up as a
+	// conservation break or an unexplained Dropped bump.
+	droppedBefore, submittedBefore := stats.Dropped, stats.Submitted
+	const deadlined = 90
+	due := time.Now().Add(400 * time.Millisecond).UnixNano()
+	dtasks := genTasks(deadlined)
+	for i, task := range dtasks {
+		task.ID = fmt.Sprintf("d%d", i)
+		task.Deadline = due
+	}
+	if err := client.AddTasks(dtasks); err != nil {
+		t.Fatalf("offering deadline tasks through gateway: %v", err)
+	}
+	expiryWait := time.Now().Add(15 * time.Second)
+	var after *platform.ShardStatsView
+	for time.Now().Before(expiryWait) {
+		if after, err = client.ShardStats(); err != nil {
+			t.Fatalf("merged stats after deadline replay: %v", err)
+		}
+		// The burst exceeds free capacity, so at least one task must take
+		// the expiry path; once the sweep has fired past the due instant,
+		// no buffered deadlined task survives.
+		if after.Expired > 0 && time.Now().UnixNano() > due+(300*time.Millisecond).Nanoseconds() {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if after == nil || after.Expired == 0 {
+		t.Fatal("deadline burst past cluster capacity never expired anything")
+	}
+	if !after.Conserved {
+		t.Fatalf("deadline expiry broke cluster accounting: %+v", after.Stats)
+	}
+	if after.Dropped != droppedBefore {
+		t.Fatalf("deadline replay dropped tasks silently: Dropped %d -> %d",
+			droppedBefore, after.Dropped)
+	}
+	if after.Submitted != submittedBefore+deadlined {
+		t.Fatalf("Submitted = %d after deadline replay, want %d",
+			after.Submitted, submittedBefore+deadlined)
+	}
+	// The expiries must surface in the merged ops journal under the node
+	// that swept them — journaled, not silent.
+	expireJournaled := false
+	for _, ev := range fetchEvents(t, gw.addr) {
+		if ev.Type == ops.EventExpire && strings.HasPrefix(ev.Node, "n") {
+			expireJournaled = true
+			break
+		}
+	}
+	if !expireJournaled {
+		t.Error("tasks expired but /api/events carries no deadline_expire event from any node")
+	}
+
 	// Federated metrics: the gateway's /metrics must carry every member's
 	// series under per-node labels plus its own, and the build-info /
 	// uptime satellites.
@@ -293,16 +355,7 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 	deadline = time.Now().Add(20 * time.Second)
 	failedOver := false
 	for !failedOver && time.Now().Before(deadline) {
-		resp, err := http.Get("http://" + gw.addr + "/api/events")
-		if err != nil {
-			t.Fatalf("events fetch: %v", err)
-		}
-		events, err := ops.ReadEvents(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			t.Fatalf("decoding events: %v", err)
-		}
-		for _, ev := range events {
+		for _, ev := range fetchEvents(t, gw.addr) {
 			if ev.Type == ops.EventFailover && ev.Node == "n2" {
 				failedOver = true
 				break
@@ -331,6 +384,21 @@ func TestClusterSmokeMultiProcess(t *testing.T) {
 	for _, p := range nodes[:2] {
 		p.terminate(t)
 	}
+}
+
+// fetchEvents pulls and decodes the gateway's merged ops journal.
+func fetchEvents(t *testing.T, addr string) []ops.Event {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/api/events")
+	if err != nil {
+		t.Fatalf("events fetch: %v", err)
+	}
+	defer resp.Body.Close()
+	events, err := ops.ReadEvents(resp.Body)
+	if err != nil {
+		t.Fatalf("decoding events: %v", err)
+	}
+	return events
 }
 
 // httpGetBody fetches a URL and returns the body, failing the test on any

@@ -34,6 +34,9 @@
 //
 //	hta-server [-addr :8080] [-tasks tasks.jsonl] [-snapshot state.json]
 //	           [-shards 0] [-buffer 1024]
+//	           [-deadline-aware] [-urgency-horizon 30s] [-expire-interval 1s]
+//	           [-predictive] [-forecast-horizon 3] [-learn-windows]
+//	           [-health-window 5m]
 //	           [-node name] [-gateway] [-peers n1=http://h1,n2=http://h2]
 //	           [-redundancy 0] [-gold-rate 0.2] [-gold gold.jsonl]
 //	           [-agg weighted] [-quarantine-floor 0.4]
@@ -153,6 +156,13 @@ func main() {
 	goldFile := flag.String("gold", "", "optional gold answer-key file from hta-gen -gold-out (with -redundancy)")
 	aggMethod := flag.String("agg", "weighted", "answer aggregation method: majority, weighted or em (with -redundancy)")
 	quarantineFloor := flag.Float64("quarantine-floor", 0.4, "quarantine workers whose gold accuracy drops below this (with -redundancy; 0 disables)")
+	deadlineAware := flag.Bool("deadline-aware", false, "order buffered work by deadline urgency and route deadlined tasks away from departing workers (sharded mode only)")
+	urgencyHorizon := flag.Duration("urgency-horizon", 30*time.Second, "a deadline within this horizon makes a task urgent (with -deadline-aware)")
+	expireInterval := flag.Duration("expire-interval", time.Second, "period of the deadline-expiry sweep over shard buffers (with -deadline-aware; 0 disables)")
+	predictive := flag.Bool("predictive", false, "rebalance shards on forecast demand (EWMA arrival/completion rates) instead of current backlog only (sharded mode only)")
+	forecastHorizon := flag.Float64("forecast-horizon", 3, "steal rounds of lookahead in the backlog projection (with -predictive)")
+	learnWindows := flag.Bool("learn-windows", false, "learn per-worker availability windows from observed session lengths (sharded mode only)")
+	healthWindow := flag.Duration("health-window", ops.DefaultHealthWindow, "scoring window of GET /healthz?verbose=1 over the ops journal")
 	nodeName := flag.String("node", "", "cluster member name: also serve the cluster RPC plane under /cluster/ (requires -shards >= 1)")
 	gatewayMode := flag.Bool("gateway", false, "run as the cluster gateway: no local engine, ops routed across -peers")
 	peersSpec := flag.String("peers", "", "cluster membership as name=url,name=url (gateway mode only)")
@@ -186,6 +196,7 @@ func main() {
 		MaxBodyBytes:      *maxBody,
 		Tracer:            tracer,
 		Logger:            logger,
+		Health:            ops.HealthConfig{Window: *healthWindow},
 	}
 	var preload []*core.Task
 	if *tasksPath != "" {
@@ -269,8 +280,18 @@ func main() {
 	} else if *shards > 0 {
 		scfg := shard.Config{
 			Shards: *shards,
-			Stream: stream.Config{Xmax: *xmax, BufferLimit: *buffer, WithTrust: qtracker != nil},
-			Tracer: tracer,
+			Stream: stream.Config{
+				Xmax: *xmax, BufferLimit: *buffer, WithTrust: qtracker != nil,
+				DeadlineAware:  *deadlineAware,
+				UrgencyHorizon: urgencyHorizon.Nanoseconds(),
+			},
+			Predictive:      *predictive,
+			ForecastHorizon: *forecastHorizon,
+			LearnWindows:    *learnWindows,
+			Tracer:          tracer,
+		}
+		if *deadlineAware {
+			scfg.ExpireInterval = *expireInterval
 		}
 		eng, restored, err := buildShardEngine(scfg, *snapshotPath)
 		if err != nil {
@@ -370,6 +391,10 @@ func main() {
 	if qtracker != nil {
 		fmt.Printf("quality layer active: redundancy=%d, agg=%s, gold-rate=%.2f, quarantine-floor=%.2f\n",
 			*redundancy, qtracker.Method(), *goldRate, *quarantineFloor)
+	}
+	if *shards > 0 && (*deadlineAware || *predictive || *learnWindows) {
+		fmt.Printf("predictive scheduling: deadline-aware=%v (urgency=%s, expiry=%s), predictive=%v (horizon=%.1f), learn-windows=%v\n",
+			*deadlineAware, *urgencyHorizon, *expireInterval, *predictive, *forecastHorizon, *learnWindows)
 	}
 	select {
 	case err := <-errCh:

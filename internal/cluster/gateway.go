@@ -686,6 +686,44 @@ func (g *Gateway) SetTrust(workerID string, trust float64) ([]*core.Task, error)
 	return out, nil
 }
 
+// SetWindow records the worker's availability-window end on its owning
+// node (0 clears it).
+func (g *Gateway) SetWindow(workerID string, until int64) error {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return err
+	}
+	res, err := p.do(Op{Op: opSetWindow, WorkerID: workerID, Window: &until})
+	if err != nil {
+		return err
+	}
+	if !res.OK {
+		return resultErr(res)
+	}
+	return nil
+}
+
+// Window returns the worker's recorded availability-window end (0 =
+// unknown) from its owning node.
+func (g *Gateway) Window(workerID string) (int64, error) {
+	g.opGate.RLock()
+	defer g.opGate.RUnlock()
+	p, err := g.owner(workerID)
+	if err != nil {
+		return 0, err
+	}
+	res, err := p.do(Op{Op: opWindow, WorkerID: workerID})
+	if err != nil {
+		return 0, err
+	}
+	if !res.OK {
+		return 0, resultErr(res)
+	}
+	return res.Until, nil
+}
+
 // Completed returns how many tasks the worker finished.
 func (g *Gateway) Completed(workerID string) (int, error) {
 	g.opGate.RLock()
@@ -783,6 +821,7 @@ func (g *Gateway) statsLocked() shard.Stats {
 		st.Workers += ns.Workers
 		st.Active += ns.Active
 		st.Buffered += ns.Buffered
+		st.Expired += ns.Expired
 		liveDropped += ns.Dropped
 		g.noteNodeDropped(p.name, ns.Dropped)
 	}

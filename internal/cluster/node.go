@@ -319,6 +319,20 @@ func (n *Node) applyOp(ctx context.Context, op *Op) OpResult {
 			return fail(err)
 		}
 		return OpResult{OK: true, Value: v}
+	case opSetWindow:
+		if op.Window == nil {
+			return fail(errors.New("cluster: set_window without value"))
+		}
+		if err := n.eng.SetWindow(op.WorkerID, *op.Window); err != nil {
+			return fail(err)
+		}
+		return OpResult{OK: true}
+	case opWindow:
+		until, err := n.eng.Window(op.WorkerID)
+		if err != nil {
+			return fail(err)
+		}
+		return OpResult{OK: true, Until: until}
 	case opWorkers:
 		return OpResult{OK: true, IDs: n.eng.WorkerIDs()}
 	case opStats:

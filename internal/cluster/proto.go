@@ -35,6 +35,8 @@ const (
 	opObjective    = "objective"     // Objective()
 	opSetTrust     = "set_trust"     // SetTrust(worker, value); returns drained tasks
 	opTrust        = "trust"         // Trust(worker)
+	opSetWindow    = "set_window"    // SetWindow(worker, until): availability-window end
+	opWindow       = "window"        // Window(worker)
 )
 
 // Error codes carried in OpResult.Code so the gateway can map node-side
@@ -52,11 +54,15 @@ type taskWire struct {
 	Reward   float64 `json:"reward,omitempty"`
 	Universe int     `json:"universe"`
 	Keywords []int   `json:"keywords"`
+	// Deadline is the absolute UnixNano expiry (0 = never); omitted for
+	// undeadlined tasks so pre-deadline peers parse the frame unchanged.
+	Deadline int64 `json:"deadline,omitempty"`
 }
 
 func taskToWire(t *core.Task) taskWire {
 	return taskWire{ID: t.ID, Group: t.Group, Reward: t.Reward,
-		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices()}
+		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices(),
+		Deadline: t.Deadline}
 }
 
 func wireToTask(s taskWire) (*core.Task, error) {
@@ -69,7 +75,8 @@ func wireToTask(s taskWire) (*core.Task, error) {
 		}
 	}
 	return &core.Task{ID: s.ID, Group: s.Group, Reward: s.Reward,
-		Keywords: bitset.FromIndices(s.Universe, s.Keywords...)}, nil
+		Keywords: bitset.FromIndices(s.Universe, s.Keywords...),
+		Deadline: s.Deadline}, nil
 }
 
 // workerWire is a worker on the wire.
@@ -120,6 +127,9 @@ type Op struct {
 	// Trust carries the value of a set_trust op (pointer so 0 — quarantine
 	// — survives omitempty semantics).
 	Trust *float64 `json:"trust,omitempty"`
+	// Window carries the availability-window end of a set_window op
+	// (pointer so 0 — clear — survives omitempty semantics).
+	Window *int64 `json:"window,omitempty"`
 	// Span propagates the sampled trace context (nil when unsampled).
 	Span *SpanRef `json:"span,omitempty"`
 }
@@ -145,6 +155,9 @@ type OpResult struct {
 	IDs      []string     `json:"ids,omitempty"`
 	Stats    *shard.Stats `json:"stats,omitempty"`
 	Value    float64      `json:"value,omitempty"`
+	// Until answers a window read. Its own int64 field, not Value: a
+	// UnixNano does not fit float64 exactly.
+	Until int64 `json:"until,omitempty"`
 }
 
 // Frame is the body of POST /cluster/batch.

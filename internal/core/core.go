@@ -20,12 +20,18 @@ import (
 
 // Task is a unit of crowd work described by a Boolean keyword vector
 // (Section II). Group links tasks crawled/generated from the same task
-// group; Reward is the micro-payment in dollars.
+// group; Reward is the micro-payment in dollars. Deadline, when non-zero,
+// is the absolute UnixNano instant after which the task is worthless:
+// streaming buffers expire it rather than assign it. Zero means the task
+// never expires (every pre-deadline workload). The engine only ever
+// compares deadlines against a caller-supplied clock, so deterministic
+// replays can drive time explicitly.
 type Task struct {
 	ID       string
 	Group    string
 	Reward   float64
 	Keywords *bitset.Set
+	Deadline int64
 }
 
 // Worker is a crowd worker with expressed keyword interests and motivation

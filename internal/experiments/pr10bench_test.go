@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunPR10Small drives one run per mode at a toy size: both modes must
+// conserve (submitted = active + completed + buffered + dropped + expired
+// at quiescence), the reactive baseline must strand at least one deadline
+// on the capacity-starved shard, and the predictive side must steal.
+func TestRunPR10Small(t *testing.T) {
+	shape := defaultPR10Shape
+	shape.steps = 400
+	shape.drain = 800
+	for _, predictive := range []bool{false, true} {
+		res, err := runPR10(7, shape, predictive)
+		if err != nil {
+			t.Fatalf("predictive=%v: %v", predictive, err)
+		}
+		if !res.stats.Conserved() {
+			t.Fatalf("predictive=%v: conservation violated: %+v", predictive, res.stats)
+		}
+		if res.stats.Completed == 0 {
+			t.Fatalf("predictive=%v: no completions", predictive)
+		}
+		if res.stats.Active != 0 || res.stats.Buffered != 0 {
+			t.Fatalf("predictive=%v: drain left active=%d buffered=%d",
+				predictive, res.stats.Active, res.stats.Buffered)
+		}
+		if predictive && res.stolen == 0 {
+			t.Fatal("predictive mode never stole — the forecast trigger is dead")
+		}
+		if !predictive && res.stats.Expired == 0 {
+			t.Fatal("reactive baseline expired nothing — the workload no longer strands deadlines")
+		}
+	}
+}
+
+// TestRunPR10Deterministic pins the replay protocol: identical seeds must
+// produce identical ledgers, or the reactive/predictive contrast measures
+// noise instead of the rebalancing policy.
+func TestRunPR10Deterministic(t *testing.T) {
+	shape := defaultPR10Shape
+	shape.steps = 300
+	shape.drain = 600
+	a, err := runPR10(11, shape, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := runPR10(11, shape, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.stats.Submitted != b.stats.Submitted || a.stats.Completed != b.stats.Completed ||
+		a.stats.Expired != b.stats.Expired || a.stats.Dropped != b.stats.Dropped {
+		t.Fatalf("same seed, different ledgers:\n%+v\n%+v", a.stats, b.stats)
+	}
+}
+
+func TestPR10ReportJSONAndRender(t *testing.T) {
+	report := &PR10Report{
+		Note: "test",
+		Points: []PR10Point{
+			{Mode: "reactive", Shards: 4, Submitted: 100, Expired: 5, MissPct: 5, PerEventNs: 900, Conserved: true},
+			{Mode: "predictive", Shards: 4, Submitted: 100, Expired: 1, Stolen: 7, MissPct: 1, PerEventNs: 880, Conserved: true},
+		},
+		ReactiveMissPct:         5,
+		PredictiveMissPct:       1,
+		MissReductionPct:        80,
+		PredictiveBeatsReactive: true,
+	}
+	var buf bytes.Buffer
+	if err := report.WritePR10JSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"mode": "reactive"`, `"miss_pct"`, `"per_event_ns"`, `"predictive_beats_reactive": true`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("JSON payload missing %s", want)
+		}
+	}
+	var table bytes.Buffer
+	if err := report.RenderPR10(&table); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"predictive", "reactive", "beats", "5.00%"} {
+		if !strings.Contains(table.String(), want) {
+			t.Errorf("rendered table missing %q:\n%s", want, table.String())
+		}
+	}
+}

@@ -10,16 +10,38 @@ import "time"
 
 // Penalty weights per event type inside the scoring window. Types not
 // listed cost nothing (steals and snapshot cuts are routine operations,
-// not incidents).
+// not incidents). Deadline expiries are missed work — a real incident;
+// forecast breaches are early warnings and cost almost nothing.
 var healthPenalty = map[string]float64{
 	EventFailover:    0.30,
 	EventRepartition: 0.10,
 	EventQuarantine:  0.05,
+	EventExpire:      0.05,
 	EventWatermark:   0.02,
+	EventForecast:    0.01,
 }
 
 // DefaultHealthWindow is the scoring window verbose healthz uses.
 const DefaultHealthWindow = 5 * time.Minute
+
+// HealthConfig tunes the journal health scoring. The zero value scores
+// exactly like Score: the default window and the built-in penalty table.
+type HealthConfig struct {
+	// Window is the scoring window (DefaultHealthWindow when <= 0).
+	Window time.Duration
+	// Weights overrides penalty weights per event type. Entries merge
+	// over the built-in table — set a type to 0 to silence it, or add a
+	// weight for a type the defaults ignore; absent types keep their
+	// default cost.
+	Weights map[string]float64
+}
+
+func (c HealthConfig) penalty(typ string) float64 {
+	if w, ok := c.Weights[typ]; ok {
+		return w
+	}
+	return healthPenalty[typ]
+}
 
 // Health is the verbose healthz payload: the score, its inputs, and a
 // coarse status bucket.
@@ -35,6 +57,15 @@ type Health struct {
 // Events outside the window (or from the future, clock skew aside) still
 // appear in Counts totals only if inside; the score is clamped to [0, 1].
 func Score(events []Event, now time.Time, window time.Duration) Health {
+	return ScoreWith(events, now, HealthConfig{Window: window})
+}
+
+// ScoreWith is Score with a configurable window and penalty table —
+// deployments alarm on different things (hta-server -health-window, or a
+// weights file), and the scoring should follow the deployment, not the
+// code.
+func ScoreWith(events []Event, now time.Time, cfg HealthConfig) Health {
+	window := cfg.Window
 	if window <= 0 {
 		window = DefaultHealthWindow
 	}
@@ -46,7 +77,7 @@ func Score(events []Event, now time.Time, window time.Duration) Health {
 		}
 		h.Events++
 		h.Counts[ev.Type]++
-		h.Score -= healthPenalty[ev.Type]
+		h.Score -= cfg.penalty(ev.Type)
 	}
 	if h.Score < 0 {
 		h.Score = 0

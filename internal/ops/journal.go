@@ -39,6 +39,8 @@ const (
 	EventWatermark   = "watermark_breach" // a shard backlog crossed the steal watermark
 	EventQuarantine  = "quarantine"       // a worker's gold accuracy fell below the floor
 	EventSnapshot    = "snapshot_cut"     // a state snapshot was cut
+	EventExpire      = "deadline_expire"  // buffered tasks expired past their deadline
+	EventForecast    = "forecast_breach"  // a shard's projected backlog crossed the watermark
 )
 
 // Event is one journal entry. Attrs hold small, flat detail (counts,

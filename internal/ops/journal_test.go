@@ -185,3 +185,43 @@ func TestHealthScore(t *testing.T) {
 		t.Fatalf("clamp: %+v", c)
 	}
 }
+
+func TestHealthScoreWithConfig(t *testing.T) {
+	now := time.Unix(2000, 0)
+	evs := []Event{
+		{Time: now.Add(-time.Minute), Type: EventFailover},
+		{Time: now.Add(-10 * time.Minute), Type: EventFailover},
+		{Time: now.Add(-30 * time.Second), Type: EventExpire},
+		{Time: now.Add(-30 * time.Second), Type: EventForecast},
+	}
+
+	// Zero config scores exactly like Score with the defaults.
+	want := Score(evs, now, DefaultHealthWindow)
+	if got := ScoreWith(evs, now, HealthConfig{}); got.Score != want.Score || got.Events != want.Events {
+		t.Fatalf("zero config diverged: %+v vs %+v", got, want)
+	}
+	if want.Events != 3 {
+		t.Fatalf("default window admitted %d events, want 3", want.Events)
+	}
+
+	// A wider window pulls the old failover back into scope.
+	if h := ScoreWith(evs, now, HealthConfig{Window: time.Hour}); h.Events != 4 {
+		t.Fatalf("1h window admitted %d events, want 4", h.Events)
+	}
+
+	// Weight overrides merge over the defaults: an explicit 0 silences a
+	// type, an unmentioned type keeps its built-in cost.
+	h := ScoreWith(evs, now, HealthConfig{Weights: map[string]float64{EventFailover: 0}})
+	want2 := 1.0 - 0.05 - 0.01 // expire + forecast only
+	if h.Score < want2-1e-9 || h.Score > want2+1e-9 {
+		t.Fatalf("score = %g, want %g", h.Score, want2)
+	}
+
+	// A type the defaults ignore can be given a cost.
+	h = ScoreWith([]Event{{Time: now, Type: EventSteal}}, now, HealthConfig{
+		Weights: map[string]float64{EventSteal: 0.5},
+	})
+	if h.Score != 0.5 {
+		t.Fatalf("custom-weighted steal: score = %g, want 0.5", h.Score)
+	}
+}

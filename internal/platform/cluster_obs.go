@@ -84,7 +84,7 @@ func (s *Server) registerObsRoutes(mux *http.ServeMux) {
 		} else {
 			events = s.cfg.Journal.Snapshot(0)
 		}
-		h := ops.Score(events, time.Now(), ops.DefaultHealthWindow)
+		h := ops.ScoreWith(events, time.Now(), s.cfg.Health)
 		status := http.StatusOK
 		if !s.Ready() {
 			h.Status = "draining"

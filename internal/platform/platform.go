@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/htacs/ata/internal/adaptive"
 	"github.com/htacs/ata/internal/bitset"
@@ -100,6 +101,9 @@ type ServerConfig struct {
 	// and scored by GET /healthz?verbose=1. Defaults to ops.Default(), the
 	// process-wide journal the shard and quality layers record into.
 	Journal *ops.Journal
+	// Health tunes the verbose-healthz scoring (window and per-event
+	// penalty weights). Zero value = ops defaults.
+	Health ops.HealthConfig
 }
 
 // Server implements the assignment service. All handlers serialize on a
@@ -210,6 +214,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			"GET /api/workers/{id}/tasks":     s.handleShardTasks,
 			"POST /api/workers/{id}/complete": s.handleShardComplete,
 			"DELETE /api/workers/{id}":        s.handleShardLeave,
+			"POST /api/workers/{id}/window":   s.handleShardWindow,
 			"GET /api/stats":                  s.handleShardStats,
 		}
 		if cfg.Quality != nil {
@@ -255,6 +260,9 @@ type TaskView struct {
 	Keywords  []int          `json:"keywords"`
 	Done      bool           `json:"done"`
 	Questions []QuestionView `json:"questions,omitempty"`
+	// DeadlineMS is the task's absolute Unix-millisecond expiry (0 =
+	// none); streaming mode only.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // QuestionView is a question as shown to workers — no ground truth.
@@ -336,14 +344,21 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
-// addTasksRequest is the body of POST /api/tasks.
+// addTasksRequest is the body of POST /api/tasks. DeadlineMS is the
+// absolute Unix-millisecond instant after which the task is worthless
+// (0 = never); only the streaming backend acts on it — buffered tasks
+// past their deadline are expired, journaled and counted, never silently
+// dropped.
+type taskUpload struct {
+	ID         string  `json:"id"`
+	Group      string  `json:"group"`
+	Reward     float64 `json:"reward"`
+	Keywords   []int   `json:"keywords"`
+	DeadlineMS int64   `json:"deadline_ms,omitempty"`
+}
+
 type addTasksRequest struct {
-	Tasks []struct {
-		ID       string  `json:"id"`
-		Group    string  `json:"group"`
-		Reward   float64 `json:"reward"`
-		Keywords []int   `json:"keywords"`
-	} `json:"tasks"`
+	Tasks []taskUpload `json:"tasks"`
 }
 
 func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
@@ -377,9 +392,13 @@ func (s *Server) handleAddTasks(w http.ResponseWriter, r *http.Request) {
 
 // registerRequest is the body of POST /api/workers. The paper's platform
 // asks each worker to choose at least 6 keywords before entering a session.
+// WindowMS optionally declares when the worker expects to leave (absolute
+// Unix milliseconds); the streaming backend uses it to keep imminent
+// deadlines away from departing workers.
 type registerRequest struct {
 	ID       string `json:"id"`
 	Keywords []int  `json:"keywords"`
+	WindowMS int64  `json:"window_ms,omitempty"`
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -703,12 +722,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, payload []byt
 func (c *Client) AddTasks(tasks []*core.Task) error {
 	var req addTasksRequest
 	for _, t := range tasks {
-		req.Tasks = append(req.Tasks, struct {
-			ID       string  `json:"id"`
-			Group    string  `json:"group"`
-			Reward   float64 `json:"reward"`
-			Keywords []int   `json:"keywords"`
-		}{t.ID, t.Group, t.Reward, t.Keywords.Indices()})
+		req.Tasks = append(req.Tasks, taskUpload{
+			ID: t.ID, Group: t.Group, Reward: t.Reward,
+			Keywords:   t.Keywords.Indices(),
+			DeadlineMS: t.Deadline / int64(time.Millisecond),
+		})
 	}
 	return c.do(http.MethodPost, "/api/tasks", req, nil)
 }

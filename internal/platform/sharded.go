@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/cluster"
@@ -40,6 +41,11 @@ type StreamBackend interface {
 	// the assignment objective (stream.Config.WithTrust); 0 quarantines.
 	SetTrust(workerID string, trust float64) ([]*core.Task, error)
 	Trust(workerID string) (float64, error)
+	// SetWindow/Window carry the predictive layer's availability-window
+	// end (UnixNano; 0 = unknown, clears); advisory routing bias under
+	// stream.Config.DeadlineAware.
+	SetWindow(workerID string, until int64) error
+	Window(workerID string) (int64, error)
 	WorkerIDs() []string
 	Stats() shard.Stats
 	Objective() float64
@@ -77,9 +83,15 @@ func (s *Server) handleShardAddTasks(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 		}
+		if t.DeadlineMS < 0 {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("platform: task %q deadline_ms %d is negative", t.ID, t.DeadlineMS))
+			return
+		}
 		tasks = append(tasks, &core.Task{
 			ID: t.ID, Group: t.Group, Reward: t.Reward,
 			Keywords: bitset.FromIndices(s.cfg.Universe, t.Keywords...),
+			Deadline: t.DeadlineMS * int64(time.Millisecond),
 		})
 	}
 	res := AddTasksResult{}
@@ -141,6 +153,11 @@ func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.WindowMS < 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("platform: window_ms %d is negative", req.WindowMS))
+		return
+	}
 	worker := &core.Worker{
 		ID: req.ID, Alpha: 0.5, Beta: 0.5,
 		Keywords: bitset.FromIndices(s.cfg.Universe, req.Keywords...),
@@ -149,6 +166,11 @@ func (s *Server) handleShardRegister(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, shardErrStatus(err, http.StatusConflict), err)
 		return
+	}
+	if req.WindowMS > 0 {
+		// Advisory: the worker registered fine; if it raced its own
+		// departure the declaration has nothing to bias any more.
+		_ = s.cfg.Shards.SetWindow(worker.ID, req.WindowMS*int64(time.Millisecond))
 	}
 	views := make([]TaskView, 0, len(assigned))
 	for _, t := range assigned {
@@ -254,12 +276,39 @@ func (s *Server) handleShardStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// windowRequest is the body of POST /api/workers/{id}/window: an
+// availability-window declaration after registration (absolute Unix
+// milliseconds; 0 clears it).
+type windowRequest struct {
+	WindowMS int64 `json:"window_ms"`
+}
+
+func (s *Server) handleShardWindow(w http.ResponseWriter, r *http.Request) {
+	var req windowRequest
+	if err := readJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("platform: bad request: %w", err))
+		return
+	}
+	if req.WindowMS < 0 {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Errorf("platform: window_ms %d is negative", req.WindowMS))
+		return
+	}
+	id := r.PathValue("id")
+	if err := s.cfg.Shards.SetWindow(id, req.WindowMS*int64(time.Millisecond)); err != nil {
+		writeErr(w, shardErrStatus(err, http.StatusNotFound), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"worker": id, "window_ms": req.WindowMS})
+}
+
 // shardTaskView renders a streaming task (always pending: completions
 // leave the active set immediately).
 func shardTaskView(t *core.Task) TaskView {
 	return TaskView{
 		ID: t.ID, Group: t.Group, Reward: t.Reward,
-		Keywords: t.Keywords.Indices(),
+		Keywords:   t.Keywords.Indices(),
+		DeadlineMS: t.Deadline / int64(time.Millisecond),
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/htacs/ata/internal/ops"
 )
@@ -62,6 +63,16 @@ type Config struct {
 	// Defaults 1 and 2, so an unseen worker starts at 0.5.
 	PriorCorrect float64
 	PriorTotal   float64
+	// TrustDecay is the time constant of exponential reputation decay
+	// over a worker's idle time: trust relaxes from the accuracy estimate
+	// toward the prior as trust = prior + (acc − prior)·e^(−idle/τ), so a
+	// long-absent worker's reputation — good or bad — carries less weight
+	// when they return. 0 disables decay (the default: trust never goes
+	// stale). Quarantine is unaffected: a quarantined worker stays at 0.
+	TrustDecay time.Duration
+	// Now is the clock idle time is measured against (default time.Now).
+	// Injectable for tests; only read when TrustDecay > 0.
+	Now func() time.Time
 	// EM tunes the Dawid–Skene estimator when Method is MethodEM.
 	EM EMConfig
 	// Metrics receives the quality instruments; nil registers on
@@ -109,6 +120,12 @@ func (c *Config) defaults() error {
 	if c.PriorTotal == 0 {
 		c.PriorTotal = 2
 	}
+	if c.TrustDecay < 0 {
+		return fmt.Errorf("quality: TrustDecay = %v, must be >= 0", c.TrustDecay)
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(nil)
 	}
@@ -146,6 +163,7 @@ type workerStats struct {
 	goldSeen    int64
 	goldCorrect int64
 	quarantined bool
+	lastSeen    int64 // UnixNano of the last accepted answer; 0 = never
 }
 
 // Tracker is the online quality state machine: it collects redundant
@@ -340,6 +358,9 @@ func (tr *Tracker) Submit(workerID, taskID string, option int) (SubmitResult, er
 	res := SubmitResult{TaskID: id}
 	ts.voted[workerID] = struct{}{}
 	ts.votes = append(ts.votes, Vote{Worker: workerID, Option: option})
+	if tr.cfg.TrustDecay > 0 {
+		ws.lastSeen = tr.cfg.Now().UnixNano()
+	}
 	if ts.gold {
 		ws.goldSeen++
 		res.Gold = true
@@ -378,7 +399,7 @@ func (tr *Tracker) Submit(workerID, taskID string, option int) (SubmitResult, er
 	}
 	res.Accuracy = tr.accuracyLocked(ws)
 	res.Quarantined = ws.quarantined
-	res.Trust = trustOf(res.Accuracy, ws.quarantined)
+	res.Trust = tr.trustLocked(ws)
 	return res, nil
 }
 
@@ -388,14 +409,24 @@ func (tr *Tracker) accuracyLocked(ws *workerStats) float64 {
 		(float64(ws.goldSeen) + tr.cfg.PriorTotal)
 }
 
-// trustOf maps reputation onto the multiplier fed into the assignment
-// objective: the accuracy estimate, or 0 for quarantined workers (which
-// the streaming assigner treats as "assign nothing").
-func trustOf(accuracy float64, quarantined bool) float64 {
-	if quarantined {
+// trustLocked maps reputation onto the multiplier fed into the
+// assignment objective: the accuracy estimate (0 for quarantined workers,
+// which the streaming assigner treats as "assign nothing"), relaxed
+// toward the prior by Config.TrustDecay over the worker's idle time.
+func (tr *Tracker) trustLocked(ws *workerStats) float64 {
+	if ws.quarantined {
 		return 0
 	}
-	return accuracy
+	acc := tr.accuracyLocked(ws)
+	if tr.cfg.TrustDecay <= 0 || ws.lastSeen == 0 {
+		return acc
+	}
+	idle := tr.cfg.Now().UnixNano() - ws.lastSeen
+	if idle <= 0 {
+		return acc
+	}
+	prior := tr.cfg.PriorCorrect / tr.cfg.PriorTotal
+	return prior + (acc-prior)*math.Exp(-float64(idle)/float64(tr.cfg.TrustDecay))
 }
 
 // Reputation is one worker's public trust state.
@@ -426,7 +457,7 @@ func (tr *Tracker) reputationLocked(id string, ws *workerStats) Reputation {
 	return Reputation{
 		Worker: id, Answers: ws.answers,
 		GoldSeen: ws.goldSeen, GoldCorrect: ws.goldCorrect,
-		Accuracy: acc, Trust: trustOf(acc, ws.quarantined),
+		Accuracy: acc, Trust: tr.trustLocked(ws),
 		Quarantined: ws.quarantined,
 	}
 }

@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func newTracker(t *testing.T, cfg Config) *Tracker {
@@ -238,5 +240,79 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if got := ReplicaID("t42", 3); got != "t42~r3" {
 		t.Fatalf("ReplicaID = %q", got)
+	}
+}
+
+func TestTrustDecayOverIdleTime(t *testing.T) {
+	// Nonzero epoch: UnixNano 0 is the "never seen" sentinel.
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	tr := newTracker(t, Config{
+		K: 2, Options: 4, TrustDecay: 10 * time.Second, Now: clock,
+	})
+	for i := 0; i < 4; i++ {
+		if err := tr.AddGold(fmt.Sprintf("g%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tr.Submit("w1", fmt.Sprintf("g%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four correct grades: accuracy (4+1)/(4+2) = 5/6; no idle yet.
+	rep, ok := tr.Reputation("w1")
+	if !ok {
+		t.Fatal("unknown worker")
+	}
+	acc := 5.0 / 6.0
+	if math.Abs(rep.Trust-acc) > 1e-9 {
+		t.Fatalf("fresh trust = %g, want accuracy %g", rep.Trust, acc)
+	}
+
+	// One time constant of idleness: trust relaxes toward the 0.5 prior.
+	now = now.Add(10 * time.Second)
+	rep, _ = tr.Reputation("w1")
+	want := 0.5 + (acc-0.5)*math.Exp(-1)
+	if math.Abs(rep.Trust-want) > 1e-9 {
+		t.Fatalf("idle trust = %g, want %g", rep.Trust, want)
+	}
+	if math.Abs(rep.Accuracy-acc) > 1e-9 {
+		t.Fatalf("accuracy must not decay: %g", rep.Accuracy)
+	}
+
+	// Long idleness converges to the prior, never crossing it.
+	now = now.Add(time.Hour)
+	rep, _ = tr.Reputation("w1")
+	if math.Abs(rep.Trust-0.5) > 1e-6 {
+		t.Fatalf("stale trust = %g, want ~0.5", rep.Trust)
+	}
+
+	// lastSeen survives a snapshot: the restored tracker decays the same.
+	var buf bytes.Buffer
+	if err := tr.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Restore(&buf, Config{TrustDecay: 10 * time.Second, Now: clock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrep, _ := rt.Reputation("w1")
+	if math.Abs(rrep.Trust-rep.Trust) > 1e-9 {
+		t.Fatalf("restored trust = %g, want %g", rrep.Trust, rep.Trust)
+	}
+
+	// Decay off (the default): the same history keeps full trust forever.
+	plain := newTracker(t, Config{K: 2, Options: 4, Now: clock})
+	for i := 0; i < 4; i++ {
+		if err := plain.AddGold(fmt.Sprintf("g%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.Submit("w1", fmt.Sprintf("g%d", i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now = now.Add(24 * time.Hour)
+	prep, _ := plain.Reputation("w1")
+	if math.Abs(prep.Trust-acc) > 1e-9 {
+		t.Fatalf("decay-off trust = %g, want %g", prep.Trust, acc)
 	}
 }

@@ -36,6 +36,10 @@ type workerSnap struct {
 	GoldSeen    int64  `json:"gold_seen"`
 	GoldCorrect int64  `json:"gold_correct"`
 	Quarantined bool   `json:"quarantined,omitempty"`
+	// LastSeen (UnixNano of the last accepted answer) feeds the idle
+	// trust decay; omitted when decay never recorded it, so pre-decay
+	// snapshots serialize identically.
+	LastSeen int64 `json:"last_seen,omitempty"`
 }
 
 const trackerSnapVersion = 1
@@ -65,7 +69,7 @@ func (tr *Tracker) Snapshot(w io.Writer) error {
 		snap.Workers = append(snap.Workers, workerSnap{
 			ID: id, Answers: ws.answers,
 			GoldSeen: ws.goldSeen, GoldCorrect: ws.goldCorrect,
-			Quarantined: ws.quarantined,
+			Quarantined: ws.quarantined, LastSeen: ws.lastSeen,
 		})
 	}
 	tr.mu.Unlock()
@@ -123,6 +127,7 @@ func Restore(r io.Reader, cfg Config) (*Tracker, error) {
 		tr.workers[w.ID] = &workerStats{
 			answers: w.Answers, goldSeen: w.GoldSeen,
 			goldCorrect: w.GoldCorrect, quarantined: w.Quarantined,
+			lastSeen: w.LastSeen,
 		}
 		if w.Quarantined {
 			tr.quarantinedNow++

@@ -1,0 +1,174 @@
+package schedule
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestForecasterColdIsReactive(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	if got := f.PredictedBacklog(7, 10); got != 7 {
+		t.Fatalf("cold forecaster predicted %v, want the raw backlog 7", got)
+	}
+}
+
+func TestForecasterConvergesToSteadyRate(t *testing.T) {
+	f := NewForecaster(ForecastConfig{Alpha: 0.3, Guard: 2})
+	for i := 0; i < 50; i++ {
+		f.RecordArrivals(10)
+		f.RecordCompletions(4)
+		f.Tick()
+	}
+	arr, sigma, comp := f.Rates()
+	if math.Abs(arr-10) > 1e-6 {
+		t.Errorf("arrival mean = %v, want 10", arr)
+	}
+	if math.Abs(comp-4) > 1e-6 {
+		t.Errorf("completion mean = %v, want 4", comp)
+	}
+	if sigma > 1e-6 {
+		t.Errorf("steady stream sigma = %v, want ~0", sigma)
+	}
+	// Net +6/tick over 5 ticks from a backlog of 3.
+	if got, want := f.PredictedBacklog(3, 5), 33.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("PredictedBacklog = %v, want %v", got, want)
+	}
+}
+
+func TestForecasterBurstinessGuardRaisesForecast(t *testing.T) {
+	steady := NewForecaster(ForecastConfig{Alpha: 0.3, Guard: 2})
+	bursty := NewForecaster(ForecastConfig{Alpha: 0.3, Guard: 2})
+	// Same mean arrival rate (5/tick), wildly different variance.
+	for i := 0; i < 60; i++ {
+		steady.RecordArrivals(5)
+		if i%2 == 0 {
+			bursty.RecordArrivals(10)
+		}
+		steady.Tick()
+		bursty.Tick()
+	}
+	s := steady.PredictedBacklog(0, 10)
+	b := bursty.PredictedBacklog(0, 10)
+	if b <= s {
+		t.Fatalf("bursty forecast %v not above steady %v despite equal means", b, s)
+	}
+	_, sigma, _ := bursty.Rates()
+	if sigma < 1 {
+		t.Fatalf("bursty sigma = %v, want >= 1", sigma)
+	}
+}
+
+func TestForecasterDrainingFloorsAtZero(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	for i := 0; i < 20; i++ {
+		f.RecordArrivals(1)
+		f.RecordCompletions(10)
+		f.Tick()
+	}
+	if got := f.PredictedBacklog(5, 100); got != 0 {
+		t.Fatalf("draining shard predicted %v, want 0", got)
+	}
+}
+
+func TestForecasterConcurrentRecords(t *testing.T) {
+	f := NewForecaster(ForecastConfig{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f.RecordArrivals(1)
+				f.RecordCompletions(1)
+			}
+		}()
+	}
+	wg.Wait()
+	f.Tick()
+	arr, _, comp := f.Rates()
+	if arr != 8000 || comp != 8000 {
+		t.Fatalf("first tick folded (%v, %v), want (8000, 8000)", arr, comp)
+	}
+}
+
+func TestWindowTrackerDeclaredWins(t *testing.T) {
+	tr := NewWindowTracker(WindowConfig{})
+	tr.Arrive("w1", 100)
+	tr.Declare("w1", 500)
+	if got := tr.DepartureEstimate("w1"); got != 500 {
+		t.Fatalf("declared estimate = %d, want 500", got)
+	}
+	tr.Declare("w1", 0)
+	if got := tr.DepartureEstimate("w1"); got != 0 {
+		t.Fatalf("cleared declaration estimate = %d, want 0 (unknown)", got)
+	}
+}
+
+func TestWindowTrackerLearnsMeanSession(t *testing.T) {
+	tr := NewWindowTracker(WindowConfig{Alpha: 0.5, MinSessions: 2})
+	// Two sessions of 100 then 200: mean = 100 + 0.5*(200-100) = 150.
+	tr.Arrive("w1", 0)
+	tr.Depart("w1", 100)
+	if got := tr.DepartureEstimate("w1"); got != 0 {
+		t.Fatalf("absent worker estimate = %d, want 0", got)
+	}
+	tr.Arrive("w1", 1000)
+	// Only one completed session so far: below MinSessions, unknown.
+	if got := tr.DepartureEstimate("w1"); got != 0 {
+		t.Fatalf("single-session estimate = %d, want 0 (below MinSessions)", got)
+	}
+	tr.Depart("w1", 1200)
+	tr.Arrive("w1", 5000)
+	if got, want := tr.DepartureEstimate("w1"), int64(5150); got != want {
+		t.Fatalf("learned estimate = %d, want %d", got, want)
+	}
+	if got := tr.Sessions("w1"); got != 2 {
+		t.Fatalf("sessions = %d, want 2", got)
+	}
+}
+
+func TestWindowTrackerDepartClearsDeclaration(t *testing.T) {
+	tr := NewWindowTracker(WindowConfig{MinSessions: 100})
+	tr.Arrive("w1", 0)
+	tr.Declare("w1", 900)
+	tr.Depart("w1", 50)
+	tr.Arrive("w1", 100)
+	if got := tr.DepartureEstimate("w1"); got != 0 {
+		t.Fatalf("stale declaration survived departure: estimate = %d, want 0", got)
+	}
+}
+
+func TestWindowTrackerForget(t *testing.T) {
+	tr := NewWindowTracker(WindowConfig{})
+	tr.Arrive("w1", 0)
+	tr.Arrive("w2", 0)
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	tr.Forget("w1")
+	if tr.Len() != 1 {
+		t.Fatalf("len after forget = %d, want 1", tr.Len())
+	}
+}
+
+func TestWindowTrackerConcurrent(t *testing.T) {
+	tr := NewWindowTracker(WindowConfig{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := string(rune('a' + g))
+			for i := int64(0); i < 500; i++ {
+				tr.Arrive(id, i*10)
+				tr.Depart(id, i*10+5)
+				tr.DepartureEstimate(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if tr.Len() != 8 {
+		t.Fatalf("len = %d, want 8", tr.Len())
+	}
+}

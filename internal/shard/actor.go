@@ -27,11 +27,12 @@ type actor struct {
 	mailbox chan func()
 	done    chan struct{} // closed when the loop exits
 
-	// completed and dropped survive worker removal (the assigner's
-	// per-worker done counters die with RemoveWorker), so the engine's
-	// conservation accounting stays exact under churn.
+	// completed, dropped and expired survive worker removal (the
+	// assigner's per-worker done counters die with RemoveWorker), so the
+	// engine's conservation accounting stays exact under churn.
 	completed atomic.Int64
 	dropped   atomic.Int64
+	expired   atomic.Int64
 
 	metrics *actorMetrics
 }

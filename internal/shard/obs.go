@@ -34,6 +34,14 @@ type Metrics struct {
 	Steals      *obs.Counter
 	StolenTasks *obs.Counter
 	StealBatch  *obs.Histogram
+	// Expired counts buffered tasks expired past their deadline by the
+	// expiry sweep (ExpireOnce) — part of the conservation law, disjoint
+	// from Dropped.
+	Expired *obs.Counter
+	// ForecastBreaches counts shards whose projected backlog crossed the
+	// steal watermark while their actual backlog had not — the proactive
+	// rebalances only the demand forecaster sees.
+	ForecastBreaches *obs.Counter
 }
 
 // NewMetrics registers the engine-level instruments on r (obs.Default()
@@ -59,6 +67,10 @@ func NewMetrics(r *obs.Registry) *Metrics {
 			"tasks migrated between shards by work stealing"),
 		StealBatch: r.Histogram("hta_shard_steal_batch_size",
 			"tasks moved per successful steal round", obs.SizeBuckets()),
+		Expired: r.Counter("hta_shard_tasks_expired_total",
+			"buffered tasks expired past their deadline by the expiry sweep"),
+		ForecastBreaches: r.Counter("hta_shard_forecast_breaches_total",
+			"proactive watermark breaches seen only by the demand forecaster"),
 	}
 }
 
@@ -68,11 +80,12 @@ func NewMetrics(r *obs.Registry) *Metrics {
 // distinct, aggregatable family member — the fix for the shared-gauge
 // inconsistency a process with several Assigners otherwise hits.
 type actorMetrics struct {
-	Mailbox  *obs.Gauge     // current mailbox occupancy
-	Free     *obs.Gauge     // free task slots (Xmax·workers − active)
-	Batch    *obs.Histogram // messages drained per mailbox batch
-	Stolen   *obs.Counter   // tasks this shard donated
-	Received *obs.Counter   // tasks this shard absorbed
+	Mailbox   *obs.Gauge     // current mailbox occupancy
+	Free      *obs.Gauge     // free task slots (Xmax·workers − active)
+	Batch     *obs.Histogram // messages drained per mailbox batch
+	Stolen    *obs.Counter   // tasks this shard donated
+	Received  *obs.Counter   // tasks this shard absorbed
+	Predicted *obs.Gauge     // forecaster's projected backlog at horizon
 }
 
 func newActorMetrics(r *obs.Registry, id int) (*actorMetrics, *stream.Metrics) {
@@ -91,6 +104,8 @@ func newActorMetrics(r *obs.Registry, id int) (*actorMetrics, *stream.Metrics) {
 			"buffered tasks donated to other shards", l),
 		Received: r.Counter("hta_shard_tasks_received_total",
 			"buffered tasks absorbed from other shards", l),
+		Predicted: r.Gauge("hta_shard_predicted_backlog",
+			"projected shard backlog at the forecast horizon", l),
 	}
 	return am, stream.NewMetricsLabeled(r, l)
 }

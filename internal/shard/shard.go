@@ -46,6 +46,7 @@ import (
 	"github.com/htacs/ata/internal/core"
 	"github.com/htacs/ata/internal/obs"
 	"github.com/htacs/ata/internal/ops"
+	"github.com/htacs/ata/internal/schedule"
 	"github.com/htacs/ata/internal/stream"
 	"github.com/htacs/ata/internal/trace"
 )
@@ -79,6 +80,36 @@ type Config struct {
 	// StealInterval is the rebalancer period. 0 defaults to 20ms;
 	// negative disables stealing (it is always disabled with 1 shard).
 	StealInterval time.Duration
+	// Predictive turns the reactive watermark rebalancer into a
+	// forecast-driven one: each shard carries a demand forecaster
+	// (internal/schedule — EWMA arrival/completion rates with a
+	// burstiness guard) ticked once per steal round, and donors are
+	// chosen on the *projected* backlog ForecastHorizon rounds ahead, so
+	// bursty shards shed work before the watermark actually breaches.
+	// Off by default; the reactive trigger is then byte-for-byte the PR 5
+	// behaviour.
+	Predictive bool
+	// Forecast tunes the per-shard forecasters (zero value = defaults).
+	// Only read when Predictive is set.
+	Forecast schedule.ForecastConfig
+	// ForecastHorizon is how many steal rounds ahead the projection
+	// looks. Default 3. Only read when Predictive is set.
+	ForecastHorizon float64
+	// ExpireInterval is the period of the deadline-expiry sweep that
+	// removes buffered tasks past their deadline (journaled and counted,
+	// never silent). 0 disables the loop — ExpireOnce remains available
+	// for explicit/deterministic driving.
+	ExpireInterval time.Duration
+	// LearnWindows attaches a schedule.WindowTracker to the engine:
+	// AddWorker/RemoveWorker feed it arrival/departure observations, and
+	// each worker's estimated departure is pushed into its shard so
+	// deadline-aware routing (Stream.DeadlineAware) can avoid pinning
+	// imminent work to a worker about to leave. Declared windows
+	// (SetWindow) always override the learned estimate.
+	LearnWindows bool
+	// Windows tunes the learned-window tracker (zero value = defaults).
+	// Only read when LearnWindows is set.
+	Windows schedule.WindowConfig
 	// Registry receives the engine and per-shard instruments. Defaults
 	// to obs.Default().
 	Registry *obs.Registry
@@ -119,6 +150,15 @@ type Engine struct {
 	baseSubmitted int64
 	baseCompleted int64
 	baseDropped   int64
+	baseExpired   int64
+
+	// forecast holds one demand forecaster per shard (nil unless
+	// Predictive); windows is the learned availability tracker (nil
+	// unless LearnWindows); now is the clock both share with the
+	// assigners.
+	forecast []*schedule.Forecaster
+	windows  *schedule.WindowTracker
+	now      func() int64
 
 	// snapMu serializes quiesce barriers (two overlapping barriers would
 	// deadlock the actor pool).
@@ -129,8 +169,10 @@ type Engine struct {
 	stealMu      sync.Mutex
 	stealScratch []*core.Task
 
-	stopSteal chan struct{}
-	stealDone chan struct{}
+	stopSteal  chan struct{}
+	stealDone  chan struct{}
+	stopExpire chan struct{}
+	expireDone chan struct{}
 }
 
 // New validates the configuration and starts the shard actors (and the
@@ -160,6 +202,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.StealInterval == 0 {
 		cfg.StealInterval = 20 * time.Millisecond
 	}
+	if cfg.ForecastHorizon == 0 {
+		cfg.ForecastHorizon = 3
+	}
+	if cfg.ForecastHorizon < 0 {
+		return nil, fmt.Errorf("shard: ForecastHorizon = %g", cfg.ForecastHorizon)
+	}
 	if cfg.Registry == nil {
 		cfg.Registry = obs.Default()
 	}
@@ -182,6 +230,19 @@ func New(cfg Config) (*Engine, error) {
 		seen:    make(map[string]struct{}),
 	}
 	e.metrics.Shards.Set(float64(cfg.Shards))
+	e.now = cfg.Stream.Now
+	if e.now == nil {
+		e.now = func() int64 { return time.Now().UnixNano() }
+	}
+	if cfg.Predictive {
+		e.forecast = make([]*schedule.Forecaster, cfg.Shards)
+		for i := range e.forecast {
+			e.forecast[i] = schedule.NewForecaster(cfg.Forecast)
+		}
+	}
+	if cfg.LearnWindows {
+		e.windows = schedule.NewWindowTracker(cfg.Windows)
+	}
 	e.actors = make([]*actor, cfg.Shards)
 	for i := range e.actors {
 		scfg := cfg.Stream
@@ -200,6 +261,11 @@ func New(cfg Config) (*Engine, error) {
 		e.stopSteal = make(chan struct{})
 		e.stealDone = make(chan struct{})
 		go e.stealLoop()
+	}
+	if cfg.ExpireInterval > 0 {
+		e.stopExpire = make(chan struct{})
+		e.expireDone = make(chan struct{})
+		go e.expireLoop()
 	}
 	return e, nil
 }
@@ -226,6 +292,10 @@ func (e *Engine) Close() {
 	if e.stopSteal != nil {
 		close(e.stopSteal)
 		<-e.stealDone
+	}
+	if e.stopExpire != nil {
+		close(e.stopExpire)
+		<-e.expireDone
 	}
 	for _, a := range e.actors {
 		a.stop()
@@ -262,7 +332,19 @@ func (e *Engine) AddWorkerCtx(ctx context.Context, w *core.Worker) ([]*core.Task
 	}
 	a := e.actors[e.ring.Lookup(w.ID)]
 	var assigned []*core.Task
-	a.call(func(asn *stream.Assigner) { assigned, err = asn.AddWorker(w) })
+	a.call(func(asn *stream.Assigner) {
+		assigned, err = asn.AddWorker(w)
+		if err == nil && e.windows != nil {
+			// Learned-window hook: record the arrival and, once the
+			// tracker has seen enough of this worker's sessions, push the
+			// estimated departure into the shard so deadline-aware
+			// routing can steer imminent work away.
+			e.windows.Arrive(w.ID, e.now())
+			if est := e.windows.DepartureEstimate(w.ID); est > 0 {
+				_ = asn.SetWindow(w.ID, est)
+			}
+		}
+	})
 	if err == nil {
 		trace.Event(ctx, "shard.add_worker",
 			trace.Str("worker", w.ID), trace.Int("shard", a.id),
@@ -287,6 +369,9 @@ func (e *Engine) RemoveWorkerCtx(ctx context.Context, id string) ([]*core.Task, 
 	a := e.actors[e.ring.Lookup(id)]
 	var dropped []*core.Task
 	a.call(func(asn *stream.Assigner) { dropped, err = asn.RemoveWorker(id) })
+	if err == nil && e.windows != nil {
+		e.windows.Depart(id, e.now())
+	}
 	if err == nil {
 		if n := len(dropped); n > 0 {
 			a.dropped.Add(int64(n))
@@ -334,6 +419,9 @@ func (e *Engine) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error)
 		case err == nil:
 			e.submitted.Add(1)
 			e.metrics.Submitted.Inc()
+			if e.forecast != nil {
+				e.forecast[0].RecordArrivals(1)
+			}
 		case errors.Is(err, stream.ErrBufferFull):
 			e.submitted.Add(1)
 			e.metrics.Submitted.Inc()
@@ -362,6 +450,9 @@ func (e *Engine) OfferTaskCtx(ctx context.Context, t *core.Task) (string, error)
 	span.SetAttrs(trace.Int("shard", shardID), trace.Int("attempts", attempts),
 		trace.Bool("buffered", buffered), trace.Str("worker", wid))
 	span.End()
+	if err == nil && e.forecast != nil && shardID >= 0 {
+		e.forecast[shardID].RecordArrivals(1)
+	}
 	if errors.Is(err, stream.ErrBufferFull) {
 		// Mirror the bare assigner: a rejected task may be legitimately
 		// re-offered later, so it leaves the duplicate filter.
@@ -481,6 +572,9 @@ func (e *Engine) CompleteCtx(ctx context.Context, workerID, taskID string) (*cor
 	a.call(func(asn *stream.Assigner) { next, err = asn.Complete(workerID, taskID) })
 	if err == nil {
 		a.completed.Add(1)
+		if e.forecast != nil {
+			e.forecast[a.id].RecordCompletions(1)
+		}
 		pulled := ""
 		if next != nil {
 			pulled = next.ID
@@ -565,6 +659,40 @@ func (e *Engine) SetTrust(workerID string, trust float64) ([]*core.Task, error) 
 	return drained, err
 }
 
+// SetWindow records the worker's declared availability-window end on its
+// owning shard (0 clears it). When the engine learns windows
+// (Config.LearnWindows) the declaration also overrides the tracker's
+// estimate until the worker next departs.
+func (e *Engine) SetWindow(workerID string, until int64) error {
+	release, err := e.begin()
+	if err != nil {
+		return err
+	}
+	defer release()
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		err = asn.SetWindow(workerID, until)
+	})
+	if err == nil && e.windows != nil {
+		e.windows.Declare(workerID, until)
+	}
+	return err
+}
+
+// Window returns the worker's recorded availability-window end (0 =
+// unknown).
+func (e *Engine) Window(workerID string) (int64, error) {
+	release, err := e.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	var until int64
+	e.actors[e.ring.Lookup(workerID)].call(func(asn *stream.Assigner) {
+		until, err = asn.Window(workerID)
+	})
+	return until, err
+}
+
 // Worker returns the registered worker record.
 func (e *Engine) Worker(workerID string) (*core.Worker, error) {
 	release, err := e.begin()
@@ -620,20 +748,25 @@ func (e *Engine) Objective() float64 {
 	return total
 }
 
-// ShardStats is one shard's load picture.
+// ShardStats is one shard's load picture. Predicted is the forecaster's
+// backlog projection ForecastHorizon steal rounds ahead (equal to Backlog
+// when the engine is not predictive or the forecaster is cold).
 type ShardStats struct {
-	Shard     int   `json:"shard"`
-	Workers   int   `json:"workers"`
-	Active    int   `json:"active"`
-	Backlog   int   `json:"backlog"`
-	FreeSlots int   `json:"free_slots"`
-	Completed int64 `json:"completed"`
-	Dropped   int64 `json:"dropped"`
+	Shard     int     `json:"shard"`
+	Workers   int     `json:"workers"`
+	Active    int     `json:"active"`
+	Backlog   int     `json:"backlog"`
+	FreeSlots int     `json:"free_slots"`
+	Completed int64   `json:"completed"`
+	Dropped   int64   `json:"dropped"`
+	Expired   int64   `json:"expired,omitempty"`
+	Predicted float64 `json:"predicted,omitempty"`
 }
 
 // Stats is the engine-wide accounting. At quiescence the conservation
 // invariant holds exactly: Submitted = Active + Completed + Buffered +
-// Dropped (every submitted task is in exactly one of those states).
+// Dropped + Expired (every submitted task is in exactly one of those
+// states).
 type Stats struct {
 	Shards    int          `json:"shards"`
 	Workers   int          `json:"workers"`
@@ -641,13 +774,14 @@ type Stats struct {
 	Completed int64        `json:"completed"`
 	Buffered  int          `json:"buffered"`
 	Dropped   int64        `json:"dropped"`
+	Expired   int64        `json:"expired"`
 	Submitted int64        `json:"submitted"`
 	PerShard  []ShardStats `json:"per_shard"`
 }
 
 // Conserved reports whether the global task-flow conservation law holds.
 func (s Stats) Conserved() bool {
-	return s.Submitted == int64(s.Active)+s.Completed+int64(s.Buffered)+s.Dropped
+	return s.Submitted == int64(s.Active)+s.Completed+int64(s.Buffered)+s.Dropped+s.Expired
 }
 
 // Stats gathers the per-shard states and engine counters. Exact at
@@ -664,7 +798,7 @@ func (e *Engine) Stats() Stats {
 	for _, a := range e.actors {
 		a := a
 		a.send(func() {
-			ch <- ShardStats{
+			s := ShardStats{
 				Shard:     a.id,
 				Workers:   a.asn.NumWorkers(),
 				Active:    a.asn.ActiveCount(),
@@ -672,7 +806,12 @@ func (e *Engine) Stats() Stats {
 				FreeSlots: a.asn.FreeCapacity(),
 				Completed: a.completed.Load(),
 				Dropped:   a.dropped.Load(),
+				Expired:   a.expired.Load(),
 			}
+			if e.forecast != nil {
+				s.Predicted = e.forecast[a.id].PredictedBacklog(s.Backlog, e.cfg.ForecastHorizon)
+			}
+			ch <- s
 		})
 	}
 	st.PerShard = make([]ShardStats, 0, len(e.actors))
@@ -686,9 +825,11 @@ func (e *Engine) Stats() Stats {
 		st.Completed += s.Completed
 		st.Buffered += s.Backlog
 		st.Dropped += s.Dropped
+		st.Expired += s.Expired
 	}
 	st.Completed += e.baseCompleted
 	st.Dropped += e.offerDropped.Load() + e.baseDropped
+	st.Expired += e.baseExpired
 	st.Submitted = e.submitted.Load() + e.baseSubmitted
 	return st
 }

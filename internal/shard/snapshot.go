@@ -18,6 +18,9 @@ type taskSnap struct {
 	Reward   float64 `json:"reward,omitempty"`
 	Universe int     `json:"universe"`
 	Keywords []int   `json:"keywords"`
+	// Deadline is the absolute UnixNano expiry (0 = never); omitted for
+	// undeadlined tasks so pre-deadline snapshots serialize identically.
+	Deadline int64 `json:"deadline,omitempty"`
 }
 
 type workerSnap struct {
@@ -31,12 +34,16 @@ type workerSnap struct {
 	// Trust is the reputation multiplier; omitted (nil) when 1.0 so
 	// pre-trust snapshots and trust-free engines serialize identically.
 	Trust *float64 `json:"trust,omitempty"`
+	// Window is the recorded availability-window end (UnixNano); omitted
+	// when unknown (0), the same additive-field pattern as Trust.
+	Window *int64 `json:"window,omitempty"`
 }
 
 type shardSnap struct {
 	Shard     int          `json:"shard"`
 	Completed int64        `json:"completed"`
 	Dropped   int64        `json:"dropped"`
+	Expired   int64        `json:"expired,omitempty"`
 	Workers   []workerSnap `json:"workers"`
 	Buffer    []taskSnap   `json:"buffer,omitempty"`
 }
@@ -46,12 +53,14 @@ type engineSnap struct {
 	Shards    int         `json:"shards"`
 	Submitted int64       `json:"submitted"`
 	Dropped   int64       `json:"dropped"`
+	Expired   int64       `json:"expired,omitempty"`
 	PerShard  []shardSnap `json:"per_shard"`
 }
 
 func taskToSnap(t *core.Task) taskSnap {
 	return taskSnap{ID: t.ID, Group: t.Group, Reward: t.Reward,
-		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices()}
+		Universe: t.Keywords.Len(), Keywords: t.Keywords.Indices(),
+		Deadline: t.Deadline}
 }
 
 func snapToTask(s taskSnap) (*core.Task, error) {
@@ -64,7 +73,8 @@ func snapToTask(s taskSnap) (*core.Task, error) {
 		}
 	}
 	return &core.Task{ID: s.ID, Group: s.Group, Reward: s.Reward,
-		Keywords: bitset.FromIndices(s.Universe, s.Keywords...)}, nil
+		Keywords: bitset.FromIndices(s.Universe, s.Keywords...),
+		Deadline: s.Deadline}, nil
 }
 
 // Snapshot writes the engine state as one JSON document — the merge of
@@ -87,14 +97,17 @@ func (e *Engine) Snapshot(w io.Writer) error {
 	// Restore carries forward whole, so the conservation equation closes
 	// across the restart.
 	snap.Dropped = e.offerDropped.Load() + e.baseDropped
+	snap.Expired = e.baseExpired
 	e.quiesce(func() {
 		var bufScratch []*core.Task
 		for _, a := range e.actors {
 			snap.Dropped += a.dropped.Load()
+			snap.Expired += a.expired.Load()
 			ss := shardSnap{
 				Shard:     a.id,
 				Completed: a.completed.Load(),
 				Dropped:   a.dropped.Load(),
+				Expired:   a.expired.Load(),
 			}
 			for _, id := range a.asn.WorkerIDs() {
 				wk, _ := a.asn.Worker(id)
@@ -107,6 +120,9 @@ func (e *Engine) Snapshot(w io.Writer) error {
 				}
 				if trust, terr := a.asn.Trust(id); terr == nil && trust != 1 {
 					wsnap.Trust = &trust
+				}
+				if wnd, werr := a.asn.Window(id); werr == nil && wnd != 0 {
+					wsnap.Window = &wnd
 				}
 				for _, t := range active {
 					wsnap.Active = append(wsnap.Active, taskToSnap(t))
@@ -194,11 +210,25 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 					if wsnap.Trust != nil {
 						// Applied before any buffer re-materialization, so a
 						// restored quarantine never sees a drain.
-						_, aerr = asn.SetTrust(w.ID, *wsnap.Trust)
+						if _, aerr = asn.SetTrust(w.ID, *wsnap.Trust); aerr != nil {
+							return
+						}
+					}
+					if wsnap.Window != nil {
+						aerr = asn.SetWindow(w.ID, *wsnap.Window)
 					}
 				})
 				if aerr != nil {
 					return aerr
+				}
+				if e.windows != nil {
+					// The tracker starts a fresh session for the restored
+					// worker; a saved window is re-declared so it keeps
+					// precedence over the learned estimate.
+					e.windows.Arrive(w.ID, e.now())
+					if wsnap.Window != nil {
+						e.windows.Declare(w.ID, *wsnap.Window)
+					}
 				}
 				for _, tsnap := range wsnap.Active {
 					t, terr := snapToTask(tsnap)
@@ -238,6 +268,7 @@ func Restore(r io.Reader, cfg Config) (*Engine, error) {
 		e.baseSubmitted = snap.Submitted
 		e.baseDropped = snap.Dropped
 		e.baseCompleted = completed
+		e.baseExpired = snap.Expired
 		return nil
 	}
 	if err := restore(); err != nil {

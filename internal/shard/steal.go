@@ -24,6 +24,7 @@ func (e *Engine) stealLoop() {
 		case <-e.stopSteal:
 			return
 		case <-tick.C:
+			e.ForecastTick()
 			e.StealOnce()
 		}
 	}
@@ -55,21 +56,43 @@ func (e *Engine) StealOnce() int {
 		return 0
 	}
 	// Plan from atomic load peeks — no mailbox traffic until a move is
-	// actually warranted.
+	// actually warranted. Under Config.Predictive the donor trigger is the
+	// *projected* backlog (forecast rates × horizon), so a shard riding a
+	// burst donates before its queue actually crosses the watermark; the
+	// reactive engine's load is just the current backlog, bit-identical to
+	// the pre-forecast behaviour.
 	backlog := make([]int, n)
 	free := make([]int, n)
+	load := make([]int, n)
 	for i, a := range e.actors {
 		backlog[i] = a.asn.Backlog()
 		free[i] = a.asn.FreeCapacity()
+		load[i] = backlog[i]
+	}
+	proactive := 0
+	if e.forecast != nil {
+		for i := range load {
+			load[i] = int(e.forecast[i].PredictedBacklog(backlog[i], e.cfg.ForecastHorizon))
+			if load[i] > e.cfg.StealWatermark && backlog[i] <= e.cfg.StealWatermark {
+				proactive++
+			}
+		}
 	}
 	donors := make([]int, 0, n)
 	receivers := make([]int, 0, n)
 	for i := 0; i < n; i++ {
-		if backlog[i] > e.cfg.StealWatermark {
+		if load[i] > e.cfg.StealWatermark && backlog[i] > 0 {
 			donors = append(donors, i)
 		} else if free[i] > 0 {
 			receivers = append(receivers, i)
 		}
+	}
+	if proactive > 0 {
+		// A breach the reactive trigger would not have seen yet.
+		e.metrics.ForecastBreaches.Add(float64(proactive))
+		e.journal.Emit(ops.EventForecast, "",
+			"shards", strconv.Itoa(proactive),
+			"watermark", strconv.Itoa(e.cfg.StealWatermark))
 	}
 	if len(donors) == 0 {
 		return 0
@@ -87,7 +110,7 @@ func (e *Engine) StealOnce() int {
 	if len(receivers) == 0 {
 		return 0
 	}
-	sort.Slice(donors, func(i, j int) bool { return backlog[donors[i]] > backlog[donors[j]] })
+	sort.Slice(donors, func(i, j int) bool { return load[donors[i]] > load[donors[j]] })
 	sort.Slice(receivers, func(i, j int) bool { return free[receivers[i]] > free[receivers[j]] })
 
 	var plans []stealPlan
@@ -96,7 +119,12 @@ func (e *Engine) StealOnce() int {
 		if ri >= len(receivers) {
 			break
 		}
-		excess := backlog[d] - e.cfg.StealWatermark
+		// A shard cannot donate work it only *expects*: the excess is the
+		// projected overflow capped by what is actually buffered now.
+		excess := load[d] - e.cfg.StealWatermark
+		if excess > backlog[d] {
+			excess = backlog[d]
+		}
 		for excess > 0 && ri < len(receivers) {
 			r := receivers[ri]
 			k := min3(excess, free[r], e.cfg.StealBatch)

@@ -73,6 +73,9 @@ func growScratch(s []float64, n int) []float64 {
 func (a *Assigner) bufferAppend(t *core.Task) {
 	a.buffer = append(a.buffer, t)
 	a.bufPack.Append(t.Keywords)
+	if t.Deadline > 0 {
+		a.deadlined++
+	}
 	if len(a.order) == 0 {
 		return
 	}
@@ -95,6 +98,9 @@ func (a *Assigner) bufferAppend(t *core.Task) {
 // every worker's cache columns.
 func (a *Assigner) bufferSwapRemove(i int) {
 	last := len(a.buffer) - 1
+	if a.buffer[i].Deadline > 0 {
+		a.deadlined--
+	}
 	a.buffer[i] = a.buffer[last]
 	a.buffer[last] = nil
 	a.buffer = a.buffer[:last]
@@ -114,6 +120,11 @@ func (a *Assigner) bufferSwapRemove(i int) {
 // mirroring the shift through every cache column.
 func (a *Assigner) bufferDropFront(k int) {
 	rest := len(a.buffer) - k
+	for _, t := range a.buffer[:k] {
+		if t.Deadline > 0 {
+			a.deadlined--
+		}
+	}
 	copy(a.buffer, a.buffer[k:])
 	for i := rest; i < len(a.buffer); i++ {
 		a.buffer[i] = nil

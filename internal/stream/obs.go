@@ -16,10 +16,13 @@ import (
 //	             re-deliveries of requeued tasks);
 //	Dropped    = offers rejected with ErrBufferFull plus active tasks
 //	             discarded on RemoveWorker when the buffer is full;
-//	Requeued   = active tasks returned to the buffer on RemoveWorker.
+//	Requeued   = active tasks returned to the buffer on RemoveWorker;
+//	Expired    = buffered tasks removed by ExpireDue after their deadline
+//	             passed (never silently: the tasks are returned to the
+//	             caller for journaling).
 //
-// With no worker churn, once the buffer drains: Dropped = Submitted −
-// Delivered. QueueDepth always equals BufferLen().
+// With no worker churn, once the buffer drains: Dropped + Expired =
+// Submitted − Delivered. QueueDepth always equals BufferLen().
 type Metrics struct {
 	QueueDepth *obs.Gauge
 	Submitted  *obs.Counter
@@ -27,6 +30,7 @@ type Metrics struct {
 	Dropped    *obs.Counter
 	Requeued   *obs.Counter
 	Completed  *obs.Counter
+	Expired    *obs.Counter
 	// DrainBatch is the number of tasks handed to a newly arrived worker
 	// out of the buffer — the batch-size distribution of AddWorker.
 	DrainBatch *obs.Histogram
@@ -64,6 +68,8 @@ func NewMetricsLabeled(r *obs.Registry, labels ...obs.Label) *Metrics {
 			"active tasks returned to the buffer by RemoveWorker", labels...),
 		Completed: r.Counter("hta_stream_tasks_completed_total",
 			"task completions recorded", labels...),
+		Expired: r.Counter("hta_stream_tasks_expired_total",
+			"buffered tasks expired past their deadline by ExpireDue", labels...),
 		DrainBatch: r.Histogram("hta_stream_drain_batch_size",
 			"buffered tasks drained per arriving worker", obs.SizeBuckets(), labels...),
 	}

@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"github.com/htacs/ata/internal/bitset"
 	"github.com/htacs/ata/internal/core"
@@ -63,6 +64,24 @@ type Config struct {
 	// it receives no new tasks at all. Off by default — the scoring path is
 	// then bit-identical to a trust-free assigner.
 	WithTrust bool
+	// DeadlineAware turns on predictive scheduling semantics (deadline.go):
+	// buffered tasks whose deadline falls within UrgencyHorizon are pulled
+	// earliest-deadline-first (gain breaks ties) ahead of the pure
+	// best-gain order, and routing avoids pinning a deadlined task to a
+	// worker whose availability window (SetWindow) closes before the
+	// deadline. Off by default; the default paths are then bit-identical
+	// to a deadline-free assigner, and tasks without deadlines are
+	// unaffected either way.
+	DeadlineAware bool
+	// UrgencyHorizon is how far ahead of Now a deadline must fall to make
+	// a buffered task urgent, in the units of the Now clock (nanoseconds
+	// by default). Defaults to 30s. Only read when DeadlineAware is on.
+	UrgencyHorizon int64
+	// Now supplies the clock urgency decisions compare deadlines against.
+	// Defaults to time.Now().UnixNano; deterministic replays inject a
+	// logical clock. Expiry never reads it — ExpireDue takes an explicit
+	// timestamp.
+	Now func() int64
 }
 
 // workerState is one worker's streaming state plus its slice of the
@@ -73,6 +92,7 @@ type workerState struct {
 	sumRel float64      // Σ rel(t, w) over active
 	done   int          // completed count
 	trust  float64      // reputation multiplier; 0 = quarantined (Config.WithTrust)
+	window int64        // availability-window end (SetWindow); 0 = unknown
 
 	// Gain cache: rel[i] = rel(buffer[i], worker); rows[s][i] =
 	// d(buffer[i], active[s]). Both stay aligned with the assigner's
@@ -94,6 +114,11 @@ type Assigner struct {
 	buffer  []*core.Task
 	seen    map[string]bool // task IDs ever accepted, to reject duplicates
 	metrics *Metrics
+
+	// deadlined counts buffered tasks with a non-zero deadline, maintained
+	// by the buffer mutators (cache.go), so the deadline-aware paths can
+	// bail to the unordered fast path when the buffer carries no deadlines.
+	deadlined int
 
 	// Packed mirrors and scratch for the gain cache (cache.go): bufPack
 	// mirrors buffer keywords, wkrPack the registered workers' keywords in
@@ -134,6 +159,15 @@ func NewAssigner(cfg Config) (*Assigner, error) {
 	}
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = 1
+	}
+	if cfg.UrgencyHorizon == 0 {
+		cfg.UrgencyHorizon = int64(30 * time.Second)
+	}
+	if cfg.UrgencyHorizon < 0 {
+		return nil, fmt.Errorf("stream: UrgencyHorizon = %d", cfg.UrgencyHorizon)
+	}
+	if cfg.Now == nil {
+		cfg.Now = func() int64 { return time.Now().UnixNano() }
 	}
 	m := cfg.Metrics
 	if m == nil {
@@ -436,7 +470,25 @@ func (a *Assigner) Completed(workerID string) (int, error) {
 // ("", ...) when no worker has a free slot. OfferTask, TryAssign and
 // BestGain all route through this one selection rule, which is what makes
 // the 1-shard engine event-for-event identical to the bare Assigner.
+//
+// Under Config.DeadlineAware a deadlined task first tries only workers
+// whose availability window (if known) outlasts the deadline — pinning
+// imminent work to a worker about to depart just bounces it back at
+// departure, possibly past the deadline. If every free worker is
+// departing too soon the filter is dropped rather than leaving the task
+// unplaced.
 func (a *Assigner) bestFree(t *core.Task) (id string, gain, rel float64) {
+	if a.cfg.DeadlineAware && t.Deadline > 0 {
+		if id, gain, rel = a.bestFreeScan(t, t.Deadline); id != "" {
+			return id, gain, rel
+		}
+	}
+	return a.bestFreeScan(t, 0)
+}
+
+// bestFreeScan is bestFree's selection loop. avoidBefore > 0 additionally
+// skips workers whose known availability window ends before that instant.
+func (a *Assigner) bestFreeScan(t *core.Task, avoidBefore int64) (id string, gain, rel float64) {
 	bestQ, bestGain, bestRel := "", -1.0, -1.0
 	for i, wid := range a.order {
 		ws := a.states[i]
@@ -445,6 +497,9 @@ func (a *Assigner) bestFree(t *core.Task) (id string, gain, rel float64) {
 		}
 		if a.cfg.WithTrust && ws.trust <= 0 {
 			continue // quarantined: never a candidate
+		}
+		if avoidBefore > 0 && ws.window > 0 && ws.window < avoidBefore {
+			continue // departing before the task's deadline
 		}
 		g, r := a.scoreFresh(ws, t)
 		if a.cfg.WithTrust {
@@ -658,6 +713,13 @@ func (a *Assigner) pullBest(ws *workerState) *core.Task {
 	// cannot change which buffered task wins this worker's argmax.)
 	if a.cfg.WithTrust && ws.trust <= 0 {
 		return nil
+	}
+	// Deadlines in the buffer under DeadlineAware divert to the
+	// earliest-feasible-first scan (deadline.go); a deadline-free buffer
+	// stays on the unrolled fast path below, whose decisions the ordered
+	// scan reproduces exactly when no task is urgent.
+	if a.cfg.DeadlineAware && a.deadlined > 0 {
+		return a.pullBestDeadline(ws)
 	}
 	// The fold below adds the cached rows in slot order — the order
 	// marginalGain sums in — and hoists 2α and β without regrouping the

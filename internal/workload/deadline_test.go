@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeadlinesAnnotateAndRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := gen.Tasks(10, 5)
+	n, err := Deadlines(tasks, 0.5, 1000, 5000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n == len(tasks) {
+		t.Fatalf("annotated %d of %d tasks at frac 0.5, want a strict subset", n, len(tasks))
+	}
+	seen := 0
+	for _, task := range tasks {
+		if task.Deadline == 0 {
+			continue
+		}
+		seen++
+		if task.Deadline < 1000 || task.Deadline > 5000 {
+			t.Fatalf("task %s lead %d outside [1000, 5000]", task.ID, task.Deadline)
+		}
+	}
+	if seen != n {
+		t.Fatalf("Deadlines reported %d annotations, found %d", n, seen)
+	}
+
+	// Determinism: the same seed reproduces the same leads.
+	again := gen.Tasks(10, 5) // fresh copies, different rng state is fine: IDs/count match
+	if _, err := Deadlines(again, 0.5, 1000, 5000, 11); err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		if tasks[i].Deadline != again[i].Deadline {
+			t.Fatalf("lead for %s not deterministic: %d vs %d", tasks[i].ID, tasks[i].Deadline, again[i].Deadline)
+		}
+	}
+
+	// Leads survive the JSON-lines round trip.
+	var buf bytes.Buffer
+	if err := WriteTasks(&buf, tasks); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTasks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(tasks) {
+		t.Fatalf("round trip returned %d tasks, want %d", len(back), len(tasks))
+	}
+	for i := range tasks {
+		if back[i].Deadline != tasks[i].Deadline {
+			t.Fatalf("task %s deadline %d after round trip, want %d", back[i].ID, back[i].Deadline, tasks[i].Deadline)
+		}
+	}
+
+	if _, err := Deadlines(tasks, 1.5, 1, 2, 1); err == nil {
+		t.Fatal("fraction 1.5 accepted")
+	}
+	if _, err := Deadlines(tasks, 0.5, 0, 2, 1); err == nil {
+		t.Fatal("zero min lead accepted")
+	}
+}
+
+func TestWindowsRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workers := gen.Workers(40)
+	decls, err := Windows(workers, 0.6, 100, 900, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decls) == 0 || len(decls) == len(workers) {
+		t.Fatalf("declared %d of %d at frac 0.6, want a strict subset", len(decls), len(workers))
+	}
+	for _, d := range decls {
+		if d.Length < 100 || d.Length > 900 {
+			t.Fatalf("window %s length %d outside [100, 900]", d.Worker, d.Length)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteWindows(&buf, decls); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWindows(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(decls) {
+		t.Fatalf("round trip returned %d declarations, want %d", len(back), len(decls))
+	}
+	for i := range decls {
+		if back[i] != decls[i] {
+			t.Fatalf("declaration %d mutated: %+v vs %+v", i, back[i], decls[i])
+		}
+	}
+
+	// Duplicate workers are a malformed file.
+	dup := bytes.NewBufferString(`{"worker":"w1","length":5}` + "\n" + `{"worker":"w1","length":9}` + "\n")
+	if _, err := ReadWindows(dup); err == nil {
+		t.Fatal("duplicate window declaration accepted")
+	}
+}
+
+func TestBurstSchedule(t *testing.T) {
+	sched, err := BurstSchedule(20, 1, 8, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 20 {
+		t.Fatalf("schedule length %d, want 20", len(sched))
+	}
+	total := 0
+	for i, n := range sched {
+		want := 1
+		if i%10 < 2 {
+			want = 9
+		}
+		if n != want {
+			t.Fatalf("step %d arrivals %d, want %d", i, n, want)
+		}
+		total += n
+	}
+	if want := 20*1 + 4*8; total != want {
+		t.Fatalf("total arrivals %d, want %d", total, want)
+	}
+
+	// Steady stream: no bursts, constant rate.
+	steady, err := BurstSchedule(5, 3, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range steady {
+		if n != 3 {
+			t.Fatalf("steady schedule emitted %d, want 3", n)
+		}
+	}
+
+	if _, err := BurstSchedule(10, 1, 4, 3, 5); err == nil {
+		t.Fatal("burst length > period accepted")
+	}
+}

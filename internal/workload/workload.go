@@ -225,6 +225,7 @@ type taskJSON struct {
 	ID       string   `json:"id"`
 	Group    string   `json:"group,omitempty"`
 	Reward   float64  `json:"reward,omitempty"`
+	Deadline int64    `json:"deadline,omitempty"`
 	Universe int      `json:"universe"`
 	Keywords []int    `json:"keywords"`
 	Names    []string `json:"names,omitempty"`
@@ -249,7 +250,7 @@ func WriteTasks(w io.Writer, tasks []*core.Task) error {
 			names[i] = Keyword(k)
 		}
 		rec := taskJSON{
-			ID: t.ID, Group: t.Group, Reward: t.Reward,
+			ID: t.ID, Group: t.Group, Reward: t.Reward, Deadline: t.Deadline,
 			Universe: t.Keywords.Len(), Keywords: idx, Names: names,
 		}
 		if err := enc.Encode(rec); err != nil {
@@ -276,8 +277,11 @@ func ReadTasks(r io.Reader) ([]*core.Task, error) {
 		if err := checkKeywords(rec.Keywords, rec.Universe); err != nil {
 			return nil, fmt.Errorf("workload: task %q: %w", rec.ID, err)
 		}
+		if rec.Deadline < 0 {
+			return nil, fmt.Errorf("workload: task %q has deadline %d", rec.ID, rec.Deadline)
+		}
 		out = append(out, &core.Task{
-			ID: rec.ID, Group: rec.Group, Reward: rec.Reward,
+			ID: rec.ID, Group: rec.Group, Reward: rec.Reward, Deadline: rec.Deadline,
 			Keywords: bitset.FromIndices(rec.Universe, rec.Keywords...),
 		})
 	}
